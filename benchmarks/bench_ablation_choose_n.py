@@ -1,0 +1,28 @@
+"""Ablation: ChooseTask(n) beyond the paper's n in {1, 2}.
+
+The paper reports "we have tried different values of n ..., but only 1
+and 2 give good results".  This bench sweeps n in {1, 2, 4, 8} and
+asserts the paper's observation: large n degrades makespan (too much
+randomization dilutes the locality signal).
+"""
+
+from repro.exp.figures import ablation_choose_n
+from repro.exp.report import format_sweep_table
+
+
+def test_ablation_choose_n(benchmark, scale, artifact):
+    sweep = benchmark.pedantic(
+        lambda: ablation_choose_n(scale, n_values=(1, 2, 4, 8)),
+        rounds=1, iterations=1)
+    artifact("ablation_choose_n", format_sweep_table(
+        sweep, metric="makespan_minutes",
+        title=f"Ablation: ChooseTask(n), rest metric "
+              f"[scale={scale.name}]"))
+    capacity = sweep.values[0]
+
+    def makespan(n):
+        return sweep.cell(f"wc:rest:{n}", capacity).makespan_minutes
+
+    best_small = min(makespan(1), makespan(2))
+    assert best_small <= makespan(8) * 1.02, \
+        "n=8 should not beat small-n variants (the paper's finding)"

@@ -1,0 +1,35 @@
+"""Ablation: the printed `combined` formula vs the intent-consistent one.
+
+DESIGN.md §5.6: the paper's printed formula
+``ref_t/totalRef + totalRest/rest_t`` *rewards* missing files; we ship
+the intent-consistent ``ref_t/totalRef + rest_t/totalRest`` as
+`combined`.  This bench quantifies the difference and asserts the
+intent variant transfers no more files than the literal one.
+"""
+
+from repro.exp.figures import ablation_combined_formula
+from repro.exp.report import format_sweep_table
+
+
+def test_ablation_combined_formula(benchmark, scale, artifact):
+    sweep = benchmark.pedantic(lambda: ablation_combined_formula(scale),
+                               rounds=1, iterations=1)
+    artifact("ablation_combined_formula", "\n\n".join([
+        format_sweep_table(
+            sweep, metric="makespan_minutes",
+            title=f"Ablation: combined formula variants, makespan "
+                  f"(minutes) [scale={scale.name}]"),
+        format_sweep_table(
+            sweep,
+            transform=lambda cell: cell.file_transfers
+            / sweep.base.num_sites,
+            title="Same sweep: # file transfers per data server"),
+    ]))
+
+    def mean_transfers(name):
+        cells = [sweep.cell(name, v) for v in sweep.values]
+        return sum(c.file_transfers for c in cells) / len(cells)
+
+    assert mean_transfers("combined") <= mean_transfers(
+        "combined-literal"), \
+        "the intent-consistent formula must reduce transfers"

@@ -1,0 +1,39 @@
+"""Ablation: network weather (background cross-traffic between sites).
+
+Grids are shared infrastructure; this bench injects sub-capacity
+Poisson background flows and asserts the paper's conclusions are
+weather-proof:
+
+* every scheduler slows down (the traffic is real),
+* the data-aware vs data-blind gap survives — fewer transfers means
+  less exposure to a congested network, so locality-aware scheduling
+  should degrade *less* in absolute terms than FIFO.
+"""
+
+from repro.exp.figures import ablation_cross_traffic
+from repro.exp.report import format_sweep_table
+
+
+def test_ablation_cross_traffic(benchmark, scale, artifact):
+    sweep = benchmark.pedantic(lambda: ablation_cross_traffic(scale),
+                               rounds=1, iterations=1)
+    artifact("ablation_cross_traffic", format_sweep_table(
+        sweep, metric="makespan_minutes",
+        title=f"Ablation: background cross-traffic off/on, makespan "
+              f"(minutes) [scale={scale.name}]"))
+
+    def makespan(name, noisy):
+        return sweep.cell(name, noisy).makespan_minutes
+
+    for name in sweep.schedulers:
+        assert makespan(name, True) > makespan(name, False), \
+            f"{name}: cross-traffic must cost something"
+
+    # ordering preserved: data-aware still beats data-blind under noise
+    assert makespan("rest.2", True) < makespan("workqueue", True)
+    # and the absolute weather penalty is smaller for the scheduler
+    # that moves fewer bytes
+    rest_penalty = makespan("rest.2", True) - makespan("rest.2", False)
+    fifo_penalty = makespan("workqueue", True) \
+        - makespan("workqueue", False)
+    assert rest_penalty < fifo_penalty

@@ -1,0 +1,41 @@
+"""Ablation: serial vs parallel data-server service (assumption 3).
+
+The paper's system model serves batch requests "one by one", arguing
+this is more efficient than simultaneous requests given bandwidth
+limits.  With in-flight transfer deduplication, mild parallelism
+overlaps one batch's tail with another's head without refetching, so
+the honest expectation is: no transfer inflation, and a modest (not
+dramatic) makespan effect either way.  Asserted accordingly.
+"""
+
+from repro.exp.figures import ablation_data_server_parallelism
+from repro.exp.report import format_sweep_table
+
+
+def test_ablation_data_server_parallelism(benchmark, scale, artifact):
+    sweep = benchmark.pedantic(
+        lambda: ablation_data_server_parallelism(scale),
+        rounds=1, iterations=1)
+    artifact("ablation_data_server_parallelism", "\n\n".join([
+        format_sweep_table(
+            sweep, metric="makespan_minutes",
+            title=f"Ablation: data-server parallelism (rest.2, 4 "
+                  f"workers/site), makespan (minutes) "
+                  f"[scale={scale.name}]"),
+        format_sweep_table(
+            sweep, metric="file_transfers", value_format="{:>12.0f}",
+            title="Same sweep: total # file transfers"),
+    ]))
+
+    scheduler = sweep.schedulers[0]
+    serial = sweep.cell(scheduler, 1)
+    for k in sweep.values[1:]:
+        parallel = sweep.cell(scheduler, k)
+        # dedup means parallel service must not inflate transfers
+        assert parallel.file_transfers <= serial.file_transfers * 1.05, \
+            f"parallelism={k} must not refetch files"
+        # and the makespan effect is bounded either way (assumption 3
+        # is a reasonable simplification, not a cliff)
+        ratio = parallel.makespan / serial.makespan
+        assert 0.6 <= ratio <= 1.4, \
+            f"parallelism={k}: makespan ratio {ratio:.2f} out of band"

@@ -1,0 +1,35 @@
+"""Extension bench: inter-job data reuse across a multi-pass campaign.
+
+Not a paper artifact — it reproduces the *setting* of the
+storage-affinity paper [14] (sequences of overlapping jobs) under
+worker-centric scheduling, asserting that warm site caches cut later
+passes' transfers and runtimes.
+"""
+
+from repro.exp import ExperimentConfig, run_campaign
+from repro.workload import coadd_campaign
+from repro.workload.coadd import CoaddParams
+
+
+def test_campaign_interjob_reuse(benchmark, scale, artifact):
+    tasks_per_pass = max(60, scale.num_tasks // 3)
+    campaign = coadd_campaign(CoaddParams(num_tasks=tasks_per_pass),
+                              num_jobs=3, seed=4)
+    config = ExperimentConfig(scheduler="rest.2", num_tasks=1,
+                              capacity_files=scale.capacity_default * 2)
+
+    result = benchmark.pedantic(
+        lambda: run_campaign(config, campaign), rounds=1, iterations=1)
+
+    lines = [f"Campaign reuse (3 passes x {tasks_per_pass} tasks, "
+             f"rest.2, scale={scale.name})"]
+    for pass_result in result.passes:
+        lines.append(f"  {pass_result.name}: "
+                     f"{pass_result.duration_minutes:8.1f} min  "
+                     f"{pass_result.transfers_in_period:6d} transfers")
+    artifact("campaign_interjob_reuse", "\n".join(lines))
+
+    first, *rest = result.passes
+    for later in rest:
+        assert later.transfers_in_period < 0.6 * first.transfers_in_period
+        assert later.duration < first.duration

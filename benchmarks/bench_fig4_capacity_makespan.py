@@ -1,0 +1,39 @@
+"""Figure 4: makespan vs data-server capacity, all six algorithms.
+
+Paper shapes asserted:
+* randomized worker-centric variants are the best overall;
+* storage affinity is hurt most at the smallest capacity (premature
+  scheduling decisions) and becomes comparable as capacity grows;
+* worker-centric curves are comparatively flat in capacity.
+"""
+
+from repro.exp.report import format_sweep_table
+
+
+def test_fig4_capacity_makespan(benchmark, scale, artifact,
+                                fig4_fig5_sweep):
+    sweep = benchmark.pedantic(lambda: fig4_fig5_sweep, rounds=1,
+                               iterations=1)
+    artifact("fig4_capacity_makespan", format_sweep_table(
+        sweep, metric="makespan_minutes",
+        title=f"Figure 4: makespan (minutes) vs capacity "
+              f"[scale={scale.name}]"))
+
+    smallest, largest = sweep.values[0], sweep.values[-1]
+
+    def makespan(name, value):
+        return sweep.cell(name, value).makespan_minutes
+
+    # Storage affinity suffers at small capacity relative to itself.
+    sa_degradation = makespan("storage-affinity", smallest) \
+        / makespan("storage-affinity", largest)
+    rest2_degradation = makespan("rest.2", smallest) \
+        / makespan("rest.2", largest)
+    assert sa_degradation > rest2_degradation, \
+        "premature scheduling decisions must hurt storage affinity most"
+
+    # Worker-centric randomized variants win at the smallest capacity.
+    best_random = min(makespan("rest.2", smallest),
+                      makespan("combined.2", smallest))
+    assert best_random <= makespan("storage-affinity", smallest)
+    assert best_random <= makespan("overlap", smallest)

@@ -1,0 +1,35 @@
+"""Figure 5: number of file transfers (per data server) vs capacity.
+
+Shares the Figure 4 sweep.  Paper shapes asserted:
+* `overlap` needs more transfers than `rest`/`combined` (it never
+  minimizes the missing-file count);
+* transfer counts do not increase with capacity.
+"""
+
+from repro.exp.report import format_sweep_table
+
+
+def test_fig5_capacity_transfers(benchmark, scale, artifact,
+                                 fig4_fig5_sweep):
+    sweep = benchmark.pedantic(lambda: fig4_fig5_sweep, rounds=1,
+                               iterations=1)
+    num_sites = sweep.base.num_sites
+
+    artifact("fig5_capacity_transfers", format_sweep_table(
+        sweep,
+        transform=lambda cell: cell.file_transfers / num_sites,
+        title=f"Figure 5: # file transfers per data server vs capacity "
+              f"[scale={scale.name}]"))
+
+    def transfers(name, value):
+        return sweep.cell(name, value).file_transfers
+
+    for capacity in sweep.values:
+        assert transfers("overlap", capacity) \
+            >= transfers("rest", capacity), \
+            f"overlap must not beat rest on transfers at {capacity}"
+
+    for name in sweep.schedulers:
+        assert transfers(name, sweep.values[-1]) \
+            <= transfers(name, sweep.values[0]) * 1.05, \
+            f"{name}: transfers should not grow with capacity"

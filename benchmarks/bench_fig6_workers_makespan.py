@@ -1,0 +1,43 @@
+"""Figure 6: makespan vs number of workers per site.
+
+Paper shapes asserted:
+* adding workers per site never buys proportional speedup — the serial
+  data server is the bottleneck, and "in some cases, the performance is
+  worse with more workers!" (Section 5.5); curves flatten or rise;
+* storage affinity does *relatively* better at high worker counts
+  (replication soaks up idle workers), worker-centric metrics at low
+  counts — exactly the paper's crossover.
+"""
+
+from repro.exp.figures import fig6
+from repro.exp.report import format_sweep_table
+
+
+def test_fig6_workers_makespan(benchmark, scale, artifact):
+    sweep = benchmark.pedantic(lambda: fig6(scale), rounds=1,
+                               iterations=1)
+    artifact("fig6_workers_makespan", format_sweep_table(
+        sweep, metric="makespan_minutes",
+        title=f"Figure 6: makespan (minutes) vs workers per site "
+              f"[scale={scale.name}]"))
+
+    low, high = sweep.values[0], sweep.values[-1]
+
+    for name in sweep.schedulers:
+        makespans = dict(sweep.series(name))
+        # Worker scaling is far from proportional: the serial data
+        # server bottlenecks, so going low -> high workers must gain
+        # much less than the worker ratio (flat and *rising* curves,
+        # which the paper also observes, trivially satisfy this).
+        assert makespans[low] / makespans[high] < 0.7 * high / low, \
+            f"{name}: speedup must stay well below the worker ratio"
+
+    def cell(name, value):
+        return sweep.cell(name, value).makespan_minutes
+
+    # Storage affinity is relatively better at many workers than at few
+    # (paper: 'storage affinity performs well with larger numbers of
+    # workers').
+    relative_low = cell("storage-affinity", low) / cell("rest.2", low)
+    relative_high = cell("storage-affinity", high) / cell("rest.2", high)
+    assert relative_high <= relative_low * 1.25

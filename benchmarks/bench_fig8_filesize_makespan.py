@@ -1,0 +1,35 @@
+"""Figure 8: makespan vs file size (5 / 25 / 50 MB).
+
+Paper shapes asserted:
+* makespan grows roughly linearly with file size (the application is
+  network-bound, so bytes dominate);
+* the algorithm ordering is preserved across sizes (no crossovers of
+  the headline comparison: randomized worker-centric vs the rest).
+"""
+
+from repro.exp.figures import fig8
+from repro.exp.report import format_sweep_table
+
+
+def test_fig8_filesize_makespan(benchmark, scale, artifact):
+    sweep = benchmark.pedantic(lambda: fig8(scale), rounds=1,
+                               iterations=1)
+    artifact("fig8_filesize_makespan", format_sweep_table(
+        sweep, metric="makespan_minutes",
+        title=f"Figure 8: makespan (minutes) vs file size (MB) "
+              f"[scale={scale.name}]"))
+
+    small, large = sweep.values[0], sweep.values[-1]
+    ratio_sizes = large / small
+    for name in sweep.schedulers:
+        makespans = dict(sweep.series(name))
+        growth = makespans[large] / makespans[small]
+        # near-linear growth: within a factor-2 band of proportionality
+        assert 0.4 * ratio_sizes <= growth <= 1.6 * ratio_sizes, \
+            f"{name}: makespan growth {growth:.2f} not ~linear in size"
+
+    # best randomized worker-centric stays ahead of overlap at every size
+    for size in sweep.values:
+        best = min(sweep.cell("rest.2", size).makespan_minutes,
+                   sweep.cell("combined.2", size).makespan_minutes)
+        assert best <= sweep.cell("overlap", size).makespan_minutes * 1.02

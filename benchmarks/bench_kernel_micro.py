@@ -1,0 +1,98 @@
+"""Microbenchmarks: DES event throughput and flow-network updates.
+
+Not a paper artifact — capacity planning for the harness itself (how
+big a campaign fits in a coffee break).
+"""
+
+from repro.net import FlowNetwork, Topology
+from repro.sim import Environment, Store
+
+
+def test_timeout_throughput(benchmark):
+    """Raw event scheduling + dispatch rate."""
+
+    def run_events():
+        env = Environment()
+        count = [0]
+
+        def bump(_event):
+            count[0] += 1
+
+        for i in range(5000):
+            env.timeout(float(i % 97)).add_callback(bump)
+        env.run()
+        return count[0]
+
+    assert benchmark(run_events) == 5000
+
+
+def test_process_switch_throughput(benchmark):
+    """Generator-process ping-pong via a Store."""
+
+    def run_pingpong():
+        env = Environment()
+        store = Store(env)
+        received = [0]
+
+        def producer(env):
+            for i in range(1000):
+                store.put(i)
+                yield env.timeout(0.001)
+
+        def consumer(env):
+            for _ in range(1000):
+                yield store.get()
+                received[0] += 1
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return received[0]
+
+    assert benchmark(run_pingpong) == 1000
+
+
+def test_flow_network_churn(benchmark):
+    """Sequential transfers over a shared 3-hop path (rate recompute)."""
+    topo = Topology()
+    names = ["a", "r1", "r2", "b"]
+    for name in names:
+        topo.add_node(name)
+    for left, right in zip(names, names[1:]):
+        topo.add_link(left, right, bandwidth=100.0, latency=0.001)
+
+    def run_transfers():
+        env = Environment()
+        net = FlowNetwork(env, topo)
+
+        def sender(env):
+            for _ in range(300):
+                yield net.transfer("a", "b", 50.0)
+
+        env.process(sender(env))
+        env.run()
+        return net.completed_transfers
+
+    assert benchmark(run_transfers) == 300
+
+
+def test_concurrent_flow_recompute(benchmark):
+    """Many concurrent flows forcing repeated max-min recomputation."""
+    topo = Topology()
+    topo.add_node("hub")
+    leaves = []
+    for i in range(10):
+        leaf = topo.add_node(f"leaf{i}")
+        topo.add_link("hub", leaf, bandwidth=10.0, latency=0.001)
+        leaves.append(leaf)
+
+    def run_star():
+        env = Environment()
+        net = FlowNetwork(env, topo)
+        for round_index in range(5):
+            for leaf in leaves:
+                net.transfer("hub", leaf, 25.0 * (round_index + 1))
+        env.run()
+        return net.completed_transfers
+
+    assert benchmark(run_star) == 50

@@ -1,0 +1,53 @@
+"""Extension bench: the whole related-work lineage head to head.
+
+One table with every scheduling family the paper discusses (Sections
+3-6): the worker-centric strategies, storage affinity, the MCT
+heuristics (XSufferage / MinMin / MaxMin), offline spatial clustering,
+and the data-blind anchors.  Asserted shape: every data-aware strategy
+beats the data-blind anchors; MaxMin (weak locality) trails the
+locality-aware MCT members.
+"""
+
+from repro.exp.runner import build_job, run_averaged
+from repro.exp.sweep import run_sweep
+from repro.exp.report import format_sweep_table
+
+LINEUP = (
+    "rest.2", "combined.2", "storage-affinity", "xsufferage",
+    "minmin", "maxmin", "spatial-clustering", "workqueue", "random",
+)
+
+
+def test_related_work_shootout(benchmark, scale, artifact):
+    base = scale.base_config()
+    sweep = benchmark.pedantic(
+        lambda: run_sweep(base, "capacity_files",
+                          (scale.capacity_default,), LINEUP,
+                          topology_seeds=scale.topology_seeds),
+        rounds=1, iterations=1)
+    artifact("related_work_shootout", "\n\n".join([
+        format_sweep_table(
+            sweep, metric="makespan_minutes",
+            title=f"Related-work shootout, makespan (minutes) "
+                  f"[scale={scale.name}]"),
+        format_sweep_table(
+            sweep,
+            transform=lambda cell: cell.file_transfers
+            / sweep.base.num_sites,
+            title="Same runs: # file transfers per data server"),
+    ]))
+
+    capacity = scale.capacity_default
+
+    def makespan(name):
+        return sweep.cell(name, capacity).makespan_minutes
+
+    data_aware = ("rest.2", "combined.2", "storage-affinity",
+                  "xsufferage", "minmin", "spatial-clustering")
+    for name in data_aware:
+        assert makespan(name) < makespan("workqueue"), \
+            f"{name} must beat the FIFO anchor"
+        assert makespan(name) < makespan("random"), \
+            f"{name} must beat the random anchor"
+    assert makespan("xsufferage") <= makespan("maxmin"), \
+        "sufferage should not lose to locality-blind MaxMin"

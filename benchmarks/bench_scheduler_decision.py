@@ -1,0 +1,74 @@
+"""Microbenchmark: scheduling-decision latency per policy.
+
+Measures the cost of one `next_task` decision on a mid-run grid state
+for each worker-centric metric, and the one-off cost of storage
+affinity's initial distribution — the practical side of the paper's
+O(T*I) vs O(T*I*S) complexity comparison (Section 4.4).
+"""
+
+import random
+
+import pytest
+
+from repro.core.registry import create_scheduler
+from repro.exp import ExperimentConfig
+from repro.exp.runner import build_grid, build_job
+
+TASKS = 800
+
+
+@pytest.fixture(scope="module")
+def job():
+    return build_job(ExperimentConfig(num_tasks=TASKS, num_sites=4))
+
+
+def warmed_grid(job, scheduler):
+    config = ExperimentConfig(num_tasks=TASKS, num_sites=4,
+                              capacity_files=1500)
+    grid = build_grid(config, job)
+    grid.attach_scheduler(scheduler)
+    # advance the simulation until ~1/4 of the tasks completed, so the
+    # decision runs against a realistic warm state
+    target = TASKS // 4
+    while scheduler.tasks_remaining > TASKS - target and len(grid.env):
+        grid.env.step()
+    return grid
+
+
+@pytest.mark.parametrize("metric", ["overlap", "rest", "combined"])
+def test_decision_latency(benchmark, job, metric):
+    scheduler = create_scheduler(metric, job, random.Random(0))
+    grid = warmed_grid(job, scheduler)
+    worker = grid.workers[0]
+
+    def one_decision():
+        task = scheduler._choose(worker)
+        # undo nothing: _choose does not mutate pending
+        return task
+
+    task = benchmark(one_decision)
+    assert task is not None
+
+
+@pytest.mark.parametrize("metric", ["rest", "combined"])
+def test_naive_decision_latency(benchmark, job, metric):
+    """The verbatim Figure-2 O(T*I) rescan, for the speedup headline."""
+    scheduler = create_scheduler(f"naive-wc:{metric}:1", job,
+                                 random.Random(0))
+    grid = warmed_grid(job, scheduler)
+    worker = grid.workers[0]
+    task = benchmark(lambda: scheduler._choose(worker))
+    assert task is not None
+
+
+def test_storage_affinity_initial_distribution(benchmark, job):
+    def distribute():
+        scheduler = create_scheduler("storage-affinity", job,
+                                     random.Random(0))
+        config = ExperimentConfig(num_tasks=TASKS, num_sites=4,
+                                  capacity_files=1500)
+        grid = build_grid(config, job)
+        grid.attach_scheduler(scheduler)  # triggers the distribution
+        return sum(scheduler.initial_site_load)
+
+    assert benchmark(distribute) == TASKS

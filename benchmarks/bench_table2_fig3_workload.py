@@ -1,0 +1,56 @@
+"""Table 2 + Figures 1/3: Coadd workload characterization.
+
+Regenerates the paper's workload statistics block (Table 2) and the
+reference-count CDF (Figure 3) for the scaled Coadd instance, and
+checks the calibration tolerances hold at full 6,000-task scale.
+"""
+
+import pytest
+
+from repro.workload import (COADD_6000, CoaddParams, characterize,
+                            generate_coadd, reference_cdf_series)
+
+
+def test_table2_fig3(benchmark, scale, artifact):
+    params = CoaddParams(num_tasks=scale.num_tasks)
+
+    def build_and_characterize():
+        return characterize(generate_coadd(params, seed=0))
+
+    stats = benchmark.pedantic(build_and_characterize, rounds=3,
+                               iterations=1)
+    lines = [f"Table 2 (Coadd, {scale.num_tasks} tasks, scale="
+             f"{scale.name})", stats.as_table(), "",
+             "Figure 3: file access CDF (x = min #references, "
+             "y = % of files)"]
+    for refs, percent in reference_cdf_series(stats):
+        lines.append(f"  >= {refs:2d} refs: {percent:5.1f}%")
+    artifact("table2_fig3_workload", "\n".join(lines))
+    assert stats.num_tasks == scale.num_tasks
+
+
+def test_table2_calibration_full_6000(benchmark, artifact):
+    """The flagship calibration: the 6,000-task instance vs Table 2."""
+    stats = benchmark.pedantic(
+        lambda: characterize(generate_coadd(COADD_6000, seed=0)),
+        rounds=1, iterations=1)
+    paper = {"total_files": 53390, "min": 36, "max": 101, "avg": 78.4327,
+             "frac_ge_6": 0.85}
+    lines = [
+        "Table 2 calibration: paper vs generated (6000 tasks)",
+        f"  total files : {paper['total_files']:>8d} vs "
+        f"{stats.total_files:>8d}",
+        f"  min / task  : {paper['min']:>8d} vs "
+        f"{stats.min_files_per_task:>8d}",
+        f"  max / task  : {paper['max']:>8d} vs "
+        f"{stats.max_files_per_task:>8d}",
+        f"  avg / task  : {paper['avg']:>8.2f} vs "
+        f"{stats.avg_files_per_task:>8.2f}",
+        f"  frac >= 6   : {paper['frac_ge_6']:>8.2f} vs "
+        f"{stats.fraction_referenced_at_least(6):>8.2f}",
+    ]
+    artifact("table2_calibration_6000", "\n".join(lines))
+    assert stats.total_files == pytest.approx(53390, rel=0.02)
+    assert stats.avg_files_per_task == pytest.approx(78.43, rel=0.03)
+    assert stats.fraction_referenced_at_least(6) == pytest.approx(
+        0.85, abs=0.04)

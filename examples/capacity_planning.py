@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Capacity planning: how much disk does each data server need?
+
+The Figure 4 question, asked the way an operator would: for the
+scheduler you picked, sweep the per-site storage capacity and find the
+knee — the smallest capacity whose makespan is within 5% of the
+asymptote.  Also reports eviction counts, the early-warning signal for
+undersized caches, and contrasts a pull scheduler against the
+task-centric baseline (whose stale queue assignments punish small
+caches hardest).
+
+    python examples/capacity_planning.py
+"""
+
+from repro.exp import ExperimentConfig, run_sweep
+from repro.exp.report import format_sweep_table
+
+CAPACITIES = (200, 300, 600, 1200, 2400)
+SCHEDULERS = ("rest.2", "storage-affinity")
+
+
+def find_knee(series, tolerance=0.05):
+    """Smallest x whose y is within `tolerance` of the final value."""
+    asymptote = series[-1][1]
+    for x, y in series:
+        if y <= asymptote * (1 + tolerance):
+            return x
+    return series[-1][0]
+
+
+def main():
+    base = ExperimentConfig(num_tasks=600)
+    print("Sweeping data-server capacity (600 Coadd tasks, 10 sites)\n")
+    sweep = run_sweep(base, "capacity_files", CAPACITIES, SCHEDULERS,
+                      topology_seeds=(0,))
+
+    print(format_sweep_table(
+        sweep, metric="makespan_minutes",
+        title="makespan (minutes) vs capacity (files)"))
+    print()
+    print(format_sweep_table(
+        sweep, metric="evictions", value_format="{:>12.0f}",
+        title="LRU evictions vs capacity (files)"))
+
+    print()
+    for name in SCHEDULERS:
+        knee = find_knee(sweep.series(name))
+        print(f"  {name:<18s} capacity knee ~ {knee} files "
+              f"({knee * 25 / 1024:.1f} GiB at 25 MB/file)")
+
+    small, large = CAPACITIES[0], CAPACITIES[-1]
+    for name in SCHEDULERS:
+        penalty = (sweep.cell(name, small).makespan
+                   / sweep.cell(name, large).makespan - 1)
+        print(f"  {name:<18s} small-cache penalty: {penalty:+.0%}")
+
+
+if __name__ == "__main__":
+    main()

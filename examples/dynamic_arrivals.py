@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Asynchronous job arrivals: the online scenario offline planners miss.
+
+The paper notes that Spatial Clustering "cannot handle new jobs
+arriving asynchronously" while worker-centric scheduling needs no
+change at all — arriving tasks just join the pending set.  This example
+stages an observing campaign where coaddition work lands in waves (as
+imaging runs finish), and compares:
+
+* `rest.2` ingesting each wave the moment it arrives, vs
+* the same scheduler with all waves known upfront (the offline bound),
+* and FIFO workqueue under the same arrivals (locality-blind).
+
+    python examples/dynamic_arrivals.py
+"""
+
+import random
+
+from repro.core import WorkerCentricScheduler, WorkqueueScheduler
+from repro.exp import ExperimentConfig
+from repro.exp.runner import build_grid, build_job
+from repro.grid import JobArrivalProcess, jittered_arrivals
+from repro.sim import Environment
+
+TASKS = 400
+WAVES = 4
+INTERVAL = 1800.0  # a new imaging run lands every 30 simulated minutes
+
+
+def run(job, config, scheduler_factory, schedule=None):
+    grid = build_grid(config, job)
+    if schedule is None:
+        scheduler = scheduler_factory(job, None)
+    else:
+        scheduler = scheduler_factory(job,
+                                      schedule.initial_task_ids(job))
+    grid.attach_scheduler(scheduler)
+    if schedule is not None:
+        JobArrivalProcess(grid, schedule)
+    outcome = grid.run()
+    return outcome
+
+
+def main():
+    config = ExperimentConfig(num_tasks=TASKS, capacity_files=600)
+    job = build_job(config)
+    schedule = jittered_arrivals(job, num_batches=WAVES,
+                                 interval=INTERVAL,
+                                 rng=random.Random(7))
+    print(f"{TASKS} Coadd tasks arriving in {WAVES} waves, "
+          f"~{INTERVAL / 60:.0f} min apart\n")
+
+    def rest2(job, initial):
+        return WorkerCentricScheduler(job, "rest", 2, random.Random(0),
+                                      initial_task_ids=initial)
+
+    def fifo(job, initial):
+        return WorkqueueScheduler(job, initial_task_ids=initial)
+
+    online = run(job, config, rest2, schedule)
+    offline = run(job, config, rest2, None)
+    blind = run(job, config, fifo, schedule)
+
+    rows = [
+        ("rest.2, online arrivals", online),
+        ("rest.2, all known upfront", offline),
+        ("workqueue, online arrivals", blind),
+    ]
+    for label, outcome in rows:
+        print(f"  {label:<28s} makespan {outcome.makespan / 60:8.1f} min"
+              f"   transfers {outcome.file_transfers:6d}")
+
+    overhead = online.makespan / offline.makespan - 1
+    last_wave = schedule.batches[-1][0] / 60
+    print(f"\nOnline ingestion costs {overhead:+.0%} vs the offline "
+          f"bound (last wave lands at t={last_wave:.0f} min).")
+    print("Data-aware pull scheduling keeps its transfer advantage "
+          f"({blind.file_transfers / online.file_transfers:.1f}x fewer "
+          f"transfers than FIFO) with zero algorithm changes.")
+
+
+if __name__ == "__main__":
+    main()

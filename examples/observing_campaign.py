@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Multi-pass observing campaign: inter-job data reuse.
+
+Santos-Neto et al. motivate storage affinity with *sequences* of jobs
+whose inputs overlap — data cached by one job accelerates the next.
+This example runs a 3-pass coaddition campaign (each pass re-processes
+the same stripe with different calibration) under worker-centric
+scheduling and shows the warm-cache effect per pass, plus what happens
+when the caches are too small to carry state across passes.
+
+    python examples/observing_campaign.py
+"""
+
+from repro.exp import ExperimentConfig, run_campaign
+from repro.workload import coadd_campaign
+from repro.workload.coadd import CoaddParams
+
+PASSES = 3
+TASKS_PER_PASS = 200
+
+
+def report(label, result):
+    print(f"{label}:")
+    for pass_result in result.passes:
+        print(f"  {pass_result.name}: "
+              f"{pass_result.duration_minutes:7.1f} min, "
+              f"{pass_result.transfers_in_period:5d} transfers")
+    print(f"  total makespan {result.makespan_minutes:.1f} min, "
+          f"{result.file_transfers} transfers\n")
+    return result
+
+
+def main():
+    campaign = coadd_campaign(CoaddParams(num_tasks=TASKS_PER_PASS),
+                              num_jobs=PASSES, seed=11)
+    print(f"{PASSES}-pass campaign, {TASKS_PER_PASS} tasks/pass, "
+          f"{len(campaign.job.catalog)} distinct files\n")
+
+    warm = report(
+        "rest.2, ample caches (1500 files/site)",
+        run_campaign(ExperimentConfig(scheduler="rest.2", num_tasks=1,
+                                      capacity_files=1500), campaign))
+    cold = report(
+        "rest.2, tiny caches (250 files/site)",
+        run_campaign(ExperimentConfig(scheduler="rest.2", num_tasks=1,
+                                      capacity_files=250), campaign))
+
+    warm_tail = sum(p.transfers_in_period for p in warm.passes[1:])
+    cold_tail = sum(p.transfers_in_period for p in cold.passes[1:])
+    print(f"Warm caches serve later passes with "
+          f"{1 - warm_tail / max(1, cold_tail):.0%} fewer transfers than "
+          f"thrashing caches — inter-job reuse is a cache-capacity "
+          f"story, no scheduler change needed.")
+
+
+if __name__ == "__main__":
+    main()

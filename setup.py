@@ -1,0 +1,26 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+This shim lets ``pip install -e . --no-use-pep517`` take the legacy
+``setup.py develop`` path.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=[
+        "repro",
+        "repro.sim",
+        "repro.net",
+        "repro.grid",
+        "repro.workload",
+        "repro.core",
+        "repro.exp",
+        "repro.analysis",
+    ],
+    python_requires=">=3.9",
+)

@@ -1,0 +1,50 @@
+"""Analysis: trace bus, metric extraction, comparison, ASCII charts."""
+
+from .bounds import MakespanBounds, compute_bounds, efficiency
+from .export import export_trace, import_trace, iter_trace
+from .compare import (RankedAlgorithm, SampleSummary, format_ranking,
+                      rank_algorithms, significantly_less, summarize,
+                      welch_t)
+from .plotting import ascii_chart, chart_sweep
+from .metrics import (aggregate_sites, load_imbalance, site_task_counts,
+                      summarize_sites, worker_utilization)
+from .timeline import Span, gantt, phase_totals, worker_spans
+from .trace import (BatchServed, FileEvicted, FileTransferred, TaskAssigned,
+                    TaskCancelled, TaskCompleted, TaskStarted, TraceBus,
+                    TraceRecord)
+
+__all__ = [
+    "BatchServed",
+    "MakespanBounds",
+    "compute_bounds",
+    "efficiency",
+    "export_trace",
+    "import_trace",
+    "iter_trace",
+    "RankedAlgorithm",
+    "SampleSummary",
+    "ascii_chart",
+    "chart_sweep",
+    "format_ranking",
+    "rank_algorithms",
+    "Span",
+    "aggregate_sites",
+    "gantt",
+    "load_imbalance",
+    "site_task_counts",
+    "summarize_sites",
+    "worker_utilization",
+    "phase_totals",
+    "significantly_less",
+    "summarize",
+    "worker_spans",
+    "welch_t",
+    "FileEvicted",
+    "FileTransferred",
+    "TaskAssigned",
+    "TaskCancelled",
+    "TaskCompleted",
+    "TaskStarted",
+    "TraceBus",
+    "TraceRecord",
+]

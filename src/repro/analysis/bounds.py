@@ -1,0 +1,99 @@
+"""Analytic makespan lower bounds.
+
+How good is a scheduler in absolute terms?  Three cheap bounds below
+any feasible schedule:
+
+* **bandwidth bound** — every referenced file must cross the file
+  server's uplink at least once: ``unique bytes / server uplink``.
+  Per-site: each site must at least pull the files of the tasks it
+  runs; with free placement the best case is a perfect partition, so
+  ``unique bytes / (num_sites × site uplink)`` also holds when site
+  uplinks are the bottleneck.
+* **compute bound** — total flops over the grid's aggregate speed.
+* **critical-task bound** — some task must run somewhere: the minimum
+  over workers of (its batch transfer + compute) for the heaviest task
+  is a weak but honest floor.
+
+``efficiency(result)`` = bound / achieved — the fraction of the
+theoretical floor a run reached (1.0 is unreachable in practice because
+sharing is imperfect and transfers serialize).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass
+from typing import Optional
+
+from ..grid.job import Job
+
+if typing.TYPE_CHECKING:  # pragma: no cover - layering: exp imports
+    # analysis (trace bus), so exp types are only imported lazily here.
+    from ..exp.config import ExperimentConfig
+    from ..exp.runner import ExperimentResult
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """Lower bounds on any schedule of a (job, grid) pair."""
+
+    bandwidth_bound: float
+    compute_bound: float
+    critical_task_bound: float
+
+    @property
+    def best(self) -> float:
+        """The tightest (largest) of the bounds."""
+        return max(self.bandwidth_bound, self.compute_bound,
+                   self.critical_task_bound)
+
+
+def compute_bounds(config: "ExperimentConfig",
+                   job: Optional[Job] = None) -> MakespanBounds:
+    """Analytic lower bounds for ``config``'s job on its grid."""
+    from ..exp.runner import build_grid, build_job  # lazy: layering
+    if job is None:
+        job = build_job(config)
+    grid = build_grid(config, job)
+    topology = grid.network.topology
+    catalog = job.catalog
+
+    unique_bytes = catalog.total_bytes(job.referenced_files)
+    server_route_bw = min(
+        (link.bandwidth
+         for link in topology._adjacency[grid.file_server.node]),
+        default=float("inf"))
+    site_bws = []
+    for site in grid.sites:
+        route = topology.route(grid.file_server.node, site.gateway)
+        site_bws.append(route.bottleneck_bandwidth)
+    aggregate_site_bw = sum(site_bws)
+    bandwidth_bound = unique_bytes / min(server_route_bw,
+                                         aggregate_site_bw)
+
+    total_flops = sum(task.flops for task in job)
+    aggregate_speed = sum(worker.flops_per_second
+                          for worker in grid.workers)
+    compute_bound = total_flops / aggregate_speed if aggregate_speed \
+        else 0.0
+
+    heaviest = max(job, key=lambda t: catalog.total_bytes(t.files))
+    heaviest_bytes = catalog.total_bytes(heaviest.files)
+    best_case = float("inf")
+    for site, bw in zip(grid.sites, site_bws):
+        fastest = max(w.flops_per_second for w in site.workers)
+        best_case = min(best_case,
+                        heaviest_bytes / bw + heaviest.flops / fastest)
+    return MakespanBounds(bandwidth_bound=bandwidth_bound,
+                          compute_bound=compute_bound,
+                          critical_task_bound=best_case)
+
+
+def efficiency(result: "ExperimentResult",
+               bounds: Optional[MakespanBounds] = None) -> float:
+    """Fraction of the analytic floor the run achieved, in (0, 1]."""
+    if bounds is None:
+        bounds = compute_bounds(result.config)
+    if result.makespan <= 0:
+        raise ValueError("result has no makespan")
+    return bounds.best / result.makespan

@@ -1,0 +1,69 @@
+"""Trace export/import (JSON lines).
+
+Kept traces can be large and are Python objects; exporting them as
+JSONL makes runs inspectable with standard tooling (jq, pandas) and
+lets analyses run long after the simulation object graph is gone.
+Records round-trip exactly: every dataclass field is stored by name
+with a ``type`` discriminator.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator, List, Type, Union
+
+from . import trace as trace_module
+from .trace import TraceBus, TraceRecord
+
+#: type-name -> record class, discovered from the trace module.
+RECORD_TYPES = {
+    cls.__name__: cls
+    for cls in vars(trace_module).values()
+    if isinstance(cls, type) and issubclass(cls, TraceRecord)
+    and cls is not TraceRecord
+}
+
+
+def record_to_dict(record: TraceRecord) -> dict:
+    data = dataclasses.asdict(record)
+    data["type"] = type(record).__name__
+    return data
+
+
+def record_from_dict(data: dict) -> TraceRecord:
+    data = dict(data)
+    type_name = data.pop("type", None)
+    cls = RECORD_TYPES.get(type_name)
+    if cls is None:
+        raise ValueError(f"unknown trace record type {type_name!r}")
+    return cls(**data)
+
+
+def export_trace(trace: TraceBus, path: Union[str, Path]) -> int:
+    """Write every kept record to ``path``; returns the record count."""
+    path = Path(path)
+    count = 0
+    with path.open("w") as handle:
+        for record in trace.records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records back from a :func:`export_trace` file."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield record_from_dict(json.loads(line))
+
+
+def import_trace(path: Union[str, Path]) -> TraceBus:
+    """Load a whole exported trace into a fresh :class:`TraceBus`."""
+    bus = TraceBus(keep=True)
+    for record in iter_trace(path):
+        bus.emit(record)
+    return bus

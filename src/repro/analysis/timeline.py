@@ -1,0 +1,122 @@
+"""Worker activity timelines (ASCII Gantt) from kept traces.
+
+Reconstructs, per worker, the intervals spent in each phase:
+
+* ``fetch`` — between assignment and compute start (waiting at the data
+  server + transfer time),
+* ``compute`` — between start and completion,
+* cancelled work shows as ``fetch`` that never reaches ``compute``.
+
+and renders them as a character Gantt chart, one row per worker.  A
+makespan dominated by ``.`` (idle) rows pinpoints stragglers; long
+``-`` (fetch) stretches pinpoint data-server queues — the two effects
+the paper's Figure 6 / Table 3 discussion revolves around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .trace import (TaskAssigned, TaskCancelled, TaskCompleted,
+                    TaskStarted, TraceBus)
+
+#: Phase glyphs.
+IDLE, FETCH, COMPUTE = ".", "-", "#"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity interval on a worker."""
+
+    task_id: int
+    phase: str           #: "fetch" or "compute"
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def worker_spans(trace: TraceBus) -> Dict[str, List[Span]]:
+    """Per-worker activity spans, reconstructed from a kept trace."""
+    spans: Dict[str, List[Span]] = {}
+    fetch_start: Dict[Tuple[str, int], float] = {}
+    compute_start: Dict[Tuple[str, int], float] = {}
+    for record in trace.records:
+        if isinstance(record, TaskAssigned):
+            fetch_start[(record.worker, record.task_id)] = record.time
+        elif isinstance(record, TaskStarted):
+            key = (record.worker, record.task_id)
+            begin = fetch_start.pop(key, None)
+            if begin is not None and record.time > begin:
+                spans.setdefault(record.worker, []).append(
+                    Span(record.task_id, "fetch", begin, record.time))
+            compute_start[key] = record.time
+        elif isinstance(record, TaskCompleted):
+            key = (record.worker, record.task_id)
+            begin = compute_start.pop(key, None)
+            if begin is not None:
+                spans.setdefault(record.worker, []).append(
+                    Span(record.task_id, "compute", begin, record.time))
+        elif isinstance(record, TaskCancelled):
+            key = (record.worker, record.task_id)
+            begin = fetch_start.pop(key, None)
+            if begin is None:
+                begin = compute_start.pop(key, None)
+            if begin is not None and record.time > begin:
+                spans.setdefault(record.worker, []).append(
+                    Span(record.task_id, "fetch", begin, record.time))
+    for worker_spans_list in spans.values():
+        worker_spans_list.sort(key=lambda span: span.start)
+    return spans
+
+
+def phase_totals(spans: Dict[str, List[Span]],
+                 makespan: float) -> Dict[str, Tuple[float, float, float]]:
+    """Per worker: (idle, fetch, compute) fractions of the makespan."""
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    out: Dict[str, Tuple[float, float, float]] = {}
+    for worker, intervals in spans.items():
+        fetch = sum(s.duration for s in intervals if s.phase == "fetch")
+        compute = sum(s.duration for s in intervals
+                      if s.phase == "compute")
+        idle = max(0.0, makespan - fetch - compute)
+        out[worker] = (idle / makespan, fetch / makespan,
+                       compute / makespan)
+    return out
+
+
+def gantt(trace: TraceBus, makespan: Optional[float] = None,
+          width: int = 72) -> str:
+    """Render the whole run as an ASCII Gantt chart.
+
+    ``#`` compute, ``-`` fetch (queueing + transfers), ``.`` idle.
+    """
+    if width < 10:
+        raise ValueError("width too small")
+    spans = worker_spans(trace)
+    if not spans:
+        raise ValueError("trace holds no task records "
+                         "(was keep_trace enabled?)")
+    if makespan is None:
+        makespan = max(span.end for intervals in spans.values()
+                       for span in intervals)
+    lines: List[str] = []
+    for worker in sorted(spans):
+        row = [IDLE] * width
+        for span in spans[worker]:
+            first = int(span.start / makespan * (width - 1))
+            last = int(span.end / makespan * (width - 1))
+            glyph = COMPUTE if span.phase == "compute" else FETCH
+            for column in range(first, last + 1):
+                # compute wins collisions (it is the useful work)
+                if row[column] != COMPUTE:
+                    row[column] = glyph
+        lines.append(f"{worker:>8s} |{''.join(row)}|")
+    lines.append(f"{'':>8s}  0{'makespan':>{width - 1}s}")
+    lines.append(f"{'':>8s}  {COMPUTE} compute   {FETCH} fetch/wait   "
+                 f"{IDLE} idle")
+    return "\n".join(lines)

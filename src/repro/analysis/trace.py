@@ -1,0 +1,128 @@
+"""Event tracing for simulations.
+
+A :class:`TraceBus` is a lightweight publish/subscribe channel the grid
+components emit structured records into.  Records are plain frozen
+dataclasses with a ``time`` field; analysis code filters by type.
+
+Recording everything is optional — the bus always feeds registered
+listeners, but only stores records when ``keep`` is true, so large
+experiment sweeps can run with counters only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple, Type, TypeVar
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Base class for every trace record."""
+
+    time: float
+
+
+@dataclass(frozen=True)
+class TaskAssigned(TraceRecord):
+    """Scheduler handed a task to a worker (or queued it, task-centric)."""
+
+    task_id: int
+    worker: str
+    site: int
+
+
+@dataclass(frozen=True)
+class TaskStarted(TraceRecord):
+    """All inputs local; compute began."""
+
+    task_id: int
+    worker: str
+    site: int
+
+
+@dataclass(frozen=True)
+class TaskCompleted(TraceRecord):
+    task_id: int
+    worker: str
+    site: int
+
+
+@dataclass(frozen=True)
+class TaskCancelled(TraceRecord):
+    """A replica was cancelled because another copy finished first."""
+
+    task_id: int
+    worker: str
+    site: int
+
+
+@dataclass(frozen=True)
+class FileTransferred(TraceRecord):
+    """One file arrived at a site's data server from the file server."""
+
+    file_id: int
+    site: int
+    size: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class FileEvicted(TraceRecord):
+    file_id: int
+    site: int
+
+
+@dataclass(frozen=True)
+class BatchServed(TraceRecord):
+    """A data server finished serving one batch file request."""
+
+    site: int
+    worker: str
+    num_files: int
+    num_transfers: int
+    waiting_time: float
+    transfer_time: float
+    cancelled: bool
+
+
+R = TypeVar("R", bound=TraceRecord)
+Listener = Callable[[TraceRecord], None]
+
+
+class TraceBus:
+    """Collects and dispatches trace records.
+
+    Parameters
+    ----------
+    keep:
+        When true (default) records are stored in :attr:`records` for
+        post-hoc analysis; listeners fire either way.
+    """
+
+    def __init__(self, keep: bool = True):
+        self.keep = keep
+        self.records: List[TraceRecord] = []
+        self._listeners: Dict[Type[TraceRecord], List[Listener]] = {}
+        self.counts: Dict[str, int] = {}
+
+    def subscribe(self, record_type: Type[R],
+                  listener: Callable[[R], None]) -> None:
+        """Invoke ``listener`` for every record of ``record_type``."""
+        self._listeners.setdefault(record_type, []).append(listener)
+
+    def emit(self, record: TraceRecord) -> None:
+        """Publish one record."""
+        name = type(record).__name__
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if self.keep:
+            self.records.append(record)
+        for listener in self._listeners.get(type(record), ()):
+            listener(record)
+
+    def of_type(self, record_type: Type[R]) -> List[R]:
+        """All stored records of the given type, in emission order."""
+        return [r for r in self.records if isinstance(r, record_type)]
+
+    def count(self, record_type: Type[TraceRecord]) -> int:
+        """Number of emitted records of ``record_type`` (even if unkept)."""
+        return self.counts.get(record_type.__name__, 0)

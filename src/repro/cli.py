@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       one experiment, headline metrics to stdout.
+``compare``   several schedulers on one config, ranked with CIs.
+``sweep``     sweep one config field, table to stdout.
+``workload``  generate + characterize a workload (Table 2 block),
+              optionally saving it to JSON.
+``figures``   regenerate one of the paper's figures/tables by name.
+``reproduce`` regenerate every table and figure into one report.
+
+Examples
+--------
+::
+
+    python -m repro run --scheduler combined.2 --tasks 600
+    python -m repro compare --tasks 400 --schedulers rest.2 workqueue
+    python -m repro sweep --field capacity_files --values 300 600 1500
+    python -m repro workload --tasks 6000 --out coadd.json
+    python -m repro figures --name fig4 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.compare import format_ranking, rank_algorithms
+from .analysis.plotting import chart_sweep
+from .core.registry import PAPER_ALGORITHMS, available_schedulers
+from .exp import figures as figure_defs
+from .exp.config import ExperimentConfig
+from .exp.report import format_sweep_table, format_table3
+from .exp.runner import build_job, run_averaged, run_experiment
+from .exp.sweep import run_sweep
+from .workload.stats import characterize, reference_cdf_series
+from .workload.traces import save_job
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scheduler", default="combined.2",
+                        help="scheduler registry name")
+    parser.add_argument("--tasks", type=int, default=600)
+    parser.add_argument("--sites", type=int, default=10)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--capacity", type=int, default=600)
+    parser.add_argument("--file-size-mb", type=float, default=25.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workload", default="coadd",
+                        choices=["coadd", "uniform", "zipf", "window"])
+    parser.add_argument("--task-order", default="shuffled",
+                        choices=["natural", "shuffled", "striped"])
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scheduler=args.scheduler,
+        num_tasks=args.tasks,
+        num_sites=args.sites,
+        workers_per_site=args.workers,
+        capacity_files=args.capacity,
+        file_size_mb=args.file_size_mb,
+        seed=args.seed,
+        workload=args.workload,
+        task_order=args.task_order,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    result = run_experiment(config)
+    if args.save:
+        from .exp.store import ResultStore
+        ResultStore(args.save).append(result)
+    print(f"scheduler        : {config.scheduler}")
+    print(f"makespan         : {result.makespan_minutes:.1f} min "
+          f"({result.makespan:.0f} s)")
+    print(f"file transfers   : {result.file_transfers} total, "
+          f"{result.file_transfers / config.num_sites:.1f} per server")
+    print(f"bytes transferred: {result.bytes_transferred / 2**30:.2f} GiB")
+    print(f"evictions        : {result.evictions}")
+    print(f"tasks cancelled  : {result.tasks_cancelled}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    seeds = tuple(range(args.topologies))
+    samples = {}
+    for name in args.schedulers:
+        averaged = run_averaged(config.with_changes(scheduler=name),
+                                topology_seeds=seeds)
+        samples[name] = [run.makespan_minutes for run in averaged.runs]
+        print(f"  ran {name}: mean "
+              f"{averaged.makespan_minutes:.1f} min", file=sys.stderr)
+    print(format_ranking(rank_algorithms(samples), unit="min"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    values: List[object] = []
+    for raw in args.values:
+        try:
+            values.append(int(raw))
+        except ValueError:
+            try:
+                values.append(float(raw))
+            except ValueError:
+                values.append(raw)
+    sweep = run_sweep(config, args.field, values, args.schedulers,
+                      topology_seeds=tuple(range(args.topologies)))
+    print(format_sweep_table(
+        sweep, metric=args.metric,
+        title=f"{args.metric} vs {args.field}"))
+    if args.plot:
+        print()
+        print(chart_sweep(sweep, metric=args.metric))
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    job = build_job(config)
+    stats = characterize(job)
+    print(stats.as_table())
+    print("\nreference CDF (x = min #references, y = % of files):")
+    for refs, percent in reference_cdf_series(stats):
+        print(f"  >= {refs:2d}: {percent:5.1f}%")
+    if args.out:
+        save_job(job, args.out)
+        print(f"\nworkload written to {args.out}")
+    return 0
+
+
+_FIGURES = {
+    "table2": lambda scale: _print_table2(scale),
+    "fig4": lambda scale: print(format_sweep_table(
+        figure_defs.fig4_fig5(scale), metric="makespan_minutes",
+        title="Figure 4: makespan (minutes) vs capacity")),
+    "fig5": lambda scale: _print_fig5(scale),
+    "fig6": lambda scale: print(format_sweep_table(
+        figure_defs.fig6(scale), metric="makespan_minutes",
+        title="Figure 6: makespan (minutes) vs workers per site")),
+    "table3": lambda scale: print(format_table3(
+        figure_defs.table3(scale))),
+    "fig7": lambda scale: print(format_sweep_table(
+        figure_defs.fig7(scale), metric="makespan_minutes",
+        title="Figure 7: makespan (minutes) vs number of sites")),
+    "fig8": lambda scale: print(format_sweep_table(
+        figure_defs.fig8(scale), metric="makespan_minutes",
+        title="Figure 8: makespan (minutes) vs file size (MB)")),
+}
+
+
+def _print_table2(scale) -> None:
+    stats = figure_defs.table2_fig3(scale)
+    print(stats.as_table())
+
+
+def _print_fig5(scale) -> None:
+    sweep = figure_defs.fig4_fig5(scale)
+    print(format_sweep_table(
+        sweep,
+        transform=lambda cell: cell.file_transfers / sweep.base.num_sites,
+        title="Figure 5: # file transfers per data server vs capacity"))
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    scale = figure_defs.SCALES[args.scale]
+    _FIGURES[args.name](scale)
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .exp.reproduce import reproduce_all
+    scale = figure_defs.SCALES[args.scale]
+    report = reproduce_all(
+        scale, include_ablations=args.ablations,
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr))
+    if args.out:
+        from pathlib import Path
+        Path(args.out).write_text(report)
+        print(f"report written to {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Worker-centric grid scheduling reproduction "
+                    "(Ko et al., Middleware 2007)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    _add_config_arguments(run_parser)
+    run_parser.add_argument("--save", default=None,
+                            help="append the result to this JSONL store")
+    run_parser.set_defaults(func=_cmd_run)
+
+    compare_parser = sub.add_parser("compare",
+                                    help="rank several schedulers")
+    _add_config_arguments(compare_parser)
+    compare_parser.add_argument("--schedulers", nargs="+",
+                                default=list(PAPER_ALGORITHMS),
+                                help=f"choose from "
+                                     f"{available_schedulers()}")
+    compare_parser.add_argument("--topologies", type=int, default=3)
+    compare_parser.set_defaults(func=_cmd_compare)
+
+    sweep_parser = sub.add_parser("sweep", help="sweep one config field")
+    _add_config_arguments(sweep_parser)
+    sweep_parser.add_argument("--field", required=True)
+    sweep_parser.add_argument("--values", nargs="+", required=True)
+    sweep_parser.add_argument("--schedulers", nargs="+",
+                              default=["rest.2", "storage-affinity"])
+    sweep_parser.add_argument("--topologies", type=int, default=1)
+    sweep_parser.add_argument("--metric", default="makespan_minutes")
+    sweep_parser.add_argument("--plot", action="store_true",
+                              help="append an ASCII chart")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    workload_parser = sub.add_parser("workload",
+                                     help="generate + characterize")
+    _add_config_arguments(workload_parser)
+    workload_parser.add_argument("--out", default=None,
+                                 help="write the workload JSON here")
+    workload_parser.set_defaults(func=_cmd_workload)
+
+    figures_parser = sub.add_parser("figures",
+                                    help="regenerate a paper artifact")
+    figures_parser.add_argument("--name", required=True,
+                                choices=sorted(_FIGURES))
+    figures_parser.add_argument("--scale", default="small",
+                                choices=sorted(figure_defs.SCALES))
+    figures_parser.set_defaults(func=_cmd_figures)
+
+    reproduce_parser = sub.add_parser(
+        "reproduce", help="regenerate every table and figure")
+    reproduce_parser.add_argument("--scale", default="small",
+                                  choices=sorted(figure_defs.SCALES))
+    reproduce_parser.add_argument("--ablations", action="store_true")
+    reproduce_parser.add_argument("--out", default=None,
+                                  help="write the markdown report here")
+    reproduce_parser.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

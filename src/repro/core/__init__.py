@@ -1,0 +1,49 @@
+"""Scheduling policies: the paper's contribution plus baselines.
+
+* :class:`WorkerCentricScheduler` — the basic algorithm (Figure 2) with
+  the overlap / rest / combined metrics and ChooseTask(n).
+* :class:`StorageAffinityScheduler` — the task-centric baseline with
+  data reuse and task replication.
+* :class:`WorkqueueScheduler` — FIFO / random data-blind baselines.
+* :class:`DataReplicator` — orthogonal proactive data replication.
+* :class:`OverlapIndex` — incremental overlap/reference bookkeeping.
+* :func:`create_scheduler` — name-based factory ("combined.2", ...).
+"""
+
+from .base import BaseScheduler
+from .metrics import (METRICS, TaskView, combined_literal_metric,
+                      combined_metric, overlap_metric, rest_metric,
+                      rest_weight)
+from .overlap_index import OverlapIndex
+from .reference import NaiveWorkerCentricScheduler
+from .registry import (PAPER_ALGORITHMS, available_schedulers,
+                       create_scheduler)
+from .replication import DataReplicator
+from .spatial_clustering import SpatialClusteringScheduler, cluster_tasks
+from .storage_affinity import StorageAffinityScheduler
+from .worker_centric import WorkerCentricScheduler
+from .workqueue import WorkqueueScheduler
+from .xsufferage import XSufferageScheduler
+
+__all__ = [
+    "BaseScheduler",
+    "DataReplicator",
+    "METRICS",
+    "NaiveWorkerCentricScheduler",
+    "OverlapIndex",
+    "PAPER_ALGORITHMS",
+    "SpatialClusteringScheduler",
+    "XSufferageScheduler",
+    "cluster_tasks",
+    "StorageAffinityScheduler",
+    "TaskView",
+    "WorkerCentricScheduler",
+    "WorkqueueScheduler",
+    "available_schedulers",
+    "combined_literal_metric",
+    "combined_metric",
+    "create_scheduler",
+    "overlap_metric",
+    "rest_metric",
+    "rest_weight",
+]

@@ -1,0 +1,86 @@
+"""Shared scheduler machinery: completion tracking and job termination.
+
+Every policy (worker-centric, storage affinity, workqueue, ...) extends
+:class:`BaseScheduler`, which implements the bookkeeping the
+:class:`~repro.grid.scheduler_api.GridScheduler` contract requires:
+which tasks have completed, duplicate-completion tolerance (needed under
+replication), and the ``job_done`` event the runner waits on.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import Dict, Optional, Set
+
+from ..analysis.trace import TaskAssigned
+from ..grid.job import Job, Task
+from ..grid.scheduler_api import GridScheduler
+from ..sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..grid.cluster import Grid
+    from ..grid.worker import Worker
+
+
+class BaseScheduler(GridScheduler):
+    """Completion bookkeeping common to all policies."""
+
+    #: Policies that can accept asynchronously arriving tasks override
+    #: this and implement ``release_tasks``; offline planners (e.g.
+    #: spatial clustering, storage affinity's initial distribution)
+    #: leave it False — the limitation the paper calls out.
+    supports_dynamic_release = False
+
+    def __init__(self, job: Job):
+        self.job = job
+        self._completed: Set[int] = set()
+        self._job_done: Optional[Event] = None
+
+    # -- GridScheduler -----------------------------------------------------
+    def bind(self, grid: "Grid") -> None:
+        if self._job_done is not None:
+            raise RuntimeError("scheduler already bound to a grid")
+        self.grid = grid
+        self._job_done = Event(grid.env)
+        if len(self.job) == 0:
+            self._job_done.succeed()
+        self._on_bound()
+
+    def _on_bound(self) -> None:
+        """Policy hook: called once the grid is attached."""
+
+    @property
+    def job_done(self) -> Event:
+        if self._job_done is None:
+            raise RuntimeError("scheduler is not bound yet")
+        return self._job_done
+
+    @property
+    def tasks_remaining(self) -> int:
+        return len(self.job) - len(self._completed)
+
+    def is_completed(self, task_id: int) -> bool:
+        return task_id in self._completed
+
+    def notify_complete(self, worker: "Worker", task: Task) -> None:
+        if task.task_id in self._completed:
+            self._on_duplicate_completion(worker, task)
+            return
+        self._completed.add(task.task_id)
+        self._on_first_completion(worker, task)
+        if len(self._completed) == len(self.job):
+            self._job_done.succeed()
+
+    # -- policy hooks ------------------------------------------------------
+    def _on_first_completion(self, worker: "Worker", task: Task) -> None:
+        """Policy hook: first completion of ``task``."""
+
+    def _on_duplicate_completion(self, worker: "Worker",
+                                 task: Task) -> None:
+        """Policy hook: a replica finished after the task completed."""
+
+    # -- helpers -----------------------------------------------------------
+    def _trace_assignment(self, worker: "Worker", task: Task) -> None:
+        self.grid.trace.emit(TaskAssigned(
+            time=self.grid.env.now, task_id=task.task_id,
+            worker=worker.name, site=worker.site.site_id))

@@ -1,0 +1,100 @@
+"""Locality-blind baselines: FIFO workqueue and random dispatch.
+
+The traditional *workqueue* algorithm (Cirne et al.) dispatches tasks
+in FIFO order to idle workers — worker-centric by the paper's
+definition, but ignoring data location entirely.  ``random`` dispatches
+a uniformly random pending task instead.  Both serve as sanity anchors
+in benchmarks: every data-aware strategy should beat them on
+data-intensive workloads.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from collections import OrderedDict
+from typing import Iterable, List, Optional, Tuple
+
+from ..grid.job import Job, Task
+from ..sim.events import Event
+from .base import BaseScheduler
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..grid.worker import Worker
+
+
+class WorkqueueScheduler(BaseScheduler):
+    """FIFO (or uniformly random) pull dispatch without data awareness.
+
+    Parameters
+    ----------
+    job:
+        The bag of tasks.
+    randomize:
+        Dispatch a uniformly random pending task instead of the oldest.
+    rng:
+        Random stream for the randomized variant.
+    """
+
+    supports_dynamic_release = True
+
+    def __init__(self, job: Job, randomize: bool = False,
+                 rng: Optional[random.Random] = None,
+                 initial_task_ids: Optional[Iterable[int]] = None):
+        super().__init__(job)
+        self.randomize = randomize
+        self._rng = rng or random.Random(0)
+        wanted = None if initial_task_ids is None else set(initial_task_ids)
+        self._pending: "OrderedDict[int, Task]" = OrderedDict(
+            (task.task_id, task) for task in job
+            if wanted is None or task.task_id in wanted)
+        self._parked: List[Tuple["Worker", Event]] = []
+
+    def _on_bound(self) -> None:
+        pass
+
+    def release_tasks(self, tasks: Iterable[Task]) -> None:
+        """Asynchronous arrival: append tasks and wake parked workers."""
+        for task in tasks:
+            if task.task_id in self._pending:
+                raise ValueError(f"task {task.task_id} already pending")
+            self._pending[task.task_id] = task
+        while self._parked and self._pending:
+            worker, event = self._parked.pop(0)
+            if event.triggered:
+                continue
+            if self.randomize:
+                task_id = self._rng.choice(list(self._pending))
+                task = self._pending.pop(task_id)
+            else:
+                _tid, task = self._pending.popitem(last=False)
+            self._trace_assignment(worker, task)
+            event.succeed(task)
+
+    def next_task(self, worker: "Worker") -> Event:
+        event = Event(self.grid.env)
+        if not self._pending:
+            if self.tasks_remaining == 0:
+                event.succeed(None)
+            else:
+                self._parked.append((worker, event))
+                self.job_done.add_callback(lambda _e: self._drain_parked())
+            return event
+        if self.randomize:
+            task_id = self._rng.choice(list(self._pending))
+            task = self._pending.pop(task_id)
+        else:
+            _tid, task = self._pending.popitem(last=False)
+        self._trace_assignment(worker, task)
+        event.succeed(task)
+        return event
+
+    def notify_cancelled(self, worker: "Worker", task: Task) -> None:
+        if not self.is_completed(task.task_id):
+            self._pending[task.task_id] = task
+
+    def _drain_parked(self) -> None:
+        parked, self._parked = self._parked, []
+        for _worker, event in parked:
+            if not event.triggered:
+                event.succeed(None)

@@ -1,0 +1,204 @@
+"""XSufferage (Casanova et al., HCW 2000) — extra task-centric baseline.
+
+The storage-affinity paper [14] positions itself against XSufferage, so
+a faithful reproduction of the lineage includes it: a push heuristic
+built on per-*site* minimum estimated completion times (MCT).
+
+For each scheduling event:
+
+1. for every pending task, estimate its completion time on every site
+   (transfer estimate for the files missing from the site's storage,
+   over the site's uplink bottleneck, plus the site's queued backlog,
+   plus compute on the site's fastest idle-or-soonest worker);
+2. the task's *sufferage* is (second-best site MCT) - (best site MCT) —
+   how much the task suffers if denied its best site;
+3. dispatch the max-sufferage task to its best site.
+
+Driven from the pull interface the same way storage affinity is: a
+worker going idle triggers scheduling events until a task lands on it
+(tasks routed to other sites join those workers' queues), which is
+push-with-queues semantics.
+
+Estimates use static information only (topology bandwidths, worker
+speeds, storage contents at decision time) — like the original, they go
+stale, which is precisely the weakness the worker-centric paper
+exploits.
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..grid.job import Job, Task
+from ..sim.events import Event
+from .base import BaseScheduler
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..grid.cluster import Grid
+    from ..grid.worker import Worker
+
+
+class XSufferageScheduler(BaseScheduler):
+    """Task-centric MCT dispatch with per-worker queues.
+
+    ``policy`` selects the classic heuristic family member:
+
+    * ``"xsufferage"`` (default) — dispatch the task that *suffers*
+      most if denied its best site (second-best MCT − best MCT);
+    * ``"minmin"`` — dispatch the task with the smallest best-site MCT
+      (fast, locality-friendly tasks first; starves big ones);
+    * ``"maxmin"`` — dispatch the task with the *largest* best-site MCT
+      (big tasks first; good tail behaviour, weak locality).
+    """
+
+    POLICIES = ("xsufferage", "minmin", "maxmin")
+
+    def __init__(self, job: Job, rng=None, policy: str = "xsufferage"):
+        super().__init__(job)
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown MCT policy {policy!r}; "
+                             f"choose from {self.POLICIES}")
+        self.policy = policy
+        self._pending: Dict[int, Task] = {}
+        self._queues: Dict[str, Deque[Task]] = {}
+        self._parked: List[Tuple["Worker", Event]] = []
+        #: Estimated queued backlog (seconds) per site.
+        self._site_backlog: List[float] = []
+        self._site_bandwidth: List[float] = []
+        self._site_speed: List[float] = []
+
+    # -- lifecycle -------------------------------------------------------
+    def _on_bound(self) -> None:
+        grid = self.grid
+        self._pending = {task.task_id: task for task in self.job}
+        for worker in grid.workers:
+            self._queues[worker.name] = deque()
+        self._site_backlog = [0.0] * len(grid.sites)
+        topology = grid.network.topology
+        for site in grid.sites:
+            route = topology.route(grid.file_server.node, site.gateway)
+            self._site_bandwidth.append(route.bottleneck_bandwidth)
+            self._site_speed.append(max(w.flops_per_second
+                                        for w in site.workers))
+
+    # -- estimation --------------------------------------------------------
+    def _site_mct(self, task: Task, site_index: int) -> float:
+        """Estimated completion time of ``task`` at the site."""
+        site = self.grid.sites[site_index]
+        catalog = self.job.catalog
+        missing_bytes = sum(catalog.size(fid) for fid in task.files
+                            if fid not in site.storage)
+        transfer = missing_bytes / self._site_bandwidth[site_index]
+        compute = task.flops / self._site_speed[site_index]
+        return self._site_backlog[site_index] + transfer + compute
+
+
+    def _estimate_cost(self, task: Task, site_index: int) -> float:
+        """Backlog contribution of ``task`` once dispatched to the site."""
+        site = self.grid.sites[site_index]
+        catalog = self.job.catalog
+        missing_bytes = sum(catalog.size(fid) for fid in task.files
+                            if fid not in site.storage)
+        return (missing_bytes / self._site_bandwidth[site_index]
+                + task.flops / self._site_speed[site_index])
+
+    def _pick_by_sufferage(self) -> Tuple[Optional[Task], int]:
+        """(the policy's chosen pending task, its best site index)."""
+        best_task: Optional[Task] = None
+        best_site = 0
+        best_score = None
+        num_sites = len(self.grid.sites)
+        for task in self._pending.values():
+            mcts = sorted(
+                (self._site_mct(task, s), s) for s in range(num_sites))
+            first_mct, first_site = mcts[0]
+            if self.policy == "xsufferage":
+                score = (mcts[1][0] - first_mct) if len(mcts) > 1 else 0.0
+            elif self.policy == "maxmin":
+                score = first_mct
+            else:  # minmin: smaller is better -> negate for max-compare
+                score = -first_mct
+            if best_score is None or score > best_score or (
+                    score == best_score and best_task is not None
+                    and task.task_id < best_task.task_id):
+                best_task, best_site = task, first_site
+                best_score = score
+        return best_task, best_site
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_one(self) -> Optional[Tuple[Task, "Worker"]]:
+        """Run one scheduling event; returns (task, chosen worker)."""
+        task, site_index = self._pick_by_sufferage()
+        if task is None:
+            return None
+        del self._pending[task.task_id]
+        site = self.grid.sites[site_index]
+        worker = min(site.workers,
+                     key=lambda w: (len(self._queues[w.name]), w.name))
+        self._queues[worker.name].append(task)
+        self._site_backlog[site_index] += self._estimate_cost(task,
+                                                              site_index)
+        self._trace_assignment(worker, task)
+        return task, worker
+
+    def next_task(self, worker: "Worker") -> Event:
+        event = Event(self.grid.env)
+        queue = self._queues[worker.name]
+        # Run scheduling events until this worker's queue is non-empty
+        # or the pending set drains.
+        while not queue and self._pending:
+            dispatched = self._dispatch_one()
+            if dispatched is None:
+                break
+            _task, target = dispatched
+            # a task routed elsewhere may unblock a parked worker there
+            if target is not worker:
+                self._serve_parked()
+        if queue:
+            event.succeed(queue.popleft())
+        elif self.tasks_remaining == 0:
+            event.succeed(None)
+        else:
+            self._parked.append((worker, event))
+        return event
+
+    # -- hooks -------------------------------------------------------------
+    def _on_first_completion(self, worker: "Worker", task: Task) -> None:
+        site_index = worker.site.site_id
+        self._site_backlog[site_index] = max(
+            0.0, self._site_backlog[site_index]
+            - self._estimate_cost(task, site_index))
+        self._serve_parked()
+
+    def notify_cancelled(self, worker: "Worker", task: Task) -> None:
+        # Only failure injection cancels here (no replication): requeue.
+        if not self.is_completed(task.task_id) \
+                and task.task_id not in self._pending:
+            self._pending[task.task_id] = task
+            self._serve_parked()
+
+    def _serve_parked(self) -> None:
+        # Loop to a fixed point: dispatching for one parked worker can
+        # queue a task onto another parked worker that was already
+        # re-parked this pass.
+        progress = True
+        while progress:
+            progress = False
+            parked, self._parked = self._parked, []
+            for worker, event in parked:
+                if event.triggered:
+                    progress = True
+                    continue
+                queue = self._queues[worker.name]
+                if not queue and self._pending:
+                    self._dispatch_one()
+                if queue:
+                    event.succeed(queue.popleft())
+                    progress = True
+                elif self.tasks_remaining == 0:
+                    event.succeed(None)
+                    progress = True
+                else:
+                    self._parked.append((worker, event))

@@ -1,0 +1,277 @@
+"""Per-figure experiment definitions for every table and figure.
+
+Each of the paper's evaluation artifacts (Figures 3-8, Tables 2-3) has
+a function here that runs the corresponding experiment and returns its
+data; the benchmark harness calls these and prints the paper-shaped
+tables.  Experiments accept a :class:`Scale`:
+
+* ``SMALL`` — seconds; used by integration tests.
+* ``BENCH`` — a 1/10-scale Coadd (600 tasks) with capacities and sweep
+  ranges scaled accordingly; minutes for the whole suite.
+* ``PAPER`` — the paper's full protocol (6,000 tasks, 5 topologies);
+  hours of wall time, for offline reproduction runs.
+
+Scaling keeps the *ratios* the paper's effects depend on — capacity
+versus total files, working-set size versus capacity — so the shapes
+(who wins, where curves flatten or cross) are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import aggregate_sites
+from ..core.registry import PAPER_ALGORITHMS
+from ..workload.stats import WorkloadStats, characterize
+from .config import ExperimentConfig
+from .runner import build_job, run_averaged
+from .sweep import SweepResult, run_sweep
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Experiment sizing preset."""
+
+    name: str
+    num_tasks: int
+    capacity_default: int
+    capacities: Tuple[int, ...]        # Figure 4/5 sweep
+    workers: Tuple[int, ...]           # Figure 6 sweep
+    table3_workers: Tuple[int, ...]    # Table 3 rows
+    sites: Tuple[int, ...]             # Figure 7 sweep
+    file_sizes_mb: Tuple[float, ...]   # Figure 8 sweep
+    topology_seeds: Tuple[int, ...]
+
+    def base_config(self, **overrides) -> ExperimentConfig:
+        defaults = dict(num_tasks=self.num_tasks,
+                        capacity_files=self.capacity_default)
+        defaults.update(overrides)
+        return ExperimentConfig(**defaults)
+
+
+SMALL = Scale(
+    name="small", num_tasks=120, capacity_default=400,
+    capacities=(150, 400, 800), workers=(2, 3), table3_workers=(2, 3),
+    sites=(3, 5), file_sizes_mb=(5.0, 25.0), topology_seeds=(0,),
+)
+
+BENCH = Scale(
+    name="bench", num_tasks=600, capacity_default=600,
+    capacities=(300, 600, 1500, 3000), workers=(2, 4, 6, 8, 10),
+    table3_workers=(2, 4, 6, 8), sites=(10, 14, 18, 22, 26),
+    file_sizes_mb=(5.0, 25.0, 50.0), topology_seeds=(0, 1),
+)
+
+PAPER = Scale(
+    name="paper", num_tasks=6000, capacity_default=6000,
+    capacities=(3000, 6000, 15000, 30000),
+    workers=(2, 3, 4, 5, 6, 7, 8, 9, 10), table3_workers=(2, 4, 6, 8),
+    sites=(10, 14, 18, 22, 26), file_sizes_mb=(5.0, 25.0, 50.0),
+    topology_seeds=(0, 1, 2, 3, 4),
+)
+
+SCALES = {scale.name: scale for scale in (SMALL, BENCH, PAPER)}
+
+
+def _workers_capacity(scale: Scale, max_workers: int) -> int:
+    """Capacity for the workers sweep: concurrent pinned batches of up
+    to ``max_workers + 1`` tasks must fit, or the run deadlocks by
+    design (a single site's working set exceeding storage)."""
+    return max(scale.capacity_default, (max_workers + 1) * 130)
+
+
+# -- workload characterization (Table 2, Figures 1 & 3) -------------------
+
+def table2_fig3(scale: Scale = BENCH, seed: int = 0) -> WorkloadStats:
+    """Workload statistics of the (scaled) Coadd instance."""
+    config = scale.base_config(seed=seed)
+    return characterize(build_job(config))
+
+
+# -- the evaluation figures ---------------------------------------------
+
+def fig4_fig5(scale: Scale = BENCH,
+              schedulers: Sequence[str] = PAPER_ALGORITHMS,
+              progress: Progress = None) -> SweepResult:
+    """Makespan (Fig 4) and transfer counts (Fig 5) vs capacity.
+
+    One sweep feeds both figures, like the paper's shared runs.
+    """
+    return run_sweep(scale.base_config(), "capacity_files",
+                     scale.capacities, schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def fig6(scale: Scale = BENCH,
+         schedulers: Sequence[str] = PAPER_ALGORITHMS,
+         progress: Progress = None) -> SweepResult:
+    """Makespan vs number of workers per site."""
+    capacity = _workers_capacity(scale, max(scale.workers))
+    return run_sweep(scale.base_config(capacity_files=capacity),
+                     "workers_per_site", scale.workers, schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def table3(scale: Scale = BENCH, scheduler: str = "rest",
+           progress: Progress = None) -> List[Tuple[int, float, float, float]]:
+    """Table 3: data-server service statistics for the rest metric.
+
+    Returns rows (workers, avg waiting hours, avg transfer hours, avg
+    transfers per *worker*).  Two reading notes versus the paper:
+    the paper reports one hand-picked site, we report the
+    request-weighted average over all data servers (same behaviour,
+    less single-site noise); and its transfer column must be per worker
+    — at 8 workers/site its 906 average implies ~72k transfers in
+    total, consistent with the 53,390-file dataset, whereas a
+    per-server reading (9k total) would be below the unique-file floor.
+    """
+    capacity = _workers_capacity(scale, max(scale.table3_workers))
+    base = scale.base_config(capacity_files=capacity, scheduler=scheduler)
+    job = build_job(base)
+    rows: List[Tuple[int, float, float, float]] = []
+    for workers in scale.table3_workers:
+        if progress:
+            progress(f"table3 workers={workers}")
+        averaged = run_averaged(base.with_changes(workers_per_site=workers),
+                                topology_seeds=scale.topology_seeds, job=job)
+        waits: List[float] = []
+        xfers: List[float] = []
+        counts: List[float] = []
+        for run in averaged.runs:
+            pooled = aggregate_sites(run.site_stats)
+            waits.append(pooled.avg_waiting_hours)
+            xfers.append(pooled.avg_transfer_hours)
+            counts.append(run.file_transfers
+                          / (run.config.num_sites * workers))
+        n = len(averaged.runs)
+        rows.append((workers, sum(waits) / n, sum(xfers) / n,
+                     sum(counts) / n))
+    return rows
+
+
+def fig7(scale: Scale = BENCH,
+         schedulers: Sequence[str] = PAPER_ALGORITHMS,
+         progress: Progress = None) -> SweepResult:
+    """Makespan vs number of sites."""
+    return run_sweep(scale.base_config(), "num_sites", scale.sites,
+                     schedulers, topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def fig8(scale: Scale = BENCH,
+         schedulers: Sequence[str] = PAPER_ALGORITHMS,
+         progress: Progress = None) -> SweepResult:
+    """Makespan vs file size (5 / 25 / 50 MB)."""
+    return run_sweep(scale.base_config(), "file_size_mb",
+                     scale.file_sizes_mb, schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+# -- ablations (ours) ----------------------------------------------------
+
+def ablation_choose_n(scale: Scale = BENCH, metric: str = "rest",
+                      n_values: Sequence[int] = (1, 2, 4, 8),
+                      progress: Progress = None) -> SweepResult:
+    """ChooseTask(n) sensitivity: the paper reports only n in {1, 2}."""
+    schedulers = [f"wc:{metric}:{n}" for n in n_values]
+    return run_sweep(scale.base_config(), "capacity_files",
+                     (scale.capacity_default,), schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def ablation_combined_formula(scale: Scale = BENCH,
+                              progress: Progress = None) -> SweepResult:
+    """Intent-consistent vs literal printed `combined` formula."""
+    return run_sweep(scale.base_config(), "capacity_files",
+                     scale.capacities,
+                     ("combined", "combined-literal",
+                      "combined.2", "combined-literal.2"),
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def ablation_data_replication(scale: Scale = BENCH,
+                              schedulers: Sequence[str] = ("rest.2",
+                                                           "storage-affinity"),
+                              progress: Progress = None
+                              ) -> SweepResult:
+    """Proactive data replication on/off (orthogonal-mechanism claim)."""
+    return run_sweep(scale.base_config(), "replicate_data",
+                     (False, True), schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def ablation_data_server_parallelism(scale: Scale = BENCH,
+                                     scheduler: str = "rest.2",
+                                     parallelism: Sequence[int] = (1, 2, 4),
+                                     workers: int = 4,
+                                     progress: Progress = None
+                                     ) -> SweepResult:
+    """Serial vs parallel data-server service (paper assumption 3).
+
+    Needs multiple workers per site — with one worker a site never has
+    two outstanding batches, and parallelism is a no-op.
+    """
+    capacity = _workers_capacity(scale, workers)
+    return run_sweep(
+        scale.base_config(workers_per_site=workers,
+                          capacity_files=capacity),
+        "data_server_parallelism", tuple(parallelism), (scheduler,),
+        topology_seeds=scale.topology_seeds, progress=progress)
+
+
+def ablation_background_load(scale: Scale = BENCH,
+                             schedulers: Sequence[str] = ("rest.2",
+                                                          "storage-affinity"),
+                             slowdown: float = 8.0,
+                             load_fraction: float = 0.4,
+                             progress: Progress = None) -> SweepResult:
+    """PlanetLab-style worker overload (the paper's motivation).
+
+    Runs in a compute-heavy regime (otherwise the network-bound Coadd
+    hides CPU churn entirely) and toggles the background load on/off.
+    """
+    base = scale.base_config(workers_per_site=2,
+                             capacity_files=_workers_capacity(scale, 2),
+                             flops_per_file=2.0e11,
+                             load_slowdown=slowdown,
+                             load_fraction=load_fraction)
+    return run_sweep(base, "background_load", (False, True), schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def ablation_cross_traffic(scale: Scale = BENCH,
+                           schedulers: Sequence[str] = ("rest.2",
+                                                        "storage-affinity",
+                                                        "workqueue"),
+                           progress: Progress = None) -> SweepResult:
+    """Network weather: Poisson background flows between sites.
+
+    The offered load stays below link capacity (see
+    :mod:`repro.net.crosstraffic`); what changes is the headroom the
+    grid's own transfers get.
+    """
+    return run_sweep(scale.base_config(), "cross_traffic",
+                     (False, True), schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)
+
+
+def ablation_task_order(scale: Scale = BENCH,
+                        schedulers: Sequence[str] = ("rest", "overlap",
+                                                     "workqueue"),
+                        progress: Progress = None) -> SweepResult:
+    """Task presentation order sensitivity (natural/shuffled/striped)."""
+    return run_sweep(scale.base_config(), "task_order",
+                     ("natural", "shuffled", "striped"), schedulers,
+                     topology_seeds=scale.topology_seeds,
+                     progress=progress)

@@ -1,0 +1,107 @@
+"""One-shot reproduction: every table and figure into a single report.
+
+``reproduce_all`` runs the full evaluation (Table 2/Figure 3, Figures
+4-8, Table 3, and optionally the ablations) at a chosen scale and
+renders one markdown report, mirroring the paper's evaluation section.
+Exposed as ``python -m repro reproduce``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..workload.stats import reference_cdf_series
+from . import figures
+from .figures import Scale
+from .report import format_sweep_table, format_table3
+
+Progress = Optional[Callable[[str], None]]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def reproduce_all(scale: Scale, include_ablations: bool = False,
+                  progress: Progress = None) -> str:
+    """Run the whole evaluation at ``scale``; returns a markdown report."""
+
+    def note(message: str) -> None:
+        if progress:
+            progress(message)
+
+    sections: List[str] = [
+        f"# Reproduction report (scale={scale.name}, "
+        f"{scale.num_tasks} tasks, "
+        f"{len(scale.topology_seeds)} topologies)\n",
+    ]
+
+    note("Table 2 / Figure 3: workload characterization")
+    stats = figures.table2_fig3(scale)
+    cdf_lines = "\n".join(
+        f"  >= {refs:2d} refs: {percent:5.1f}%"
+        for refs, percent in reference_cdf_series(stats))
+    sections.append(_section(
+        "Table 2 + Figure 3 - workload",
+        stats.as_table() + "\n\nreference CDF:\n" + cdf_lines))
+
+    note("Figures 4 & 5: capacity sweep")
+    sweep45 = figures.fig4_fig5(scale, progress=progress)
+    sections.append(_section(
+        "Figure 4 - makespan (minutes) vs capacity",
+        format_sweep_table(sweep45, metric="makespan_minutes")))
+    sections.append(_section(
+        "Figure 5 - file transfers per data server vs capacity",
+        format_sweep_table(
+            sweep45,
+            transform=lambda cell: cell.file_transfers
+            / sweep45.base.num_sites)))
+
+    note("Figure 6: workers sweep")
+    sweep6 = figures.fig6(scale, progress=progress)
+    sections.append(_section(
+        "Figure 6 - makespan (minutes) vs workers per site",
+        format_sweep_table(sweep6, metric="makespan_minutes")))
+
+    note("Table 3: data-server statistics")
+    rows = figures.table3(scale, progress=progress)
+    sections.append(_section(
+        "Table 3 - rest metric data-server statistics "
+        "(transfers per worker)",
+        format_table3(rows)))
+
+    note("Figure 7: sites sweep")
+    sweep7 = figures.fig7(scale, progress=progress)
+    sections.append(_section(
+        "Figure 7 - makespan (minutes) vs number of sites",
+        format_sweep_table(sweep7, metric="makespan_minutes")))
+
+    note("Figure 8: file-size sweep")
+    sweep8 = figures.fig8(scale, progress=progress)
+    sections.append(_section(
+        "Figure 8 - makespan (minutes) vs file size (MB)",
+        format_sweep_table(sweep8, metric="makespan_minutes")))
+
+    if include_ablations:
+        note("Ablation: ChooseTask(n)")
+        sections.append(_section(
+            "Ablation - ChooseTask(n)",
+            format_sweep_table(figures.ablation_choose_n(scale),
+                               metric="makespan_minutes")))
+        note("Ablation: combined formula")
+        sections.append(_section(
+            "Ablation - combined vs combined-literal",
+            format_sweep_table(figures.ablation_combined_formula(scale),
+                               metric="makespan_minutes")))
+        note("Ablation: data replication")
+        sections.append(_section(
+            "Ablation - proactive data replication",
+            format_sweep_table(figures.ablation_data_replication(scale),
+                               metric="makespan_minutes")))
+        note("Ablation: task order")
+        sections.append(_section(
+            "Ablation - task presentation order",
+            format_sweep_table(figures.ablation_task_order(scale),
+                               metric="makespan_minutes")))
+
+    return "\n".join(sections)

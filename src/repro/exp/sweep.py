@@ -1,0 +1,71 @@
+"""Parameter sweeps: one figure = one swept field x several algorithms.
+
+A :class:`Sweep` runs a base config across a list of values for one
+config field, for each algorithm, averaging each cell over topology
+seeds — exactly the paper's experimental protocol.  Results come back
+as a :class:`SweepResult` table keyed (algorithm, value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..grid.job import Job
+from .config import ExperimentConfig
+from .runner import AveragedResult, build_job, run_averaged
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All cells of one sweep."""
+
+    base: ExperimentConfig
+    field: str
+    values: Tuple[object, ...]
+    schedulers: Tuple[str, ...]
+    cells: Dict[Tuple[str, object], AveragedResult]
+
+    def series(self, scheduler: str,
+               metric: str = "makespan_minutes") -> List[Tuple[object, float]]:
+        """(value, metric) points for one algorithm, in sweep order."""
+        return [(value, getattr(self.cells[(scheduler, value)], metric))
+                for value in self.values]
+
+    def cell(self, scheduler: str, value: object) -> AveragedResult:
+        return self.cells[(scheduler, value)]
+
+
+#: Config fields whose change invalidates the generated workload; any
+#: other swept field can reuse one Job across all cells.
+_WORKLOAD_FIELDS = frozenset({
+    "workload", "task_order", "num_tasks", "file_size_mb",
+    "flops_per_file", "seed",
+})
+
+
+def run_sweep(base: ExperimentConfig, field: str,
+              values: Sequence[object], schedulers: Sequence[str],
+              topology_seeds: Sequence[int] = (0, 1, 2, 3, 4),
+              progress: Optional[Callable[[str], None]] = None,
+              ) -> SweepResult:
+    """Run ``schedulers`` x ``values`` of ``field``, averaging topologies."""
+    if not values:
+        raise ValueError("need at least one sweep value")
+    if not schedulers:
+        raise ValueError("need at least one scheduler")
+    shared_job: Optional[Job] = None
+    if field not in _WORKLOAD_FIELDS:
+        shared_job = build_job(base)
+    cells: Dict[Tuple[str, object], AveragedResult] = {}
+    for value in values:
+        config = base.with_changes(**{field: value})
+        job = shared_job if shared_job is not None else build_job(config)
+        for scheduler in schedulers:
+            if progress:
+                progress(f"{field}={value} scheduler={scheduler}")
+            cells[(scheduler, value)] = run_averaged(
+                config.with_changes(scheduler=scheduler),
+                topology_seeds=topology_seeds, job=job)
+    return SweepResult(base=base, field=field, values=tuple(values),
+                       schedulers=tuple(schedulers), cells=cells)

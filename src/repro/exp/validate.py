@@ -1,0 +1,140 @@
+"""Runtime invariant checking for simulations.
+
+Attach a :class:`GridValidator` to a grid before running and every
+violation of the system model is collected (or raised eagerly):
+
+* a task starting without all its inputs resident (assumption 5),
+* storage exceeding its capacity,
+* a pinned file that is not resident,
+* a task completing more than once,
+* file-transfer accounting drifting from the trace.
+
+Tests use it as belt and braces on top of targeted assertions; it is
+also handy while developing a new scheduling policy (`strict=True`
+turns the first violation into an exception at its simulated time,
+with the offending record attached).
+"""
+
+from __future__ import annotations
+
+import typing
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from ..analysis.trace import (FileTransferred, TaskCompleted, TaskStarted,
+                              TraceRecord)
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from ..grid.cluster import Grid
+
+
+class InvariantViolation(AssertionError):
+    """Raised in strict mode on the first violated invariant."""
+
+
+@dataclass
+class Violation:
+    """One recorded violation."""
+
+    time: float
+    rule: str
+    detail: str
+    record: Optional[TraceRecord] = None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[t={self.time:.1f}] {self.rule}: {self.detail}"
+
+
+class GridValidator:
+    """Subscribes to a grid's trace and checks the system model live."""
+
+    def __init__(self, grid: "Grid", strict: bool = False,
+                 expect_single_completion: bool = False):
+        """``expect_single_completion`` additionally forbids any task
+        completing twice — valid only for non-replicating policies
+        (replicas can legitimately finish before cancellation lands)."""
+        self.grid = grid
+        self.strict = strict
+        self.expect_single_completion = expect_single_completion
+        self.violations: List[Violation] = []
+        self._completed: Set[int] = set()
+        self._completed_pairs: Set[tuple] = set()
+        self._transfer_count = 0
+        grid.trace.subscribe(TaskStarted, self._on_start)
+        grid.trace.subscribe(TaskCompleted, self._on_complete)
+        grid.trace.subscribe(FileTransferred, self._on_transfer)
+
+    # -- checks ------------------------------------------------------------
+    def _on_start(self, record: TaskStarted) -> None:
+        storage = self.grid.sites[record.site].storage
+        task = self.grid.job[record.task_id]
+        missing = [fid for fid in task.files if fid not in storage]
+        if missing:
+            self._report("task-start-files-resident",
+                         f"task {record.task_id} started on "
+                         f"{record.worker} with {len(missing)} missing "
+                         f"files (e.g. {missing[:3]})", record)
+        self._check_storage(record)
+
+    def _on_complete(self, record: TaskCompleted) -> None:
+        pair = (record.worker, record.task_id)
+        if pair in self._completed_pairs:
+            self._report("task-completes-once-per-worker",
+                         f"task {record.task_id} completed twice on "
+                         f"{record.worker}", record)
+        elif self.expect_single_completion \
+                and record.task_id in self._completed:
+            self._report("task-completes-once",
+                         f"task {record.task_id} completed again on "
+                         f"{record.worker} (replication not expected)",
+                         record)
+        self._completed_pairs.add(pair)
+        self._completed.add(record.task_id)
+
+    def _on_transfer(self, record: FileTransferred) -> None:
+        self._transfer_count += 1
+        self._check_storage(record)
+
+    def _check_storage(self, record: TraceRecord) -> None:
+        for site in self.grid.sites:
+            storage = site.storage
+            if len(storage) > storage.capacity_files:
+                self._report("storage-capacity",
+                             f"site {site.site_id} holds {len(storage)} "
+                             f"> {storage.capacity_files} files", record)
+            for fid, count in list(storage._pins.items()):
+                if count > 0 and fid not in storage:
+                    self._report("pinned-files-resident",
+                                 f"site {site.site_id} pins evicted "
+                                 f"file {fid}", record)
+
+    # -- reporting ---------------------------------------------------------
+    def _report(self, rule: str, detail: str,
+                record: Optional[TraceRecord]) -> None:
+        violation = Violation(time=self.grid.env.now, rule=rule,
+                              detail=detail, record=record)
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(str(violation))
+
+    def assert_clean(self) -> None:
+        """Raise with a digest if anything was violated."""
+        if self.violations:
+            summary = "\n".join(str(v) for v in self.violations[:10])
+            raise InvariantViolation(
+                f"{len(self.violations)} invariant violations:\n{summary}")
+
+    def final_check(self) -> None:
+        """Post-run checks: completions and transfer accounting."""
+        expected = {task.task_id for task in self.grid.job}
+        if self._completed != expected:
+            missing = sorted(expected - self._completed)[:5]
+            self._report("all-tasks-complete",
+                         f"{len(expected - self._completed)} tasks never "
+                         f"completed (e.g. {missing})", None)
+        counted = self.grid.file_server.transfers_served
+        if self._transfer_count > counted:
+            self._report("transfer-accounting",
+                         f"trace saw {self._transfer_count} transfers, "
+                         f"file server served {counted}", None)
+        self.assert_clean()

@@ -1,0 +1,52 @@
+"""Grid system model: sites, workers, data servers, global file server.
+
+Implements the paper's system model (Section 2.2) on top of the DES
+kernel and the flow network:
+
+* :class:`FileCatalog`, :class:`Task`, :class:`Job` — the application.
+* :class:`SiteStorage` — capacity-bounded LRU cache with pinning and
+  past-reference counters.
+* :class:`DataServer` — serial batch-request service per site.
+* :class:`FileServer` — the external global file store.
+* :class:`Worker` — pull-driven compute host with replica cancellation.
+* :class:`Site`, :class:`Grid`, :class:`GridRunResult` — composition.
+* :class:`GridScheduler` — the policy interface implemented in
+  :mod:`repro.core`.
+"""
+
+from .arrivals import (ArrivalSchedule, JobArrivalProcess,
+                       batched_arrivals, jittered_arrivals)
+from .cluster import Grid, GridRunResult
+from .data_server import BatchRequest, DataServer, DataServerStats
+from .file_server import FileServer
+from .files import FileCatalog, FileId, MB
+from .job import Job, Task, TaskId
+from .scheduler_api import GridScheduler
+from .site import Site
+from .storage import SiteStorage, StorageFullError
+from .worker import CONTROL_MESSAGE_BYTES, Worker
+
+__all__ = [
+    "ArrivalSchedule",
+    "BatchRequest",
+    "CONTROL_MESSAGE_BYTES",
+    "DataServer",
+    "DataServerStats",
+    "FileCatalog",
+    "FileId",
+    "FileServer",
+    "Grid",
+    "GridRunResult",
+    "JobArrivalProcess",
+    "GridScheduler",
+    "Job",
+    "MB",
+    "Site",
+    "SiteStorage",
+    "StorageFullError",
+    "Task",
+    "TaskId",
+    "Worker",
+    "batched_arrivals",
+    "jittered_arrivals",
+]

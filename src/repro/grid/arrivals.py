@@ -1,0 +1,135 @@
+"""Asynchronous job arrivals.
+
+The paper criticizes offline planners (Spatial Clustering) for not
+handling "new jobs arriving asynchronously"; worker-centric scheduling
+handles them natively because a new task just joins the pending set.
+This module provides the arrival machinery:
+
+* :class:`ArrivalSchedule` — (time, task ids) release batches over one
+  job's task set (the workload is generated up front; batches *release*
+  tasks to the scheduler at their arrival times);
+* :class:`JobArrivalProcess` — the simulation process that performs the
+  releases against a scheduler with ``supports_dynamic_release``.
+
+Helpers build common shapes: a fixed batch split at regular intervals,
+or Poisson-ish jittered arrival times.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .job import Job
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Grid
+
+
+@dataclass(frozen=True)
+class ArrivalSchedule:
+    """Release plan: ``batches[i] = (time, task ids)``, times ascending.
+
+    Tasks not covered by any batch are released at time zero.
+    """
+
+    batches: Tuple[Tuple[float, Tuple[int, ...]], ...]
+
+    def __post_init__(self):
+        last = -1.0
+        seen = set()
+        for time, task_ids in self.batches:
+            if time < 0:
+                raise ValueError(f"negative arrival time {time}")
+            if time < last:
+                raise ValueError("batches must be in ascending time order")
+            last = time
+            for tid in task_ids:
+                if tid in seen:
+                    raise ValueError(f"task {tid} in two batches")
+                seen.add(tid)
+
+    @property
+    def deferred_task_ids(self) -> frozenset:
+        """Every task id released later than time zero."""
+        return frozenset(
+            tid for time, ids in self.batches if time > 0 for tid in ids)
+
+    def initial_task_ids(self, job: Job) -> frozenset:
+        """Task ids available at simulation start."""
+        deferred = self.deferred_task_ids
+        return frozenset(t.task_id for t in job
+                         if t.task_id not in deferred)
+
+
+def batched_arrivals(job: Job, num_batches: int,
+                     interval: float) -> ArrivalSchedule:
+    """Split the job into ``num_batches`` equal waves, ``interval``
+    seconds apart, first wave at time zero."""
+    if num_batches < 1:
+        raise ValueError("num_batches must be >= 1")
+    if interval < 0:
+        raise ValueError("interval must be >= 0")
+    ids = [task.task_id for task in job]
+    size = -(-len(ids) // num_batches)
+    batches: List[Tuple[float, Tuple[int, ...]]] = []
+    for index in range(num_batches):
+        chunk = tuple(ids[index * size:(index + 1) * size])
+        if chunk:
+            batches.append((index * interval, chunk))
+    return ArrivalSchedule(tuple(batches))
+
+
+def jittered_arrivals(job: Job, num_batches: int, interval: float,
+                      rng: random.Random,
+                      jitter: float = 0.25) -> ArrivalSchedule:
+    """Like :func:`batched_arrivals` with ±``jitter`` interval noise."""
+    if not 0 <= jitter < 1:
+        raise ValueError("jitter must be in [0, 1)")
+    base = batched_arrivals(job, num_batches, interval)
+    out: List[Tuple[float, Tuple[int, ...]]] = []
+    clock = 0.0
+    for index, (_time, ids) in enumerate(base.batches):
+        if index > 0:
+            clock += interval * rng.uniform(1 - jitter, 1 + jitter)
+        out.append((clock, ids))
+    return ArrivalSchedule(tuple(out))
+
+
+class JobArrivalProcess:
+    """Releases an :class:`ArrivalSchedule` against the grid's scheduler.
+
+    Must be constructed after ``grid.attach_scheduler``; raises
+    immediately if the policy cannot accept dynamic arrivals (the
+    offline planners the paper criticizes).
+    """
+
+    def __init__(self, grid: "Grid", schedule: ArrivalSchedule):
+        scheduler = grid.scheduler
+        if scheduler is None:
+            raise RuntimeError("attach a scheduler before arrivals")
+        if not getattr(scheduler, "supports_dynamic_release", False):
+            raise TypeError(
+                f"{type(scheduler).__name__} cannot accept asynchronous "
+                f"job arrivals (offline planner)")
+        self.grid = grid
+        self.schedule = schedule
+        #: Batches released so far.
+        self.released_batches = 0
+        grid.env.process(self._run(), name="job-arrivals")
+
+    def _run(self):
+        env = self.grid.env
+        scheduler = self.grid.scheduler
+        job = self.grid.job
+        for time, task_ids in self.schedule.batches:
+            if time > env.now:
+                yield env.timeout(time - env.now)
+            if time == 0.0:
+                # time-zero batches are part of the initial set
+                self.released_batches += 1
+                continue
+            scheduler.release_tasks([job[tid] for tid in task_ids])
+            self.released_batches += 1

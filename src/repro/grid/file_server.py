@@ -1,0 +1,42 @@
+"""The external (global) file server.
+
+System-model assumption 6: one external file server stores every file of
+the application and hands them out to site data servers on demand.  The
+server itself is never a compute bottleneck here — contention happens on
+the network links (notably its own uplink and each site's uplink), which
+the flow model captures.
+"""
+
+from __future__ import annotations
+
+from ..net.flow import FlowNetwork, TransferStats
+from ..sim.engine import Environment
+from ..sim.events import Event
+from .files import FileCatalog, FileId
+
+
+class FileServer:
+    """Serves file transfers from the global store to site data servers."""
+
+    def __init__(self, env: Environment, network: FlowNetwork, node: str,
+                 catalog: FileCatalog):
+        self.env = env
+        self.network = network
+        #: Topology node name the server sits on.
+        self.node = node
+        self.catalog = catalog
+        #: Cumulative number of file transfers served.
+        self.transfers_served = 0
+        #: Cumulative bytes shipped.
+        self.bytes_served = 0.0
+
+    def fetch(self, dst_node: str, fid: FileId) -> Event:
+        """Ship file ``fid`` to ``dst_node``.
+
+        Returns the transfer-completion event (value:
+        :class:`~repro.net.flow.TransferStats`).
+        """
+        size = self.catalog.size(fid)
+        self.transfers_served += 1
+        self.bytes_served += size
+        return self.network.transfer(self.node, dst_node, size)

@@ -1,0 +1,69 @@
+"""File identities and the global file catalog.
+
+Files are identified by dense integer ids (``FileId``).  The catalog
+maps ids to sizes in bytes.  The paper assumes equally-sized files
+(assumption 8) but reasons in bytes, so the catalog supports per-file
+size overrides; every consumer works in bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+FileId = int
+
+MB = 1024.0 * 1024.0
+
+
+class FileCatalog:
+    """Sizes and existence of every file in the application's dataset.
+
+    Parameters
+    ----------
+    num_files:
+        Total number of files, ids ``0 .. num_files - 1``.
+    default_size:
+        Size in bytes for any file without an explicit override.
+    sizes:
+        Optional mapping of per-file size overrides.
+    """
+
+    def __init__(self, num_files: int, default_size: float = 5 * MB,
+                 sizes: Optional[Mapping[FileId, float]] = None):
+        if num_files < 0:
+            raise ValueError(f"num_files must be >= 0, got {num_files}")
+        if default_size <= 0:
+            raise ValueError(f"default_size must be > 0, got {default_size}")
+        self._num_files = num_files
+        self._default_size = float(default_size)
+        self._sizes: Dict[FileId, float] = {}
+        if sizes:
+            for fid, size in sizes.items():
+                self._check(fid)
+                if size <= 0:
+                    raise ValueError(f"file {fid} has non-positive size")
+                self._sizes[fid] = float(size)
+
+    def _check(self, fid: FileId) -> None:
+        if not 0 <= fid < self._num_files:
+            raise KeyError(f"file id {fid} out of range "
+                           f"[0, {self._num_files})")
+
+    def __len__(self) -> int:
+        return self._num_files
+
+    def __contains__(self, fid: FileId) -> bool:
+        return 0 <= fid < self._num_files
+
+    @property
+    def default_size(self) -> float:
+        return self._default_size
+
+    def size(self, fid: FileId) -> float:
+        """Size of ``fid`` in bytes."""
+        self._check(fid)
+        return self._sizes.get(fid, self._default_size)
+
+    def total_bytes(self, fids: Iterable[FileId]) -> float:
+        """Sum of sizes over ``fids``."""
+        return sum(self.size(fid) for fid in fids)

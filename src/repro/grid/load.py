@@ -1,0 +1,95 @@
+"""Background CPU load on workers.
+
+The paper's case for worker-centric scheduling starts from PlanetLab's
+"seven deadly sins": resource suppliers are frequently overloaded, so
+scheduling should be driven by the suppliers.  This module provides the
+overload: each worker flips between a *free* state (full speed) and a
+*loaded* state (compute stretched by ``slowdown``) with exponential
+dwell times.  A task samples the state at compute start (task-grained
+variation; mid-compute state flips are deliberately ignored — tasks
+are short relative to dwell times in every shipped configuration).
+
+Pull scheduling self-balances under this churn — a loaded worker simply
+requests fewer tasks — while push assignment parks tasks behind loaded
+workers; the background-load ablation measures exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+from typing import Dict, List
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Grid
+    from .worker import Worker
+
+
+class BackgroundLoad:
+    """Two-state (free/loaded) Markov load per worker.
+
+    Parameters
+    ----------
+    grid:
+        The grid whose workers to burden.
+    slowdown:
+        Compute-time multiplier while loaded (> 1).
+    loaded_fraction:
+        Long-run fraction of time a worker spends loaded, in (0, 1).
+    mean_dwell:
+        Mean sojourn time of the *loaded* state, seconds.
+    rng:
+        Randomness source.
+    """
+
+    def __init__(self, grid: "Grid", slowdown: float = 4.0,
+                 loaded_fraction: float = 0.3,
+                 mean_dwell: float = 600.0,
+                 rng: random.Random = None):
+        if slowdown <= 1.0:
+            raise ValueError(f"slowdown must be > 1, got {slowdown}")
+        if not 0.0 < loaded_fraction < 1.0:
+            raise ValueError("loaded_fraction must be in (0, 1)")
+        if mean_dwell <= 0:
+            raise ValueError("mean_dwell must be positive")
+        self.grid = grid
+        self.slowdown = slowdown
+        self.loaded_fraction = loaded_fraction
+        self.mean_loaded_dwell = mean_dwell
+        self.mean_free_dwell = mean_dwell * (1 - loaded_fraction) \
+            / loaded_fraction
+        self._rng = rng or random.Random(0)
+        self._loaded: Dict[str, bool] = {}
+        #: Compute phases that sampled the loaded state.
+        self.loaded_samples = 0
+        self.total_samples = 0
+        for worker in grid.workers:
+            self._loaded[worker.name] = \
+                self._rng.random() < loaded_fraction
+            worker.compute_factor = self._factor_for(worker)
+            grid.env.process(self._churn(worker),
+                             name=f"load-{worker.name}")
+
+    def _factor_for(self, worker: "Worker"):
+        def factor() -> float:
+            self.total_samples += 1
+            if self._loaded[worker.name]:
+                self.loaded_samples += 1
+                return self.slowdown
+            return 1.0
+        return factor
+
+    def is_loaded(self, worker: "Worker") -> bool:
+        return self._loaded[worker.name]
+
+    def _churn(self, worker: "Worker"):
+        env = self.grid.env
+        scheduler = self.grid.scheduler
+        # Stop flipping once the job is done so the event queue drains.
+        while scheduler is None or scheduler.tasks_remaining > 0:
+            loaded = self._loaded[worker.name]
+            dwell = (self.mean_loaded_dwell if loaded
+                     else self.mean_free_dwell)
+            yield env.timeout(self._rng.expovariate(1.0 / dwell))
+            scheduler = self.grid.scheduler
+            self._loaded[worker.name] = not self._loaded[worker.name]

@@ -1,0 +1,71 @@
+"""The contract between grid workers and scheduling policies.
+
+Policies live in :mod:`repro.core`; the grid runtime only sees this
+interface.  A policy is *pull-shaped*: a worker asks for its next task
+via :meth:`GridScheduler.next_task` and reports completion via
+:meth:`GridScheduler.notify_complete`.  Task-centric (push) policies fit
+the same interface by resolving ``next_task`` from per-worker queues
+they fill proactively — the paper itself notes that a scheduler tracking
+idle workers and assigning on idleness "is semantically the same".
+
+``next_task`` resolving to ``None`` tells the worker to shut down (no
+tasks will ever arrive again).
+"""
+
+from __future__ import annotations
+
+import abc
+import typing
+from typing import Optional
+
+from ..sim.events import Event
+from .job import Task
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Grid
+    from .worker import Worker
+
+
+class GridScheduler(abc.ABC):
+    """Base class every scheduling policy implements."""
+
+    #: Set by :meth:`bind`.
+    grid: "Grid" = None  # type: ignore[assignment]
+
+    @abc.abstractmethod
+    def bind(self, grid: "Grid") -> None:
+        """Attach the policy to a built grid (called once by the runner).
+
+        Implementations must set :attr:`grid` and create the
+        ``job_done`` event on ``grid.env``.
+        """
+
+    @abc.abstractmethod
+    def next_task(self, worker: "Worker") -> Event:
+        """Event resolving to the worker's next :class:`Task` (or None).
+
+        Called every time ``worker`` goes idle.  The event may resolve
+        immediately (worker-centric policies choose a task on the spot)
+        or later (push policies with empty queues).
+        """
+
+    @abc.abstractmethod
+    def notify_complete(self, worker: "Worker", task: Task) -> None:
+        """``worker`` finished ``task``.
+
+        Policies must tolerate duplicate completions of the same task id
+        (replicated execution can finish twice before cancellation wins).
+        """
+
+    def notify_cancelled(self, worker: "Worker", task: Task) -> None:
+        """``worker`` aborted a replica of ``task`` after cancellation."""
+
+    @property
+    @abc.abstractmethod
+    def job_done(self) -> Event:
+        """Succeeds when every task of the job has completed once."""
+
+    @property
+    @abc.abstractmethod
+    def tasks_remaining(self) -> int:
+        """Tasks not yet completed (for progress inspection)."""

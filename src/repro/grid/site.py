@@ -1,0 +1,52 @@
+"""A grid site: one data server, local storage, and a set of workers.
+
+System-model assumption 2: each site has at least one worker and exactly
+one data server with one combined local storage.  Assumption 7 makes
+intra-site communication free, so the whole site shares a single
+topology node (its gateway) and the gateway's uplink is the shared
+bottleneck for everything entering or leaving the site.
+"""
+
+from __future__ import annotations
+
+import typing
+from typing import List, Sequence
+
+from .data_server import DataServer
+from .storage import SiteStorage
+from .worker import Worker
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Grid
+
+
+class Site:
+    """One cluster of the grid."""
+
+    def __init__(self, grid: "Grid", site_id: int, gateway: str,
+                 capacity_files: int, worker_speeds: Sequence[float],
+                 data_server_parallelism: int = 1):
+        if not worker_speeds:
+            raise ValueError(f"site {site_id} needs at least one worker")
+        self.grid = grid
+        self.site_id = site_id
+        #: Topology node name of the site's shared gateway.
+        self.gateway = gateway
+        self.storage = SiteStorage(capacity_files)
+        self.data_server = DataServer(grid.env, site_id, gateway,
+                                      self.storage, grid.file_server,
+                                      grid.trace,
+                                      parallelism=data_server_parallelism)
+        self.workers: List[Worker] = [
+            Worker(grid, self, index, speed)
+            for index, speed in enumerate(worker_speeds)
+        ]
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Site {self.site_id} gateway={self.gateway} "
+                f"workers={self.num_workers} "
+                f"capacity={self.storage.capacity_files}>")

@@ -1,0 +1,161 @@
+"""Grid workers: the compute hosts inside a site.
+
+A worker runs one task at a time, end to end:
+
+1. request the next task from the scheduling policy (control message),
+2. submit one batch file request to its site's data server and wait for
+   every input file to be local (assumptions 4 & 5),
+3. compute for ``task.flops / speed`` seconds,
+4. release its pins and notify the scheduler (control message), loop.
+
+Workers support *replica cancellation* for the storage-affinity
+baseline: :meth:`Worker.cancel_task` interrupts the fetch/compute phase
+if the worker is currently executing the given task.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from ..analysis.trace import (TaskCancelled, TaskCompleted, TaskStarted,
+                              TraceBus)
+from ..sim.errors import Interrupt
+from ..sim.events import Event
+from .job import Task
+
+if typing.TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Grid
+    from .site import Site
+
+#: Size in bytes of a scheduler control message (task request, task
+#: delivery, completion notification).  Small, but routed through the
+#: real network so shared links see the traffic.
+CONTROL_MESSAGE_BYTES = 1024.0
+
+
+class Worker:
+    """One compute host within a site."""
+
+    def __init__(self, grid: "Grid", site: "Site", index: int,
+                 mflops: float):
+        if mflops <= 0:
+            raise ValueError(f"worker speed must be positive, got {mflops}")
+        self.grid = grid
+        self.site = site
+        self.name = f"w{site.site_id}.{index}"
+        self.mflops = mflops
+        self.flops_per_second = mflops * 1e6
+        self.env = grid.env
+        self.trace: TraceBus = grid.trace
+        #: Task currently in the fetch/compute phase, if any.
+        self.current_task: typing.Optional[Task] = None
+        #: Optional callable returning a compute-time multiplier,
+        #: sampled at compute start (background CPU load hook).
+        self.compute_factor: typing.Optional[
+            typing.Callable[[], float]] = None
+        self._cancellable = False
+        self.tasks_completed = 0
+        self.tasks_cancelled = 0
+        self.busy_time = 0.0
+        self._process = grid.env.process(self._run(), name=self.name)
+
+    # -- control -----------------------------------------------------------
+    def cancel_task(self, task_id: int) -> bool:
+        """Interrupt this worker if it is executing task ``task_id``.
+
+        Returns True if an interrupt was delivered.  Used by replicating
+        schedulers when another copy of the task finished first.
+        """
+        if (self._cancellable and self.current_task is not None
+                and self.current_task.task_id == task_id
+                and self._process.is_alive):
+            self._process.interrupt(task_id)
+            return True
+        return False
+
+    def fail(self, repair_time: float) -> bool:
+        """Crash the worker mid-task; it returns after ``repair_time``.
+
+        Returns True if the worker was actually executing something.
+        Used by :class:`~repro.grid.failures.WorkerFailureInjector`.
+        """
+        from .failures import WorkerFailure  # local: avoid import cycle
+        if self._cancellable and self.current_task is not None \
+                and self._process.is_alive:
+            self._process.interrupt(WorkerFailure(repair_time))
+            return True
+        return False
+
+    @property
+    def process(self):
+        """The underlying simulation process (an event; joinable)."""
+        return self._process
+
+    # -- main loop -------------------------------------------------------
+    def _run(self):
+        net = self.grid.network
+        gateway = self.site.gateway
+        scheduler_node = self.grid.scheduler_node
+        while True:
+            # Ask the global scheduler for work (request + reply).
+            yield net.transfer(gateway, scheduler_node,
+                               CONTROL_MESSAGE_BYTES)
+            task = yield self.grid.scheduler.next_task(self)
+            yield net.transfer(scheduler_node, gateway,
+                               CONTROL_MESSAGE_BYTES)
+            if task is None:
+                return
+            yield from self._execute(task)
+
+    def _execute(self, task: Task):
+        self.current_task = task
+        self._cancellable = True
+        request = self.site.data_server.submit(task.files, self.name)
+        started = self.env.now
+        try:
+            ready = yield request.done
+            if not ready:
+                # Cancelled while still queued at the data server.
+                self._finish_cancelled(task)
+                return
+            self.trace.emit(TaskStarted(time=self.env.now,
+                                        task_id=task.task_id,
+                                        worker=self.name,
+                                        site=self.site.site_id))
+            if task.flops > 0:
+                duration = task.flops / self.flops_per_second
+                if self.compute_factor is not None:
+                    duration *= self.compute_factor()
+                yield self.env.timeout(duration)
+        except Interrupt as interrupt:
+            self.site.data_server.cancel(request)
+            self._finish_cancelled(task)
+            cause = interrupt.cause
+            if hasattr(cause, "repair_time") and cause.repair_time > 0:
+                yield self.env.timeout(cause.repair_time)
+            return
+
+        self._cancellable = False
+        self.site.data_server.release(request)
+        self.busy_time += self.env.now - started
+        self.tasks_completed += 1
+        self.trace.emit(TaskCompleted(time=self.env.now,
+                                      task_id=task.task_id,
+                                      worker=self.name,
+                                      site=self.site.site_id))
+        # Completion notification rides the network too.
+        yield self.grid.network.transfer(self.site.gateway,
+                                         self.grid.scheduler_node,
+                                         CONTROL_MESSAGE_BYTES)
+        self.grid.scheduler.notify_complete(self, task)
+        self.current_task = None
+
+    def _finish_cancelled(self, task: Task) -> None:
+        self._cancellable = False
+        self.tasks_cancelled += 1
+        self.trace.emit(TaskCancelled(time=self.env.now,
+                                      task_id=task.task_id,
+                                      worker=self.name,
+                                      site=self.site.site_id))
+        self.grid.scheduler.notify_cancelled(self, task)
+        self.current_task = None

@@ -1,0 +1,25 @@
+"""Network substrate: topology graphs, flow-level transfers, Tiers generator.
+
+* :class:`Topology`, :class:`Link`, :class:`Route` — the graph layer.
+* :class:`FlowNetwork`, :class:`TransferStats` — max-min fair flow model.
+* :func:`generate_tiers` / :class:`TiersParams` / :class:`GridTopology` —
+  hierarchical WAN/MAN/LAN topologies in the style of the Tiers generator
+  the paper uses.
+"""
+
+from .crosstraffic import CrossTraffic
+from .flow import FlowNetwork, TransferStats
+from .tiers import GridTopology, TiersParams, generate as generate_tiers
+from .topology import Link, Route, Topology
+
+__all__ = [
+    "CrossTraffic",
+    "FlowNetwork",
+    "GridTopology",
+    "Link",
+    "Route",
+    "TiersParams",
+    "Topology",
+    "TransferStats",
+    "generate_tiers",
+]

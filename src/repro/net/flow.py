@@ -1,0 +1,211 @@
+"""Flow-level network simulation with progressive max-min fair sharing.
+
+This is the SimGrid-style network model the paper's simulations rely on:
+a transfer is a *flow* along a fixed route; all flows crossing a link
+share its bandwidth max-min fairly; whenever a flow starts or finishes,
+every rate is recomputed (water-filling) and the next completion is
+re-scheduled.
+
+The model captures the two effects the paper leans on:
+
+* a site's workers and data server share one uplink, so concurrent
+  transfers into a site contend with each other, and
+* transfer time scales with bytes over the bottleneck link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..sim.engine import Environment
+from ..sim.events import Event
+from .topology import Route, Topology
+
+#: Remaining-bytes threshold under which a flow counts as finished.
+#: Guards against float drift accumulating over rate recomputations.
+_EPSILON_BYTES = 1e-6
+
+#: Defensive floor on flow rates.  Float drift in the water-filling loop
+#: could otherwise assign a flow exactly 0 bytes/s and stall the clock.
+_MIN_RATE = 1e-9
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Completion record for one finished flow."""
+
+    src: str
+    dst: str
+    size: float
+    requested_at: float
+    started_at: float   # admission time (request + route latency)
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        """Wall time from request to completion (includes latency)."""
+        return self.finished_at - self.requested_at
+
+
+class _Flow:
+    """Internal mutable state of one active transfer."""
+
+    __slots__ = ("flow_id", "route", "size", "remaining", "rate",
+                 "done", "requested_at", "started_at")
+
+    def __init__(self, flow_id: int, route: Route, size: float,
+                 done: Event, requested_at: float, started_at: float):
+        self.flow_id = flow_id
+        self.route = route
+        self.size = size
+        self.remaining = size
+        self.rate = 0.0
+        self.done = done
+        self.requested_at = requested_at
+        self.started_at = started_at
+
+
+class FlowNetwork:
+    """Executes transfers over a :class:`Topology` with max-min sharing.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    topology:
+        The network graph; routes are resolved through it.
+    """
+
+    def __init__(self, env: Environment, topology: Topology):
+        self.env = env
+        self.topology = topology
+        self._flows: Dict[int, _Flow] = {}
+        self._next_id = 0
+        self._last_update = env.now
+        self._timer_version = 0
+        #: Cumulative counters for analysis.
+        self.completed_transfers = 0
+        self.bytes_transferred = 0.0
+
+    # -- public API ----------------------------------------------------
+    @property
+    def active_flow_count(self) -> int:
+        return len(self._flows)
+
+    def transfer(self, src: str, dst: str, size: float) -> Event:
+        """Start moving ``size`` bytes from ``src`` to ``dst``.
+
+        Returns an event whose value is a :class:`TransferStats` once the
+        last byte arrives.  Zero-byte and same-node transfers complete
+        after the route latency alone.
+        """
+        if size < 0:
+            raise ValueError(f"negative transfer size {size}")
+        route = self.topology.route(src, dst)
+        done = Event(self.env)
+        requested_at = self.env.now
+        latency = route.latency
+
+        if size == 0 or not route.links:
+            stats = TransferStats(src, dst, size, requested_at,
+                                  requested_at + latency,
+                                  requested_at + latency)
+            self.completed_transfers += 1
+            self.bytes_transferred += size
+            done.succeed(stats, delay=latency)
+            return done
+
+        admit = self.env.timeout(latency)
+        admit.add_callback(
+            lambda _e: self._admit(route, size, done, requested_at))
+        return done
+
+    # -- internals -------------------------------------------------------
+    def _admit(self, route: Route, size: float, done: Event,
+               requested_at: float) -> None:
+        flow = _Flow(self._next_id, route, size, done, requested_at,
+                     self.env.now)
+        self._next_id += 1
+        self._flows[flow.flow_id] = flow
+        self._update()
+
+    def _update(self) -> None:
+        """Advance all flows to now, complete finished ones, reschedule."""
+        now = self.env.now
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed > 0:
+            for flow in self._flows.values():
+                flow.remaining -= flow.rate * elapsed
+                if flow.remaining < 0:
+                    flow.remaining = 0.0
+
+        # A flow is done when its bytes are (numerically) gone, or when
+        # the time left is below the clock's float resolution at `now` —
+        # otherwise `now + dt == now` and the completion timer would
+        # fire forever without advancing the clock.
+        eps_t = max(1e-9, abs(now) * 1e-12)
+        finished = [f for f in self._flows.values()
+                    if f.remaining <= _EPSILON_BYTES
+                    or (f.rate > 0 and f.remaining / f.rate <= eps_t)]
+        for flow in finished:
+            del self._flows[flow.flow_id]
+            self.completed_transfers += 1
+            self.bytes_transferred += flow.size
+            flow.done.succeed(TransferStats(
+                flow.route.src, flow.route.dst, flow.size,
+                flow.requested_at, flow.started_at, now))
+
+        self._recompute_rates()
+        self._schedule_next_completion()
+
+    def _recompute_rates(self) -> None:
+        """Water-filling max-min fair allocation over active flows."""
+        if not self._flows:
+            return
+        remaining_cap: Dict[int, float] = {}
+        link_flows: Dict[int, List[_Flow]] = {}
+        for flow in self._flows.values():
+            for link in flow.route.links:
+                if link.link_id not in remaining_cap:
+                    remaining_cap[link.link_id] = link.bandwidth
+                    link_flows[link.link_id] = []
+                link_flows[link.link_id].append(flow)
+
+        unfixed = dict(self._flows)  # flow_id -> flow, insertion ordered
+        counts = {lid: len(flows) for lid, flows in link_flows.items()}
+        while unfixed:
+            # The bottleneck link is the one offering the smallest fair
+            # share to its unfixed flows.
+            bottleneck = min(
+                (lid for lid, n in counts.items() if n > 0),
+                key=lambda lid: (remaining_cap[lid] / counts[lid], lid))
+            fair_share = remaining_cap[bottleneck] / counts[bottleneck]
+            for flow in list(link_flows[bottleneck]):
+                if flow.flow_id not in unfixed:
+                    continue
+                flow.rate = fair_share if fair_share > 0 else _MIN_RATE
+                del unfixed[flow.flow_id]
+                for link in flow.route.links:
+                    counts[link.link_id] -= 1
+                    remaining_cap[link.link_id] -= fair_share
+                    if remaining_cap[link.link_id] < 0:
+                        remaining_cap[link.link_id] = 0.0
+
+    def _schedule_next_completion(self) -> None:
+        self._timer_version += 1
+        if not self._flows:
+            return
+        next_done = min(flow.remaining / flow.rate
+                        for flow in self._flows.values() if flow.rate > 0)
+        # Never schedule below the clock's resolution (see _update).
+        next_done = max(next_done, 1e-9, abs(self.env.now) * 1e-12)
+        version = self._timer_version
+        timer = self.env.timeout(next_done)
+        timer.add_callback(lambda _e: self._on_timer(version))
+
+    def _on_timer(self, version: int) -> None:
+        if version != self._timer_version:
+            return  # superseded by a later admit/complete
+        self._update()

@@ -1,0 +1,133 @@
+"""Tiers-style hierarchical topology generation.
+
+The paper generates its simulation networks with the Tiers topology
+generator (Doar, Globecom 1996): a three-level hierarchy of WAN core,
+MANs, and LANs.  This module reproduces that structure with seeded
+randomness:
+
+* a WAN core ring (plus random chords for redundancy),
+* MAN routers, each homed to a WAN router,
+* one LAN gateway per grid *site*, homed to a MAN router,
+* a global scheduler node and a global file server node on the WAN core.
+
+Per the paper's system model, all workers and the data server of a site
+share the site's outgoing link, and intra-site communication is free —
+so the site gateway is the network endpoint for everything inside the
+site, and the gateway's uplink is the shared bottleneck.
+
+Bandwidths are jittered per link (seeded) to model heterogeneous
+networks, like Tiers' randomized link parameters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .topology import Topology
+
+MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class TiersParams:
+    """Knobs for the hierarchical generator.
+
+    Defaults give a 2006-era research WAN: ~100 Mbit core, ~40 Mbit
+    metro links, ~10 Mbit site uplinks, fat server uplinks, all in
+    bytes/second.  Data-intensive grid applications are network-bound
+    on links of this class, which is the regime the paper studies.
+    """
+
+    num_sites: int = 10
+    num_wan_routers: int = 4
+    num_man_routers: int = 0  # 0 = derive as max(2, num_sites // 4)
+    wan_bandwidth: float = 12.5 * MB
+    wan_latency: float = 0.020
+    man_bandwidth: float = 5.0 * MB
+    man_latency: float = 0.005
+    site_bandwidth: float = 1.25 * MB
+    site_latency: float = 0.002
+    server_bandwidth: float = 25.0 * MB
+    server_latency: float = 0.001
+    bandwidth_jitter: float = 0.25
+    extra_wan_chords: int = 1
+
+    def __post_init__(self):
+        if self.num_sites < 1:
+            raise ValueError("need at least one site")
+        if self.num_wan_routers < 1:
+            raise ValueError("need at least one WAN router")
+        if not 0.0 <= self.bandwidth_jitter < 1.0:
+            raise ValueError("bandwidth_jitter must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class GridTopology:
+    """A generated network plus the endpoints the grid model needs."""
+
+    topology: Topology
+    site_gateways: Tuple[str, ...]
+    scheduler_node: str
+    file_server_node: str
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.site_gateways)
+
+
+def generate(params: TiersParams, seed: int) -> GridTopology:
+    """Generate a hierarchical topology for ``params`` and ``seed``.
+
+    The same (params, seed) pair always produces the identical graph.
+    """
+    rng = random.Random(seed)
+    topo = Topology()
+
+    def jittered(base: float) -> float:
+        if params.bandwidth_jitter == 0:
+            return base
+        spread = params.bandwidth_jitter
+        return base * rng.uniform(1.0 - spread, 1.0 + spread)
+
+    # WAN core: ring plus chords.
+    wan = [topo.add_node(f"wan{i}", "wan")
+           for i in range(params.num_wan_routers)]
+    if len(wan) > 1:
+        for i, node in enumerate(wan):
+            topo.add_link(node, wan[(i + 1) % len(wan)],
+                          jittered(params.wan_bandwidth), params.wan_latency)
+    if len(wan) > 3:
+        for _ in range(params.extra_wan_chords):
+            a, b = rng.sample(wan, 2)
+            topo.add_link(a, b, jittered(params.wan_bandwidth),
+                          params.wan_latency)
+
+    # MAN tier.
+    num_mans = params.num_man_routers or max(2, params.num_sites // 4)
+    mans: List[str] = []
+    for i in range(num_mans):
+        man = topo.add_node(f"man{i}", "man")
+        topo.add_link(man, rng.choice(wan), jittered(params.man_bandwidth),
+                      params.man_latency)
+        mans.append(man)
+
+    # Site gateways (one LAN per grid site).
+    gateways: List[str] = []
+    for i in range(params.num_sites):
+        site = topo.add_node(f"site{i}", "site")
+        topo.add_link(site, rng.choice(mans), jittered(params.site_bandwidth),
+                      params.site_latency)
+        gateways.append(site)
+
+    # Global services sit on the WAN core with fat links.
+    scheduler = topo.add_node("scheduler", "service")
+    topo.add_link(scheduler, rng.choice(wan), params.server_bandwidth,
+                  params.server_latency)
+    file_server = topo.add_node("fileserver", "service")
+    topo.add_link(file_server, rng.choice(wan), params.server_bandwidth,
+                  params.server_latency)
+
+    assert topo.is_connected()
+    return GridTopology(topo, tuple(gateways), scheduler, file_server)

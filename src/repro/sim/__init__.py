@@ -1,0 +1,48 @@
+"""Discrete-event simulation kernel (SimGrid substitute).
+
+A compact, deterministic, generator-process DES engine:
+
+* :class:`Environment` — clock, event queue, run loop.
+* :class:`Event`, :class:`Timeout`, :class:`AllOf`, :class:`AnyOf` —
+  waitable occurrences.
+* :class:`Process` — a generator stepped through the events it yields.
+* :class:`Resource`, :class:`Store`, :class:`PriorityStore` — contention
+  primitives.
+* :class:`RngRegistry` — named deterministic random streams.
+"""
+
+from .engine import Environment
+from .errors import (
+    EmptyScheduleError,
+    EventAlreadyTriggeredError,
+    Interrupt,
+    SchedulingInPastError,
+    SimulationError,
+)
+from .events import AllOf, AnyOf, Event, Timeout
+from .monitor import StateMonitor, grid_probes
+from .process import Process
+from .resources import PriorityStore, Request, Resource, Store
+from .rng import RngRegistry, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "EmptyScheduleError",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggeredError",
+    "Interrupt",
+    "PriorityStore",
+    "Process",
+    "Request",
+    "Resource",
+    "RngRegistry",
+    "SchedulingInPastError",
+    "SimulationError",
+    "StateMonitor",
+    "Store",
+    "Timeout",
+    "derive_seed",
+    "grid_probes",
+]

@@ -1,0 +1,51 @@
+"""Exception types used by the discrete-event simulation kernel.
+
+The kernel distinguishes three failure families:
+
+* :class:`SimulationError` — programming errors against the kernel API
+  (scheduling into the past, running a finished simulation, ...).
+* :class:`Interrupt` — thrown *into* a process when another process calls
+  :meth:`repro.sim.process.Process.interrupt`.  It is a control-flow
+  signal, not an error, and processes are expected to catch it.
+* Event failure — any exception passed to ``Event.fail`` is re-raised in
+  every process waiting on that event.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(RuntimeError):
+    """A misuse of the simulation kernel API."""
+
+
+class SchedulingInPastError(SimulationError):
+    """An event was scheduled with a delay lower than zero."""
+
+
+class EventAlreadyTriggeredError(SimulationError):
+    """``succeed``/``fail`` was called on an already-triggered event."""
+
+
+class EmptyScheduleError(SimulationError):
+    """``run`` was asked to advance but no events remain.
+
+    Raised by :meth:`repro.sim.engine.Environment.step` when the event
+    queue is empty.  ``Environment.run`` catches it internally and returns
+    normally, so user code only sees it when stepping manually.
+    """
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted by another process.
+
+    The interrupting party may attach an arbitrary ``cause`` explaining
+    why the interrupt happened; it is available as :attr:`cause`.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The value passed to ``Process.interrupt``, or ``None``."""
+        return self.args[0]

@@ -1,0 +1,99 @@
+"""Periodic state sampling during a simulation.
+
+A :class:`StateMonitor` runs a sampling process that calls registered
+probes every ``interval`` simulated seconds and stores the time series
+— queue lengths, active flows, pending tasks, storage occupancy —
+whatever the probes measure.  The postmortem tooling plots these to
+explain *when* a bottleneck built up, not just that it existed.
+
+Probes are plain callables returning a number; they run inside the
+simulation loop, so they must be cheap and side-effect free.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .engine import Environment
+
+Probe = Callable[[], float]
+
+
+class StateMonitor:
+    """Samples named probes on a fixed simulated-time cadence.
+
+    Parameters
+    ----------
+    env:
+        The simulation to sample.
+    interval:
+        Seconds of simulated time between samples.
+    stop_when:
+        Optional predicate; sampling ends once it returns True (so the
+        event queue can drain).  Without it, sampling runs until the
+        queue would otherwise empty — pass one for open-ended runs.
+    """
+
+    def __init__(self, env: Environment, interval: float,
+                 stop_when: Optional[Callable[[], bool]] = None):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.env = env
+        self.interval = interval
+        self._stop_when = stop_when
+        self._probes: Dict[str, Probe] = {}
+        #: name -> [(time, value), ...]
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+        self._process = env.process(self._run(), name="state-monitor")
+
+    def add_probe(self, name: str, probe: Probe) -> None:
+        """Register ``probe`` under ``name`` (before or during the run)."""
+        if name in self._probes:
+            raise ValueError(f"duplicate probe {name!r}")
+        self._probes[name] = probe
+        self.series[name] = []
+
+    def _run(self):
+        while self._stop_when is None or not self._stop_when():
+            for name, probe in self._probes.items():
+                self.series[name].append((self.env.now, float(probe())))
+            yield self.env.timeout(self.interval)
+            if self._stop_when is not None and self._stop_when():
+                return
+
+    # -- convenience ------------------------------------------------------
+    def peak(self, name: str) -> Tuple[float, float]:
+        """(time, value) of the maximum sample of ``name``."""
+        samples = self.series[name]
+        if not samples:
+            raise ValueError(f"no samples for {name!r}")
+        return max(samples, key=lambda pair: pair[1])
+
+    def mean(self, name: str) -> float:
+        """Arithmetic mean of ``name``'s samples."""
+        samples = self.series[name]
+        if not samples:
+            raise ValueError(f"no samples for {name!r}")
+        return sum(value for _t, value in samples) / len(samples)
+
+
+def grid_probes(monitor: StateMonitor, grid) -> None:
+    """Register the standard grid probes on ``monitor``.
+
+    * ``pending_tasks`` — scheduler backlog,
+    * ``active_flows`` — concurrent network transfers,
+    * ``storage_fill`` — mean site-storage occupancy fraction,
+    * ``busy_workers`` — workers currently in the fetch/compute phase.
+    """
+    monitor.add_probe(
+        "pending_tasks", lambda: grid.scheduler.tasks_remaining)
+    monitor.add_probe(
+        "active_flows", lambda: grid.network.active_flow_count)
+    monitor.add_probe(
+        "storage_fill",
+        lambda: sum(len(site.storage) / site.storage.capacity_files
+                    for site in grid.sites) / len(grid.sites))
+    monitor.add_probe(
+        "busy_workers",
+        lambda: sum(1 for worker in grid.workers
+                    if worker.current_task is not None))

@@ -1,0 +1,45 @@
+"""Workloads: synthetic Coadd, generic BoT generators, speeds, traces.
+
+* :mod:`repro.workload.coadd` — the paper's workload, calibrated against
+  Table 2 and Figure 3.
+* :mod:`repro.workload.synthetic` — uniform / Zipf / sliding-window
+  generators for tests and sensitivity studies.
+* :mod:`repro.workload.top500` — Top500-style worker speed sampling.
+* :mod:`repro.workload.stats` — Table 2 / Figure 1/3 characterization.
+* :mod:`repro.workload.traces` — JSON (de)serialization of jobs.
+"""
+
+from .campaign import Campaign, CampaignJob, coadd_campaign, concat_jobs
+from .coadd import COADD_6000, COADD_FULL, CoaddParams
+from .coadd import generate as generate_coadd
+from .coadd import generate_with_keys
+from .ordering import reorder_job
+from .stats import WorkloadStats, characterize, reference_cdf_series
+from .synthetic import sliding_window, uniform_random, zipf_popularity
+from .top500 import sample_speed, sample_speeds
+from .traces import job_from_dict, job_to_dict, load_job, save_job
+
+__all__ = [
+    "COADD_6000",
+    "Campaign",
+    "CampaignJob",
+    "coadd_campaign",
+    "concat_jobs",
+    "generate_with_keys",
+    "reorder_job",
+    "COADD_FULL",
+    "CoaddParams",
+    "WorkloadStats",
+    "characterize",
+    "generate_coadd",
+    "job_from_dict",
+    "job_to_dict",
+    "load_job",
+    "reference_cdf_series",
+    "sample_speed",
+    "sample_speeds",
+    "save_job",
+    "sliding_window",
+    "uniform_random",
+    "zipf_popularity",
+]

@@ -1,0 +1,131 @@
+"""Multi-job campaigns over a shared file universe.
+
+The storage-affinity paper evaluates *sequences* of jobs whose input
+sets overlap — data left at a site by one job accelerates the next.
+This module builds such campaigns for the synthetic Coadd:
+
+* :func:`coadd_campaign` — ``num_jobs`` passes over the same stripe
+  with jittered windows and re-calibration (different auxiliary files
+  per job), so consecutive jobs share most field files but not all;
+* :func:`concat_jobs` — fuses per-job task lists into one
+  :class:`~repro.grid.job.Job` with contiguous task ids, remembering
+  which span belongs to which job (for per-job metrics and sequential
+  release).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..grid.files import FileCatalog
+from ..grid.job import Job, Task
+from .coadd import CoaddParams, generate_with_keys
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One job's task-id span within a fused campaign job."""
+
+    name: str
+    first_task_id: int
+    num_tasks: int
+
+    @property
+    def task_ids(self) -> range:
+        return range(self.first_task_id,
+                     self.first_task_id + self.num_tasks)
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A fused multi-job workload."""
+
+    job: Job
+    members: Tuple[CampaignJob, ...]
+
+    def member_tasks(self, index: int) -> List[Task]:
+        member = self.members[index]
+        return [self.job[tid] for tid in member.task_ids]
+
+
+def concat_jobs(jobs: Sequence[Job], names: Sequence[str] = ()) -> Campaign:
+    """Fuse jobs sharing one catalog into a single campaign job.
+
+    All jobs must reference the same :class:`FileCatalog` object (the
+    generators below guarantee it); task ids are renumbered to be
+    contiguous in campaign order.
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    catalog = jobs[0].catalog
+    for job in jobs[1:]:
+        if job.catalog is not catalog:
+            raise ValueError("campaign jobs must share one catalog")
+    tasks: List[Task] = []
+    members: List[CampaignJob] = []
+    for index, job in enumerate(jobs):
+        name = names[index] if index < len(names) else f"job{index}"
+        members.append(CampaignJob(name=name,
+                                   first_task_id=len(tasks),
+                                   num_tasks=len(job)))
+        for task in job:
+            tasks.append(Task(task_id=len(tasks), files=task.files,
+                              flops=task.flops))
+    fused = Job(tasks, catalog, name="campaign")
+    return Campaign(job=fused, members=tuple(members))
+
+
+def coadd_campaign(params: CoaddParams, num_jobs: int, seed: int = 0,
+                   shuffle: bool = True) -> Campaign:
+    """``num_jobs`` coaddition passes over one stripe.
+
+    Every pass re-generates task windows with a different seed over the
+    *same* run geometry, so passes share the field-file universe (the
+    reuse across jobs) while differing in exact input sets; auxiliary
+    files are per-pass (never shared across jobs).  With ``shuffle``
+    each pass's tasks are internally permuted (see
+    :mod:`repro.workload.ordering` for why).
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be >= 1")
+    # Generate each pass over the same run geometry (same `seed`; only
+    # the per-task jitter differs), then merge their file spaces by the
+    # generators' stable identity keys: field files unify across
+    # passes, auxiliary files stay per-pass.
+    passes = [
+        generate_with_keys(params, seed=seed,
+                           jitter_seed=None if index == 0
+                           else seed * 1000003 + index)
+        for index in range(num_jobs)
+    ]
+    campaign_fid: Dict[Tuple, int] = {}
+    remapped: List[List[Task]] = []
+    for index, (job_pass, keys) in enumerate(passes):
+        local_to_campaign: Dict[int, int] = {}
+        for local_fid, key in enumerate(keys):
+            if key[0] == "aux":
+                key = ("aux", index, key[1])
+            local_to_campaign[local_fid] = campaign_fid.setdefault(
+                key, len(campaign_fid))
+        tasks = [
+            Task(task_id=task.task_id,
+                 files=frozenset(local_to_campaign[fid]
+                                 for fid in task.files),
+                 flops=task.flops)
+            for task in job_pass
+        ]
+        remapped.append(tasks)
+
+    catalog = FileCatalog(len(campaign_fid),
+                          default_size=passes[0][0].catalog.default_size)
+    order = random.Random(seed + 99)
+    jobs: List[Job] = []
+    for index, tasks in enumerate(remapped):
+        if shuffle:
+            order.shuffle(tasks)
+            tasks = [Task(task_id=i, files=t.files, flops=t.flops)
+                     for i, t in enumerate(tasks)]
+        jobs.append(Job(tasks, catalog, name=f"pass{index}"))
+    return concat_jobs(jobs, names=[f"pass{i}" for i in range(num_jobs)])

@@ -1,0 +1,89 @@
+"""Workload characterization: Table 2 numbers and the Figure 1/3 CDF.
+
+The paper characterizes Coadd with (a) aggregate counts — total files,
+min/max/average files per task — and (b) a cumulative distribution of
+file reference counts plotted against a *decreasing* x-axis: the point
+at x = k is the fraction of files referenced by **at least** k tasks.
+:class:`WorkloadStats` computes both from any :class:`~repro.grid.job.Job`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..grid.job import Job
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Summary statistics of a Bag-of-Tasks workload."""
+
+    num_tasks: int
+    total_files: int
+    min_files_per_task: int
+    max_files_per_task: int
+    avg_files_per_task: float
+    #: reference_cdf[k] = fraction of files referenced by >= k tasks.
+    reference_cdf: Tuple[Tuple[int, float], ...]
+
+    def fraction_referenced_at_least(self, k: int) -> float:
+        """Fraction of files referenced by at least ``k`` tasks."""
+        for refs, fraction in self.reference_cdf:
+            if refs == k:
+                return fraction
+        if k <= 0:
+            return 1.0
+        max_refs = self.reference_cdf[-1][0] if self.reference_cdf else 0
+        return 0.0 if k > max_refs else 1.0
+
+    def as_table(self) -> str:
+        """Render the Table 2 block as aligned ASCII."""
+        rows = [
+            ("Total number of files", f"{self.total_files}"),
+            ("Max number of files needed by a task",
+             f"{self.max_files_per_task}"),
+            ("Min number of files needed by a task",
+             f"{self.min_files_per_task}"),
+            ("Average number of files needed by a task",
+             f"{self.avg_files_per_task:.4f}"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(f"{label:<{width}}  {value}"
+                         for label, value in rows)
+
+
+def characterize(job: Job) -> WorkloadStats:
+    """Compute :class:`WorkloadStats` for ``job``."""
+    sizes = [task.num_files for task in job]
+    counts = job.reference_counts()
+    total_files = len(counts)
+    max_refs = max(counts.values(), default=0)
+    cdf: List[Tuple[int, float]] = []
+    if total_files:
+        # fraction of files with refs >= k, for k = 1 .. max_refs.
+        histogram: Dict[int, int] = {}
+        for refs in counts.values():
+            histogram[refs] = histogram.get(refs, 0) + 1
+        at_least = 0
+        tail: Dict[int, int] = {}
+        for k in range(max_refs, 0, -1):
+            at_least += histogram.get(k, 0)
+            tail[k] = at_least
+        cdf = [(k, tail[k] / total_files) for k in range(1, max_refs + 1)]
+    return WorkloadStats(
+        num_tasks=len(job),
+        total_files=total_files,
+        min_files_per_task=min(sizes) if sizes else 0,
+        max_files_per_task=max(sizes) if sizes else 0,
+        avg_files_per_task=sum(sizes) / len(sizes) if sizes else 0.0,
+        reference_cdf=tuple(cdf),
+    )
+
+
+def reference_cdf_series(stats: WorkloadStats,
+                         points: Sequence[int] = tuple(range(1, 13)),
+                         ) -> List[Tuple[int, float]]:
+    """The Figure 1/3 series: (k, % of files referenced >= k times)."""
+    return [(k, 100.0 * stats.fraction_referenced_at_least(k))
+            for k in points]

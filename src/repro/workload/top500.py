@@ -1,0 +1,50 @@
+"""Synthetic Top500-style worker speeds.
+
+The paper draws each worker's compute capacity from the Top500 list and
+divides it by 100 ("most of the 500 machines are too powerful").  The
+list itself is not available offline, so we model its Rmax-vs-rank curve
+with the power law that fits the 2006-era lists well:
+
+    Rmax(rank) ~= Rmax(1) * rank ** -alpha
+
+with ``Rmax(1)`` ≈ 280 TFLOPS (BlueGene/L) and ``alpha`` chosen so rank
+500 lands at ≈ 2.7 TFLOPS.  Only the *spread* of speeds matters to the
+simulation — heterogeneous workers finish compute phases at different
+times, de-synchronising data-server arrivals.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+#: Rank-1 machine, in MFLOPS (280 TFLOPS).
+RMAX_TOP_MFLOPS = 280.0e6
+#: Rank-500 machine, in MFLOPS (2.7 TFLOPS).
+RMAX_BOTTOM_MFLOPS = 2.7e6
+#: List length.
+LIST_SIZE = 500
+#: The paper divides sampled speeds by 100.
+PAPER_DIVISOR = 100.0
+
+_ALPHA = math.log(RMAX_TOP_MFLOPS / RMAX_BOTTOM_MFLOPS) / math.log(LIST_SIZE)
+
+
+def rmax_mflops(rank: int) -> float:
+    """Modelled Rmax (MFLOPS) of the machine at ``rank`` (1-based)."""
+    if not 1 <= rank <= LIST_SIZE:
+        raise ValueError(f"rank must be in [1, {LIST_SIZE}], got {rank}")
+    return RMAX_TOP_MFLOPS * rank ** (-_ALPHA)
+
+
+def sample_speed(rng: random.Random) -> float:
+    """One worker speed in MFLOPS: random list entry divided by 100."""
+    return rmax_mflops(rng.randint(1, LIST_SIZE)) / PAPER_DIVISOR
+
+
+def sample_speeds(rng: random.Random, count: int) -> List[float]:
+    """``count`` independent worker speeds (MFLOPS)."""
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    return [sample_speed(rng) for _ in range(count)]

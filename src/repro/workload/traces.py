@@ -1,0 +1,74 @@
+"""Workload (de)serialization.
+
+Jobs round-trip through a compact JSON document so generated workloads
+can be archived, diffed, and re-run exactly.  File sets are stored as
+sorted id lists; the catalog stores only the default size plus explicit
+overrides.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..grid.files import FileCatalog
+from ..grid.job import Job, Task
+
+FORMAT_VERSION = 1
+
+
+def job_to_dict(job: Job) -> dict:
+    """Serialize ``job`` to a JSON-compatible dict."""
+    catalog = job.catalog
+    overrides = {
+        str(fid): catalog.size(fid)
+        for fid in range(len(catalog))
+        if catalog.size(fid) != catalog.default_size
+    }
+    return {
+        "version": FORMAT_VERSION,
+        "name": job.name,
+        "catalog": {
+            "num_files": len(catalog),
+            "default_size": catalog.default_size,
+            "sizes": overrides,
+        },
+        "tasks": [
+            {
+                "id": task.task_id,
+                "files": sorted(task.files),
+                "flops": task.flops,
+            }
+            for task in job
+        ],
+    }
+
+
+def job_from_dict(data: dict) -> Job:
+    """Rebuild a :class:`Job` from :func:`job_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported workload format version {version!r}")
+    cat = data["catalog"]
+    catalog = FileCatalog(
+        cat["num_files"],
+        default_size=cat["default_size"],
+        sizes={int(fid): size for fid, size in cat.get("sizes", {}).items()},
+    )
+    tasks = [
+        Task(task_id=entry["id"], files=frozenset(entry["files"]),
+             flops=entry["flops"])
+        for entry in data["tasks"]
+    ]
+    return Job(tasks, catalog, name=data.get("name", "job"))
+
+
+def save_job(job: Job, path: Union[str, Path]) -> None:
+    """Write ``job`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(job_to_dict(job)))
+
+
+def load_job(path: Union[str, Path]) -> Job:
+    """Read a job previously written by :func:`save_job`."""
+    return job_from_dict(json.loads(Path(path).read_text()))

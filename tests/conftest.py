@@ -1,0 +1,60 @@
+"""Shared fixtures: small environments, topologies, jobs, grids."""
+
+import random
+
+import pytest
+
+from repro.grid.cluster import Grid
+from repro.grid.files import FileCatalog
+from repro.grid.job import Job, Task
+from repro.net.tiers import TiersParams, generate as generate_tiers
+from repro.net.topology import Topology
+from repro.sim.engine import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def two_node_topology():
+    """a --(10 B/s, 1s)-- b"""
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    topo.add_link("a", "b", bandwidth=10.0, latency=1.0)
+    return topo
+
+
+def make_job(task_files, num_files=None, file_size=1024.0, flops=0.0):
+    """Build a Job from a list of file-id collections."""
+    max_fid = max((fid for files in task_files for fid in files),
+                  default=-1)
+    catalog = FileCatalog(num_files or (max_fid + 1),
+                          default_size=file_size)
+    tasks = [Task(task_id=i, files=frozenset(files), flops=flops)
+             for i, files in enumerate(task_files)]
+    return Job(tasks, catalog)
+
+
+@pytest.fixture
+def tiny_job():
+    """4 tasks over 6 files with heavy overlap."""
+    return make_job([{0, 1, 2}, {1, 2, 3}, {2, 3, 4}, {3, 4, 5}])
+
+
+def make_grid(env, job, num_sites=2, workers_per_site=1,
+              capacity_files=100, speed_mflops=1000.0, seed=1,
+              trace=None):
+    """A small grid over a generated Tiers topology."""
+    grid_topology = generate_tiers(TiersParams(num_sites=num_sites),
+                                   seed=seed)
+    speeds = [[speed_mflops] * workers_per_site for _ in range(num_sites)]
+    return Grid(env, grid_topology, job, capacity_files, speeds,
+                trace=trace)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)

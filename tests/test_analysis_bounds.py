@@ -1,0 +1,84 @@
+"""Analytic makespan lower bounds."""
+
+import pytest
+
+from repro.analysis.bounds import MakespanBounds, compute_bounds, efficiency
+from repro.exp import ExperimentConfig, run_experiment
+from repro.exp.runner import build_job
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig(scheduler="rest.2", num_tasks=60,
+                            num_sites=3, capacity_files=600)
+
+
+@pytest.fixture(scope="module")
+def bounds(config):
+    return compute_bounds(config)
+
+
+@pytest.fixture(scope="module")
+def result(config):
+    return run_experiment(config)
+
+
+def test_bounds_positive(bounds):
+    assert bounds.bandwidth_bound > 0
+    assert bounds.compute_bound > 0
+    assert bounds.critical_task_bound > 0
+
+
+def test_best_is_max(bounds):
+    assert bounds.best == max(bounds.bandwidth_bound,
+                              bounds.compute_bound,
+                              bounds.critical_task_bound)
+
+
+def test_every_bound_below_any_real_makespan(bounds, result):
+    assert bounds.best <= result.makespan
+
+
+def test_efficiency_in_unit_interval(bounds, result):
+    value = efficiency(result, bounds)
+    assert 0.0 < value <= 1.0
+
+
+def test_efficiency_recomputes_bounds(result):
+    assert efficiency(result) == pytest.approx(
+        efficiency(result, compute_bounds(result.config)))
+
+
+def test_efficiency_rejects_zero_makespan(result, bounds):
+    import dataclasses
+    broken = dataclasses.replace(result, makespan=0.0)
+    with pytest.raises(ValueError):
+        efficiency(broken, bounds)
+
+
+def test_bandwidth_bound_scales_with_file_size(config):
+    small = compute_bounds(config.with_changes(file_size_mb=5.0))
+    large = compute_bounds(config.with_changes(file_size_mb=50.0))
+    assert large.bandwidth_bound == pytest.approx(
+        10 * small.bandwidth_bound, rel=1e-6)
+
+
+def test_compute_bound_scales_with_flops(config):
+    light = compute_bounds(config.with_changes(flops_per_file=1e9))
+    heavy = compute_bounds(config.with_changes(flops_per_file=1e11))
+    assert heavy.compute_bound == pytest.approx(
+        100 * light.compute_bound, rel=1e-6)
+
+
+def test_bounds_reuse_supplied_job(config):
+    job = build_job(config)
+    a = compute_bounds(config, job=job)
+    b = compute_bounds(config)
+    assert a.bandwidth_bound == pytest.approx(b.bandwidth_bound)
+
+
+def test_good_scheduler_has_reasonable_efficiency(result, bounds):
+    """rest.2 should land within a sane factor of the floor (serial
+    data servers and imperfect sharing keep it well below 1)."""
+    value = efficiency(result, bounds)
+    assert value > 0.05

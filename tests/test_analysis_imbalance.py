@@ -1,0 +1,58 @@
+"""Site load imbalance: the paper's 'unbalanced task assignments'."""
+
+import pytest
+
+from repro.analysis.metrics import load_imbalance, site_task_counts
+from repro.analysis.trace import TaskAssigned, TaskCompleted, TraceBus
+from repro.exp import ExperimentConfig, run_experiment
+from repro.exp.runner import build_job
+
+
+def test_load_imbalance_even():
+    assert load_imbalance({0: 5, 1: 5}) == pytest.approx(1.0)
+
+
+def test_load_imbalance_skewed():
+    assert load_imbalance({0: 9, 1: 1}) == pytest.approx(1.8)
+
+
+def test_load_imbalance_counts_empty_sites():
+    assert load_imbalance({0: 10}, num_sites=2) == pytest.approx(2.0)
+
+
+def test_load_imbalance_validation():
+    with pytest.raises(ValueError):
+        load_imbalance({})
+    with pytest.raises(ValueError):
+        load_imbalance({0: 1}, num_sites=0)
+
+
+def test_site_task_counts_dedupes_replicas():
+    bus = TraceBus()
+    bus.emit(TaskCompleted(time=1.0, task_id=0, worker="a", site=0))
+    bus.emit(TaskCompleted(time=1.1, task_id=0, worker="b", site=1))
+    bus.emit(TaskCompleted(time=2.0, task_id=1, worker="a", site=0))
+    assert site_task_counts(bus) == {0: 2}
+
+
+def test_site_task_counts_assignments_mode():
+    bus = TraceBus()
+    bus.emit(TaskAssigned(time=0.0, task_id=0, worker="a", site=2))
+    bus.emit(TaskAssigned(time=0.0, task_id=0, worker="b", site=0))
+    assert site_task_counts(bus, completed_only=False) == {2: 1}
+
+
+def test_push_assignment_more_imbalanced_than_pull_execution():
+    """Section 3.1: storage affinity's initial distribution piles tasks
+    onto data-rich sites; worker-centric execution is demand-driven."""
+    base = dict(num_tasks=120, num_sites=4, capacity_files=600,
+                keep_trace=True)
+    pull = run_experiment(ExperimentConfig(scheduler="rest", **base))
+    push = run_experiment(ExperimentConfig(scheduler="storage-affinity",
+                                           **base))
+    pull_counts = site_task_counts(pull.trace)
+    push_initial = site_task_counts(push.trace, completed_only=False)
+    pull_imbalance = load_imbalance(pull_counts, num_sites=4)
+    push_imbalance = load_imbalance(push_initial, num_sites=4)
+    assert push_imbalance >= pull_imbalance, \
+        "push initial assignment should be at least as imbalanced"

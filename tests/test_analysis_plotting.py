@@ -1,0 +1,77 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart, chart_sweep
+
+
+def test_basic_chart_structure():
+    text = ascii_chart({"a": [(0, 0.0), (10, 100.0)]},
+                       width=20, height=8, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert any("*" in line for line in lines)
+    assert any("+--" in line for line in lines)
+    assert "* a" in lines[-1]
+
+
+def test_two_series_get_distinct_marks():
+    text = ascii_chart({
+        "up": [(0, 0.0), (10, 100.0)],
+        "down": [(0, 100.0), (10, 0.0)],
+    }, width=20, height=8)
+    assert "* up" in text and "o down" in text
+    assert "o" in text.splitlines()[1]  # down starts at the top
+
+
+def test_monotone_series_renders_monotone():
+    text = ascii_chart({"a": [(0, 0.0), (5, 50.0), (10, 100.0)]},
+                       width=30, height=10)
+    rows = [line.split("|", 1)[1] for line in text.splitlines()
+            if "|" in line]
+    # row index of the mark in each column (smaller index = higher y)
+    row_of_col = {}
+    for row_index, row in enumerate(rows):
+        for col, char in enumerate(row):
+            if char == "*":
+                row_of_col.setdefault(col, row_index)
+    columns = sorted(row_of_col)
+    rows_in_col_order = [row_of_col[c] for c in columns]
+    # as x grows, y grows, so the row index must not increase
+    assert rows_in_col_order == sorted(rows_in_col_order, reverse=True)
+    # endpoints: left column at the bottom row band, right at the top
+    assert row_of_col[columns[0]] > row_of_col[columns[-1]]
+
+
+def test_flat_series_does_not_crash():
+    text = ascii_chart({"flat": [(0, 5.0), (10, 5.0)]},
+                       width=20, height=8)
+    assert "*" in text
+
+
+def test_axis_labels_present():
+    text = ascii_chart({"a": [(0, 0.0), (1, 1.0)]}, width=20, height=8,
+                       x_label="capacity", y_label="makespan")
+    assert "x: capacity" in text and "y: makespan" in text
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"a": []})
+
+
+def test_tiny_raster_rejected():
+    with pytest.raises(ValueError):
+        ascii_chart({"a": [(0, 1.0)]}, width=4, height=3)
+
+
+def test_chart_sweep_integration():
+    from repro.exp import ExperimentConfig, run_sweep
+    sweep = run_sweep(
+        ExperimentConfig(num_tasks=20, num_sites=2, capacity_files=400),
+        "capacity_files", (200, 400), ("rest",), topology_seeds=(0,))
+    text = chart_sweep(sweep, width=30, height=8)
+    assert "rest" in text
+    assert "x: capacity_files" in text

@@ -1,0 +1,150 @@
+"""Multi-job campaigns: workload fusion and sequential execution."""
+
+import pytest
+
+from repro.exp import ExperimentConfig
+from repro.exp.campaign import CampaignResult, run_campaign
+from repro.grid.files import FileCatalog
+from repro.grid.job import Job, Task
+from repro.workload.campaign import (Campaign, CampaignJob, coadd_campaign,
+                                     concat_jobs)
+from repro.workload.coadd import CoaddParams
+
+
+def two_jobs_shared_catalog():
+    catalog = FileCatalog(10)
+    job_a = Job([Task(0, frozenset({0, 1})), Task(1, frozenset({1, 2}))],
+                catalog, name="a")
+    job_b = Job([Task(0, frozenset({2, 3}))], catalog, name="b")
+    return job_a, job_b
+
+
+# -- fusion -----------------------------------------------------------------
+
+def test_concat_jobs_renumbers():
+    job_a, job_b = two_jobs_shared_catalog()
+    campaign = concat_jobs([job_a, job_b], names=["a", "b"])
+    assert len(campaign.job) == 3
+    assert [t.task_id for t in campaign.job] == [0, 1, 2]
+    assert campaign.members[0].task_ids == range(0, 2)
+    assert campaign.members[1].task_ids == range(2, 3)
+    assert campaign.members[1].name == "b"
+
+
+def test_concat_jobs_requires_shared_catalog():
+    job_a, _ = two_jobs_shared_catalog()
+    other = Job([Task(0, frozenset({0}))], FileCatalog(5))
+    with pytest.raises(ValueError):
+        concat_jobs([job_a, other])
+
+
+def test_concat_jobs_empty_rejected():
+    with pytest.raises(ValueError):
+        concat_jobs([])
+
+
+def test_member_tasks_lookup():
+    job_a, job_b = two_jobs_shared_catalog()
+    campaign = concat_jobs([job_a, job_b])
+    tasks = campaign.member_tasks(1)
+    assert len(tasks) == 1
+    assert tasks[0].files == frozenset({2, 3})
+
+
+# -- coadd campaign ------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    return coadd_campaign(CoaddParams(num_tasks=60), num_jobs=3, seed=2)
+
+
+def test_coadd_campaign_shape(small_campaign):
+    assert len(small_campaign.members) == 3
+    assert len(small_campaign.job) == 180
+    assert all(m.num_tasks == 60 for m in small_campaign.members)
+
+
+def test_passes_share_field_files(small_campaign):
+    """Later passes must reuse most of the first pass's files."""
+    first = set()
+    for task in small_campaign.member_tasks(0):
+        first.update(task.files)
+    second = set()
+    for task in small_campaign.member_tasks(1):
+        second.update(task.files)
+    shared = len(first & second)
+    assert shared / len(second) > 0.6
+
+
+def test_passes_differ_in_exact_inputs(small_campaign):
+    first = {t.files for t in small_campaign.member_tasks(0)}
+    second = {t.files for t in small_campaign.member_tasks(1)}
+    assert first != second
+
+
+def test_campaign_deterministic():
+    a = coadd_campaign(CoaddParams(num_tasks=30), num_jobs=2, seed=3)
+    b = coadd_campaign(CoaddParams(num_tasks=30), num_jobs=2, seed=3)
+    assert all(ta.files == tb.files for ta, tb in zip(a.job, b.job))
+
+
+def test_campaign_validation():
+    with pytest.raises(ValueError):
+        coadd_campaign(CoaddParams(num_tasks=10), num_jobs=0)
+
+
+# -- execution -----------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def campaign_result(small_campaign):
+    config = ExperimentConfig(scheduler="rest.2", num_tasks=1,
+                              num_sites=3, capacity_files=800)
+    return run_campaign(config, small_campaign, mode="sequential")
+
+
+def test_all_passes_complete(campaign_result):
+    assert len(campaign_result.passes) == 3
+    for index, pass_result in enumerate(campaign_result.passes):
+        assert pass_result.completed_at is not None
+        assert pass_result.duration > 0
+
+
+def test_passes_run_in_order(campaign_result):
+    times = [p.completed_at for p in campaign_result.passes]
+    releases = [p.released_at for p in campaign_result.passes]
+    assert releases[0] == 0.0
+    for previous_done, released in zip(times, releases[1:]):
+        assert released == pytest.approx(previous_done)
+
+
+def test_interjob_reuse_speeds_up_later_passes(campaign_result):
+    first, *rest = campaign_result.passes
+    assert all(p.transfers_in_period < 0.7 * first.transfers_in_period
+               for p in rest), "warm caches must cut transfers"
+    assert min(p.duration for p in rest) < first.duration
+
+
+def test_transfer_attribution_sums(campaign_result):
+    assert sum(p.transfers_in_period for p in campaign_result.passes) \
+        == campaign_result.file_transfers
+
+
+def test_immediate_mode_runs(small_campaign):
+    config = ExperimentConfig(scheduler="rest.2", num_tasks=1,
+                              num_sites=3, capacity_files=800)
+    result = run_campaign(config, small_campaign, mode="immediate")
+    assert result.makespan > 0
+    assert len(result.passes) == 3
+
+
+def test_bad_mode_rejected(small_campaign):
+    config = ExperimentConfig(num_tasks=1)
+    with pytest.raises(ValueError):
+        run_campaign(config, small_campaign, mode="nope")
+
+
+def test_offline_scheduler_rejected_for_sequential(small_campaign):
+    config = ExperimentConfig(scheduler="storage-affinity", num_tasks=1,
+                              num_sites=3, capacity_files=800)
+    with pytest.raises(ValueError):
+        run_campaign(config, small_campaign, mode="sequential")

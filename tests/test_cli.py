@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_command(capsys):
+    code, out = run_cli(capsys, "run", "--scheduler", "rest",
+                        "--tasks", "30", "--sites", "2",
+                        "--capacity", "400")
+    assert code == 0
+    assert "makespan" in out
+    assert "file transfers" in out
+
+
+def test_run_command_rejects_bad_scheduler(capsys):
+    with pytest.raises(ValueError):
+        main(["run", "--scheduler", "bogus", "--tasks", "10"])
+
+
+def test_compare_command(capsys):
+    code, out = run_cli(capsys, "compare", "--tasks", "30", "--sites", "2",
+                        "--capacity", "400", "--topologies", "2",
+                        "--schedulers", "rest", "workqueue")
+    assert code == 0
+    assert "rest" in out and "workqueue" in out
+    assert "lower is better" in out
+
+
+def test_sweep_command(capsys):
+    code, out = run_cli(capsys, "sweep", "--tasks", "30", "--sites", "2",
+                        "--field", "capacity_files",
+                        "--values", "300", "500",
+                        "--schedulers", "rest")
+    assert code == 0
+    assert "capacity_files" in out
+    assert "300" in out and "500" in out
+
+
+def test_sweep_command_float_and_string_values(capsys):
+    code, out = run_cli(capsys, "sweep", "--tasks", "30", "--sites", "2",
+                        "--field", "file_size_mb",
+                        "--values", "5.0", "25.0",
+                        "--schedulers", "rest")
+    assert code == 0
+    assert "5.0" in out
+
+
+def test_workload_command(capsys, tmp_path):
+    out_path = tmp_path / "job.json"
+    code, out = run_cli(capsys, "workload", "--tasks", "25",
+                        "--out", str(out_path))
+    assert code == 0
+    assert "Total number of files" in out
+    assert out_path.exists()
+    from repro.workload.traces import load_job
+    assert len(load_job(out_path)) == 25
+
+
+def test_workload_command_without_out(capsys):
+    code, out = run_cli(capsys, "workload", "--tasks", "25")
+    assert code == 0
+    assert "reference CDF" in out
+
+
+def test_figures_table2(capsys):
+    code, out = run_cli(capsys, "figures", "--name", "table2",
+                        "--scale", "small")
+    assert code == 0
+    assert "Total number of files" in out
+
+
+def test_figures_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        main(["figures", "--name", "fig99"])
+
+
+def test_compare_uses_task_order_flag(capsys):
+    code, out = run_cli(capsys, "run", "--tasks", "30", "--sites", "2",
+                        "--capacity", "400", "--task-order", "natural",
+                        "--scheduler", "rest")
+    assert code == 0

@@ -1,0 +1,98 @@
+"""CalculateWeight metrics: formulas and orderings."""
+
+import pytest
+
+from repro.core.metrics import (METRICS, ZERO_OVERLAP_ORDER, TaskView,
+                                combined_literal_metric, combined_metric,
+                                overlap_metric, rest_metric, rest_weight)
+
+
+def view(num_files=10, overlap=0, refsum=0.0, total_refsum=0.0,
+         total_rest=1.0, task_id=0):
+    return TaskView(task_id=task_id, num_files=num_files, overlap=overlap,
+                    refsum=refsum, total_refsum=total_refsum,
+                    total_rest=total_rest)
+
+
+def test_rest_weight_basic():
+    assert rest_weight(4) == pytest.approx(0.25)
+    assert rest_weight(1) == pytest.approx(1.0)
+
+
+def test_rest_weight_zero_missing_is_capped():
+    assert rest_weight(0) == pytest.approx(2.0)
+
+
+def test_rest_weight_negative_rejected():
+    with pytest.raises(ValueError):
+        rest_weight(-1)
+
+
+def test_overlap_metric_counts_overlap():
+    assert overlap_metric(view(overlap=7)) == 7.0
+    assert overlap_metric(view(overlap=0)) == 0.0
+
+
+def test_rest_metric_inverse_missing():
+    assert rest_metric(view(num_files=10, overlap=6)) == pytest.approx(0.25)
+
+
+def test_rest_metric_prefers_fewer_missing():
+    nearly_done = rest_metric(view(num_files=10, overlap=9))
+    far = rest_metric(view(num_files=10, overlap=2))
+    assert nearly_done > far
+
+
+def test_rest_metric_fully_resident_beats_everything():
+    full = rest_metric(view(num_files=10, overlap=10))
+    one_missing = rest_metric(view(num_files=10, overlap=9))
+    assert full > one_missing
+
+
+def test_combined_metric_sums_normalized_terms():
+    v = view(num_files=10, overlap=5, refsum=20.0, total_refsum=100.0,
+             total_rest=4.0)
+    expected = 20.0 / 100.0 + (1.0 / 5) / 4.0
+    assert combined_metric(v) == pytest.approx(expected)
+
+
+def test_combined_metric_zero_total_ref():
+    v = view(num_files=10, overlap=5, refsum=0.0, total_refsum=0.0,
+             total_rest=4.0)
+    assert combined_metric(v) == pytest.approx((1.0 / 5) / 4.0)
+
+
+def test_combined_metric_zero_total_rest_guard():
+    v = view(total_rest=0.0, total_refsum=0.0)
+    assert combined_metric(v) == 0.0
+
+
+def test_combined_literal_grows_with_missing():
+    """The printed formula prefers MORE missing files (the anomaly)."""
+    few_missing = combined_literal_metric(view(num_files=10, overlap=9,
+                                               total_rest=4.0))
+    many_missing = combined_literal_metric(view(num_files=10, overlap=1,
+                                                total_rest=4.0))
+    assert many_missing > few_missing
+
+
+def test_combined_intent_shrinks_with_missing():
+    few_missing = combined_metric(view(num_files=10, overlap=9,
+                                       total_rest=4.0))
+    many_missing = combined_metric(view(num_files=10, overlap=1,
+                                        total_rest=4.0))
+    assert few_missing > many_missing
+
+
+def test_registry_contains_all_metrics():
+    assert set(METRICS) == {"overlap", "rest", "combined",
+                            "combined-literal"}
+    assert set(ZERO_OVERLAP_ORDER) == set(METRICS)
+
+
+def test_missing_property():
+    assert view(num_files=10, overlap=4).missing == 6
+
+
+def test_taskview_rest_property():
+    assert view(num_files=10, overlap=8).rest == pytest.approx(0.5)

@@ -1,0 +1,196 @@
+"""Related-work baselines: XSufferage and Spatial Clustering."""
+
+import random
+
+import pytest
+
+from repro.analysis.trace import TaskAssigned, TaskCompleted, TraceBus
+from repro.core.spatial_clustering import (SpatialClusteringScheduler,
+                                           cluster_tasks)
+from repro.core.xsufferage import XSufferageScheduler
+
+from conftest import make_grid, make_job
+
+
+# -- clustering ------------------------------------------------------------
+
+def test_cluster_tasks_partition(tiny_job):
+    clusters = cluster_tasks(tiny_job, cluster_size=2)
+    ids = sorted(t.task_id for cluster in clusters for t in cluster)
+    assert ids == [0, 1, 2, 3]
+    assert all(len(c) <= 2 for c in clusters)
+
+
+def test_cluster_tasks_groups_by_overlap():
+    group_a = [{0, 1, 2}, {1, 2, 3}]
+    group_b = [{10, 11, 12}, {11, 12, 13}]
+    job = make_job(group_a + group_b)
+    clusters = cluster_tasks(job, cluster_size=2)
+    as_sets = [frozenset(t.task_id for t in c) for c in clusters]
+    assert frozenset({0, 1}) in as_sets
+    assert frozenset({2, 3}) in as_sets
+
+
+def test_cluster_tasks_min_share_blocks_weak_links():
+    job = make_job([{0, 1, 2, 3}, {3, 10, 11, 12}])  # 25% share only
+    clusters = cluster_tasks(job, cluster_size=5, min_share=0.5)
+    assert len(clusters) == 2
+
+
+def test_cluster_size_validation(tiny_job):
+    with pytest.raises(ValueError):
+        cluster_tasks(tiny_job, cluster_size=0)
+
+
+def test_cluster_singletons():
+    job = make_job([{0}, {1}, {2}])  # no overlap at all
+    clusters = cluster_tasks(job, cluster_size=3)
+    assert len(clusters) == 3
+
+
+# -- spatial clustering scheduler -------------------------------------------
+
+def test_spatial_clustering_completes(env, tiny_job):
+    trace = TraceBus()
+    grid = make_grid(env, tiny_job, trace=trace, num_sites=2)
+    scheduler = SpatialClusteringScheduler(tiny_job)
+    grid.attach_scheduler(scheduler)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+    assert {r.task_id for r in trace.of_type(TaskCompleted)} \
+        == {0, 1, 2, 3}
+
+
+def test_spatial_clustering_pins_clusters_to_sites(env):
+    group_a = [{0, 1, 2}, {1, 2, 3}, {2, 3, 4}]
+    group_b = [{10, 11, 12}, {11, 12, 13}, {12, 13, 14}]
+    job = make_job(group_a + group_b)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=2)
+    scheduler = SpatialClusteringScheduler(job, cluster_size=3)
+    grid.attach_scheduler(scheduler)
+    grid.run()
+    site_of = {}
+    for record in trace.of_type(TaskAssigned):
+        site_of.setdefault(record.task_id, record.site)
+    # each group's tasks share one site (modulo stealing at the tail)
+    assert len({site_of[i] for i in range(3)}) <= 2
+    a_sites = [site_of[i] for i in range(3)]
+    assert max(a_sites.count(s) for s in set(a_sites)) >= 2
+
+
+def test_spatial_clustering_idle_stealing(env):
+    """A site with the empty queue steals instead of idling forever."""
+    job = make_job([{i, i + 1} for i in range(6)])
+    grid = make_grid(env, job, num_sites=3, workers_per_site=1)
+    scheduler = SpatialClusteringScheduler(job, cluster_size=6)
+    grid.attach_scheduler(scheduler)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+    completions = [w.tasks_completed for w in grid.workers]
+    assert sum(completions) == 6
+    assert sum(1 for c in completions if c > 0) >= 2, \
+        "stealing must spread one big cluster over idle sites"
+
+
+# -- xsufferage ---------------------------------------------------------------
+
+def test_xsufferage_completes(env, tiny_job):
+    trace = TraceBus()
+    grid = make_grid(env, tiny_job, trace=trace, num_sites=2)
+    scheduler = XSufferageScheduler(tiny_job)
+    grid.attach_scheduler(scheduler)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+    assert {r.task_id for r in trace.of_type(TaskCompleted)} \
+        == {0, 1, 2, 3}
+
+
+def test_xsufferage_each_task_once(env):
+    job = make_job([{i, i + 1} for i in range(10)])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=3,
+                     workers_per_site=2)
+    grid.attach_scheduler(XSufferageScheduler(job))
+    grid.run()
+    ids = [r.task_id for r in trace.of_type(TaskCompleted)]
+    assert sorted(ids) == list(range(10))
+
+
+def test_xsufferage_prefers_site_with_data(env):
+    """The second of two identical tasks should follow the data."""
+    job = make_job([{0, 1, 2, 3}, {0, 1, 2, 3, 4}, {10, 11}])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=2)
+    grid.attach_scheduler(XSufferageScheduler(job))
+    grid.run()
+    site_of = {r.task_id: r.site for r in trace.of_type(TaskAssigned)}
+    assert site_of[0] == site_of[1], \
+        "overlapping tasks should land on the same site"
+
+
+def test_xsufferage_workers_all_terminate(env, tiny_job):
+    grid = make_grid(env, tiny_job, num_sites=2, workers_per_site=3)
+    grid.attach_scheduler(XSufferageScheduler(tiny_job))
+    grid.run()
+    assert all(not w.process.is_alive for w in grid.workers)
+
+
+@pytest.mark.parametrize("policy", ["minmin", "maxmin", "xsufferage"])
+def test_mct_policies_complete(env, policy):
+    job = make_job([{i, i + 1} for i in range(8)])
+    grid = make_grid(env, job, num_sites=2)
+    scheduler = XSufferageScheduler(job, policy=policy)
+    grid.attach_scheduler(scheduler)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+
+
+def test_unknown_mct_policy_rejected(tiny_job):
+    with pytest.raises(ValueError):
+        XSufferageScheduler(tiny_job, policy="bogus")
+
+
+def test_minmin_prefers_cheap_task_first(env):
+    """MinMin dispatches the smallest-MCT task before the big one."""
+    job = make_job([{0, 1, 2, 3, 4, 5, 6, 7}, {10}])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=1)
+    grid.attach_scheduler(XSufferageScheduler(job, policy="minmin"))
+    grid.run()
+    order = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert order[0] == 1, "the one-file task has the smaller MCT"
+
+
+def test_maxmin_prefers_big_task_first(env):
+    job = make_job([{0, 1, 2, 3, 4, 5, 6, 7}, {10}])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=1)
+    grid.attach_scheduler(XSufferageScheduler(job, policy="maxmin"))
+    grid.run()
+    order = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert order[0] == 0, "the eight-file task has the larger MCT"
+
+
+def test_registry_mct_variants(tiny_job):
+    import random
+    from repro.core.registry import create_scheduler
+    for name, policy in (("minmin", "minmin"), ("maxmin", "maxmin"),
+                         ("xsufferage", "xsufferage")):
+        scheduler = create_scheduler(name, tiny_job, random.Random(0))
+        assert isinstance(scheduler, XSufferageScheduler)
+        assert scheduler.policy == policy
+
+
+def test_xsufferage_deterministic(env, tiny_job):
+    def run_once():
+        from repro.sim import Environment
+        env_i = Environment()
+        trace = TraceBus()
+        grid = make_grid(env_i, tiny_job, trace=trace, num_sites=2)
+        grid.attach_scheduler(XSufferageScheduler(tiny_job))
+        result = grid.run()
+        return (result.makespan,
+                [r.task_id for r in trace.of_type(TaskCompleted)])
+
+    assert run_once() == run_once()

@@ -1,0 +1,72 @@
+"""DataReplicator: popularity-threshold proactive pushes."""
+
+import random
+
+import pytest
+
+from repro.core.replication import DataReplicator
+from repro.core.workqueue import WorkqueueScheduler
+from repro.analysis.trace import TraceBus
+
+from conftest import make_grid, make_job
+
+
+def test_parameter_validation(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    with pytest.raises(ValueError):
+        DataReplicator(grid, popularity_threshold=0)
+    with pytest.raises(ValueError):
+        DataReplicator(grid, max_replicas=0)
+
+
+def test_hot_file_gets_replicated(env):
+    """A file needed by many tasks spread over sites crosses the
+    popularity threshold and is pushed proactively."""
+    # file 0 is in every task; other files distinct
+    job = make_job([{0, i + 1} for i in range(8)])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=3)
+    replicator = DataReplicator(grid, popularity_threshold=2,
+                                max_replicas=2)
+    grid.attach_scheduler(WorkqueueScheduler(job))
+    grid.run()
+    assert replicator.replications >= 1
+
+
+def test_max_replicas_cap(env):
+    job = make_job([{0, i + 1} for i in range(10)])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=4)
+    replicator = DataReplicator(grid, popularity_threshold=1,
+                                max_replicas=1)
+    grid.attach_scheduler(WorkqueueScheduler(job))
+    grid.run()
+    pushed_per_file = [len(sites) for sites in replicator._pushed.values()]
+    assert all(count <= 1 for count in pushed_per_file)
+
+
+def test_cold_files_not_replicated(env):
+    """With a huge threshold nothing is pushed."""
+    job = make_job([{i} for i in range(5)])
+    grid = make_grid(env, job, num_sites=2)
+    replicator = DataReplicator(grid, popularity_threshold=100)
+    grid.attach_scheduler(WorkqueueScheduler(job))
+    grid.run()
+    assert replicator.replications == 0
+
+
+def test_replication_counts_as_file_transfer(env):
+    job = make_job([{0, i + 1} for i in range(6)])
+    grid_plain = make_grid(env, job, num_sites=3)
+    grid_plain.attach_scheduler(WorkqueueScheduler(job))
+    plain = grid_plain.run().file_transfers
+
+    from repro.sim import Environment
+    env2 = Environment()
+    grid_repl = make_grid(env2, job, num_sites=3)
+    replicator = DataReplicator(grid_repl, popularity_threshold=1,
+                                max_replicas=2)
+    grid_repl.attach_scheduler(WorkqueueScheduler(job))
+    with_repl = grid_repl.run().file_transfers
+    assert with_repl >= plain
+    assert replicator.replications > 0

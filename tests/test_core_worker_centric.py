@@ -1,0 +1,166 @@
+"""WorkerCentricScheduler: ChooseTask(n), metric behaviour, termination."""
+
+import random
+
+import pytest
+
+from repro.analysis.trace import TaskAssigned, TraceBus
+from repro.core.worker_centric import WorkerCentricScheduler
+
+from conftest import make_grid, make_job
+
+
+def build(env, job, metric="rest", n=1, seed=0, **grid_kwargs):
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, **grid_kwargs)
+    scheduler = WorkerCentricScheduler(job, metric=metric, n=n,
+                                       rng=random.Random(seed))
+    grid.attach_scheduler(scheduler)
+    return grid, scheduler, trace
+
+
+def test_unknown_metric_rejected(tiny_job):
+    with pytest.raises(ValueError):
+        WorkerCentricScheduler(tiny_job, metric="nope")
+
+
+def test_bad_n_rejected(tiny_job):
+    with pytest.raises(ValueError):
+        WorkerCentricScheduler(tiny_job, n=0)
+
+
+@pytest.mark.parametrize("metric", ["overlap", "rest", "combined",
+                                    "combined-literal"])
+def test_completes_all_tasks(env, tiny_job, metric):
+    _grid, scheduler, _trace = build(env, tiny_job, metric=metric)
+    _grid.run()
+    assert scheduler.tasks_remaining == 0
+
+
+@pytest.mark.parametrize("n", [1, 2, 4])
+def test_randomized_variants_complete(env, tiny_job, n):
+    _grid, scheduler, _trace = build(env, tiny_job, metric="rest", n=n)
+    _grid.run()
+    assert scheduler.tasks_remaining == 0
+
+
+def test_every_task_assigned_exactly_once(env, tiny_job):
+    _grid, _scheduler, trace = build(env, tiny_job, num_sites=2)
+    _grid.run()
+    assigned = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert sorted(assigned) == [0, 1, 2, 3]
+
+
+def test_rest_prefers_fewest_missing(env):
+    """After running a task, the site is handed the best-overlapping
+    neighbour, not the FIFO-next one."""
+    # tasks: 0 shares 4 of 5 files with 2; task 1 is disjoint
+    job = make_job([
+        {0, 1, 2, 3, 4},
+        {10, 11, 12, 13, 14},
+        {1, 2, 3, 4, 5},
+    ])
+    _grid, _scheduler, trace = build(env, job, metric="rest", num_sites=1)
+    _grid.run()
+    order = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert order[0] == 0
+    assert order[1] == 2, "rest must jump to the overlapping task"
+
+
+def test_overlap_prefers_max_resident(env):
+    job = make_job([
+        {0, 1, 2, 3, 4},
+        {4, 5},            # overlap 1 after task 0
+        {0, 1, 2, 9, 10},  # overlap 3 after task 0
+    ])
+    _grid, _scheduler, trace = build(env, job, metric="overlap",
+                                     num_sites=1)
+    _grid.run()
+    order = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert order == [0, 2, 1]
+
+
+def test_deterministic_n1_is_reproducible(env, tiny_job):
+    results = []
+    for _ in range(2):
+        from repro.sim import Environment
+        env_i = Environment()
+        _grid, _sched, trace = build(env_i, tiny_job, metric="rest", n=1)
+        _grid.run()
+        results.append([r.task_id for r in trace.of_type(TaskAssigned)])
+    assert results[0] == results[1]
+
+
+def test_choose_task_samples_only_top_n():
+    """With n=2, only the two best tasks may be picked first."""
+    job = make_job([
+        {0, 1, 2, 3, 4, 5, 6, 7, 8, 9},   # 10 files
+        {0, 1, 2},                        # 3 files (best zero-overlap)
+        {10, 11, 12, 13},                 # 4 files (second best)
+    ])
+    first_picks = set()
+    for seed in range(20):
+        from repro.sim import Environment
+        env_i = Environment()
+        trace = TraceBus()
+        grid = make_grid(env_i, job, trace=trace, num_sites=1)
+        scheduler = WorkerCentricScheduler(job, metric="rest", n=2,
+                                           rng=random.Random(seed))
+        grid.attach_scheduler(scheduler)
+        grid.run()
+        first_picks.add(trace.of_type(TaskAssigned)[0].task_id)
+    assert first_picks <= {1, 2}
+    assert len(first_picks) == 2, "n=2 should actually randomize"
+
+
+def test_weight_proportional_sampling_prefers_heavier():
+    """Task with 4x the weight should win clearly more often."""
+    job = make_job([
+        {0},          # rest weight 1/1 = 1.0 (zero overlap)
+        {1, 2, 3, 4},  # rest weight 1/4
+    ])
+    wins = 0
+    trials = 200
+    for seed in range(trials):
+        from repro.sim import Environment
+        env_i = Environment()
+        trace = TraceBus()
+        grid = make_grid(env_i, job, trace=trace, num_sites=1)
+        scheduler = WorkerCentricScheduler(job, metric="rest", n=2,
+                                           rng=random.Random(seed))
+        grid.attach_scheduler(scheduler)
+        grid.run()
+        if trace.of_type(TaskAssigned)[0].task_id == 0:
+            wins += 1
+    assert wins / trials == pytest.approx(0.8, abs=0.08)
+
+
+def test_parked_worker_released_at_end(env):
+    """More workers than tasks: extra workers get None and terminate."""
+    job = make_job([{0}])
+    grid, scheduler, _trace = build(env, job, num_sites=2,
+                                    workers_per_site=2)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+    assert all(not w.process.is_alive for w in grid.workers)
+
+
+def test_requeue_returns_task(env, tiny_job):
+    scheduler = WorkerCentricScheduler(tiny_job, metric="rest")
+    grid = make_grid(env, tiny_job)
+    grid.attach_scheduler(scheduler)
+    task = tiny_job[0]
+    scheduler._retire(task)
+    scheduler.requeue(task)
+    assert task.task_id in scheduler._pending
+    with pytest.raises(ValueError):
+        scheduler.requeue(task)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+
+
+def test_decision_instrumentation(env, tiny_job):
+    _grid, scheduler, _trace = build(env, tiny_job)
+    _grid.run()
+    assert scheduler.decisions == len(tiny_job)
+    assert scheduler.tasks_scored >= scheduler.decisions

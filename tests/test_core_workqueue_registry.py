@@ -1,0 +1,144 @@
+"""Workqueue/random baselines and the scheduler registry."""
+
+import random
+
+import pytest
+
+from repro.analysis.trace import TaskAssigned, TraceBus
+from repro.core import (PAPER_ALGORITHMS, StorageAffinityScheduler,
+                        WorkerCentricScheduler, WorkqueueScheduler,
+                        available_schedulers, create_scheduler)
+
+from conftest import make_grid, make_job
+
+
+def test_workqueue_dispatches_fifo(env, tiny_job):
+    trace = TraceBus()
+    grid = make_grid(env, tiny_job, trace=trace, num_sites=1)
+    grid.attach_scheduler(WorkqueueScheduler(tiny_job))
+    grid.run()
+    order = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert order == [0, 1, 2, 3]
+
+
+def test_workqueue_respects_job_sequence_order(env):
+    """FIFO follows presentation order, not task-id order."""
+    from repro.grid.job import Job, Task
+    from repro.grid.files import FileCatalog
+    catalog = FileCatalog(5)
+    tasks = [Task(2, frozenset({0})), Task(0, frozenset({1})),
+             Task(1, frozenset({2}))]
+    job = Job(tasks, catalog)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=1)
+    grid.attach_scheduler(WorkqueueScheduler(job))
+    grid.run()
+    order = [r.task_id for r in trace.of_type(TaskAssigned)]
+    assert order == [2, 0, 1]
+
+
+def test_random_dispatch_differs_from_fifo(env):
+    job = make_job([{i} for i in range(12)])
+    orders = []
+    for seed in (1, 2):
+        from repro.sim import Environment
+        env_i = Environment()
+        trace = TraceBus()
+        grid = make_grid(env_i, job, trace=trace, num_sites=1)
+        grid.attach_scheduler(WorkqueueScheduler(
+            job, randomize=True, rng=random.Random(seed)))
+        grid.run()
+        orders.append([r.task_id for r in trace.of_type(TaskAssigned)])
+    assert orders[0] != list(range(12)) or orders[1] != list(range(12))
+
+
+def test_random_completes_everything(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    scheduler = WorkqueueScheduler(tiny_job, randomize=True,
+                                   rng=random.Random(7))
+    grid.attach_scheduler(scheduler)
+    grid.run()
+    assert scheduler.tasks_remaining == 0
+
+
+def test_extra_workers_park_and_terminate(env):
+    job = make_job([{0}])
+    grid = make_grid(env, job, num_sites=2, workers_per_site=2)
+    grid.attach_scheduler(WorkqueueScheduler(job))
+    grid.run()
+    assert all(not w.process.is_alive for w in grid.workers)
+
+
+# -- registry ------------------------------------------------------------
+
+def test_paper_algorithms_listed():
+    assert PAPER_ALGORITHMS == ("storage-affinity", "overlap", "rest",
+                                "combined", "rest.2", "combined.2")
+
+
+def test_available_contains_paper_algorithms():
+    names = available_schedulers()
+    for name in PAPER_ALGORITHMS:
+        assert name in names
+
+
+@pytest.mark.parametrize("name,cls,attrs", [
+    ("storage-affinity", StorageAffinityScheduler, {}),
+    ("overlap", WorkerCentricScheduler,
+     {"metric_name": "overlap", "n": 1}),
+    ("rest", WorkerCentricScheduler, {"metric_name": "rest", "n": 1}),
+    ("combined", WorkerCentricScheduler,
+     {"metric_name": "combined", "n": 1}),
+    ("rest.2", WorkerCentricScheduler, {"metric_name": "rest", "n": 2}),
+    ("combined.2", WorkerCentricScheduler,
+     {"metric_name": "combined", "n": 2}),
+    ("combined-literal", WorkerCentricScheduler,
+     {"metric_name": "combined-literal", "n": 1}),
+    ("workqueue", WorkqueueScheduler, {"randomize": False}),
+    ("random", WorkqueueScheduler, {"randomize": True}),
+])
+def test_registry_builds_correct_policy(tiny_job, name, cls, attrs):
+    scheduler = create_scheduler(name, tiny_job, random.Random(0))
+    assert isinstance(scheduler, cls)
+    for attr, expected in attrs.items():
+        assert getattr(scheduler, attr) == expected
+
+
+def test_generic_wc_form(tiny_job):
+    scheduler = create_scheduler("wc:rest:4", tiny_job)
+    assert isinstance(scheduler, WorkerCentricScheduler)
+    assert scheduler.metric_name == "rest"
+    assert scheduler.n == 4
+
+
+@pytest.mark.parametrize("bad", ["nope", "wc:rest", "wc:bogus:2",
+                                 "wc:rest:x", "naive-wc:bogus:1"])
+def test_bad_names_rejected(tiny_job, bad):
+    with pytest.raises(ValueError):
+        create_scheduler(bad, tiny_job)
+
+
+def test_naive_wc_form(tiny_job):
+    from repro.core import NaiveWorkerCentricScheduler
+    scheduler = create_scheduler("naive-wc:combined:2", tiny_job)
+    assert isinstance(scheduler, NaiveWorkerCentricScheduler)
+    assert scheduler.metric_name == "combined"
+    assert scheduler.n == 2
+
+
+def test_create_with_deferred_tasks(tiny_job):
+    scheduler = create_scheduler("rest", tiny_job,
+                                 initial_task_ids={0, 1})
+    assert scheduler.supports_dynamic_release
+    naive = create_scheduler("naive-wc:rest:1", tiny_job,
+                             initial_task_ids={0})
+    assert naive.supports_dynamic_release
+
+
+def test_deferred_tasks_rejected_for_offline_planner(tiny_job):
+    with pytest.raises(ValueError):
+        create_scheduler("storage-affinity", tiny_job,
+                         initial_task_ids={0})
+    with pytest.raises(ValueError):
+        create_scheduler("spatial-clustering", tiny_job,
+                         initial_task_ids={0})

@@ -1,0 +1,72 @@
+"""The documentation's code snippets must actually run.
+
+Extracts the README's quickstart Python block and executes it (at a
+reduced task count), and checks the CLI lines it advertises parse.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parent.parent / "README.md"
+
+
+def python_blocks(text):
+    return re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+
+
+def bash_blocks(text):
+    return re.findall(r"```bash\n(.*?)```", text, re.DOTALL)
+
+
+@pytest.fixture(scope="module")
+def readme_text():
+    return README.read_text()
+
+
+def test_readme_quickstart_block_runs(readme_text):
+    blocks = python_blocks(readme_text)
+    assert blocks, "README must have a python quickstart"
+    code = blocks[0].replace("num_tasks=600", "num_tasks=40") \
+                    .replace("capacity_files=600", "capacity_files=400")
+    namespace = {}
+    exec(compile(code, "README-quickstart", "exec"), namespace)
+
+
+def test_readme_cli_lines_parse(readme_text):
+    from repro.cli import build_parser
+    parser = build_parser()
+    for block in bash_blocks(readme_text):
+        for line in block.splitlines():
+            line = line.strip()
+            if not line.startswith("python -m repro "):
+                continue
+            argv = line.split()[3:]
+            # parse only; don't execute (some would run for minutes)
+            args = parser.parse_args(argv)
+            assert args.command
+
+
+def test_readme_mentions_every_package(readme_text):
+    for package in ("repro.sim", "repro.net", "repro.grid",
+                    "repro.workload", "repro.core", "repro.exp",
+                    "repro.analysis"):
+        assert package in readme_text
+
+
+def test_examples_referenced_in_readme_exist(readme_text):
+    for match in re.findall(r"examples/([a-z_]+\.py)", readme_text):
+        assert (README.parent / "examples" / match).exists(), match
+
+
+def test_docs_files_exist(readme_text):
+    for match in re.findall(r"docs/([a-z-]+\.md)", readme_text):
+        assert (README.parent / "docs" / match).exists(), match
+
+
+def test_experiments_md_cites_existing_artifacts():
+    experiments = (README.parent / "EXPERIMENTS.md").read_text()
+    results_dir = README.parent / "benchmarks" / "results"
+    for match in set(re.findall(r"`([a-z0-9_]+\.txt)`", experiments)):
+        assert (results_dir / match).exists(), f"missing artifact {match}"

@@ -1,0 +1,139 @@
+"""ExperimentConfig validation and the runner end to end."""
+
+import pytest
+
+from repro.exp import (ExperimentConfig, build_grid, build_job,
+                       run_averaged, run_experiment)
+
+
+def small_config(**overrides):
+    defaults = dict(scheduler="rest", num_tasks=40, num_sites=3,
+                    capacity_files=500)
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def test_defaults_match_table1():
+    config = ExperimentConfig()
+    assert config.capacity_files == 6000
+    assert config.workers_per_site == 1
+    assert config.num_sites == 10
+    assert config.file_size_mb == 25.0
+    assert config.num_tasks == 6000
+
+
+@pytest.mark.parametrize("field,value", [
+    ("num_tasks", 0), ("num_sites", 0), ("workers_per_site", 0),
+    ("capacity_files", 0), ("file_size_mb", 0.0),
+    ("task_order", "bogus"),
+])
+def test_validation(field, value):
+    with pytest.raises(ValueError):
+        ExperimentConfig(**{field: value})
+
+
+def test_with_changes():
+    config = ExperimentConfig(num_tasks=100)
+    changed = config.with_changes(capacity_files=42)
+    assert changed.capacity_files == 42
+    assert changed.num_tasks == 100
+    assert config.capacity_files == 6000  # original untouched
+
+
+def test_file_size_bytes():
+    assert ExperimentConfig(file_size_mb=5.0).file_size_bytes \
+        == 5 * 1024 * 1024
+
+
+def test_custom_tiers_must_cover_sites():
+    from repro.net import TiersParams
+    with pytest.raises(ValueError):
+        ExperimentConfig(num_sites=10,
+                         tiers=TiersParams(num_sites=4)).tiers_params()
+
+
+def test_build_job_is_deterministic():
+    config = small_config()
+    a, b = build_job(config), build_job(config)
+    assert all(ta.files == tb.files for ta, tb in zip(a, b))
+
+
+@pytest.mark.parametrize("workload", ["coadd", "uniform", "zipf", "window"])
+def test_build_job_workloads(workload):
+    config = small_config(workload=workload, num_tasks=15)
+    job = build_job(config)
+    assert len(job) == 15
+
+
+def test_build_job_unknown_workload():
+    with pytest.raises(ValueError):
+        build_job(small_config(workload="nope"))
+
+
+def test_build_grid_shape():
+    config = small_config(workers_per_site=2)
+    grid = build_grid(config, build_job(config))
+    assert len(grid.sites) == 3
+    assert all(site.num_workers == 2 for site in grid.sites)
+    assert all(site.storage.capacity_files == 500 for site in grid.sites)
+
+
+def test_run_experiment_completes():
+    result = run_experiment(small_config())
+    assert result.makespan > 0
+    assert result.file_transfers > 0
+    assert result.makespan_minutes == pytest.approx(result.makespan / 60)
+    assert len(result.site_stats) == 3
+    assert result.decisions == 40
+
+
+def test_run_experiment_is_reproducible():
+    a = run_experiment(small_config(scheduler="combined.2"))
+    b = run_experiment(small_config(scheduler="combined.2"))
+    assert a.makespan == b.makespan
+    assert a.file_transfers == b.file_transfers
+
+
+def test_topology_seed_changes_outcome():
+    a = run_experiment(small_config())
+    b = run_experiment(small_config(topology_seed=1))
+    assert a.makespan != b.makespan
+
+
+def test_keep_trace_records():
+    result = run_experiment(small_config(keep_trace=True))
+    from repro.analysis.trace import TaskCompleted
+    assert len(result.trace.of_type(TaskCompleted)) == 40
+
+
+def test_trace_not_kept_by_default():
+    result = run_experiment(small_config())
+    assert result.trace.records == []
+    from repro.analysis.trace import TaskCompleted
+    assert result.trace.count(TaskCompleted) == 40  # counters still work
+
+
+def test_run_averaged_means():
+    averaged = run_averaged(small_config(), topology_seeds=(0, 1))
+    assert len(averaged.runs) == 2
+    expected = sum(r.makespan for r in averaged.runs) / 2
+    assert averaged.makespan == pytest.approx(expected)
+    assert averaged.topology_seeds == (0, 1)
+
+
+def test_run_averaged_requires_seeds():
+    with pytest.raises(ValueError):
+        run_averaged(small_config(), topology_seeds=())
+
+
+def test_replication_option_counts():
+    result = run_experiment(small_config(replicate_data=True,
+                                         replication_threshold=1))
+    assert result.data_replications > 0
+
+
+def test_failure_option_counts():
+    result = run_experiment(small_config(worker_mtbf=500.0,
+                                         worker_repair_time=30.0))
+    assert result.worker_failures >= 0  # smoke: still completes
+    assert result.makespan > 0

@@ -1,0 +1,54 @@
+"""The one-shot reproduction report."""
+
+import pytest
+
+from repro.exp.figures import Scale
+from repro.exp.reproduce import reproduce_all
+
+#: A deliberately tiny scale so the full report runs in seconds.
+MICRO = Scale(
+    name="micro", num_tasks=40, capacity_default=300,
+    capacities=(200, 300), workers=(2,), table3_workers=(2,),
+    sites=(2, 3), file_sizes_mb=(5.0, 25.0), topology_seeds=(0,),
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    messages = []
+    text = reproduce_all(MICRO, include_ablations=False,
+                         progress=messages.append)
+    return text, messages
+
+
+def test_report_contains_every_artifact(report):
+    text, _messages = report
+    for marker in ("Table 2", "Figure 4", "Figure 5", "Figure 6",
+                   "Table 3", "Figure 7", "Figure 8"):
+        assert marker in text, f"missing section {marker}"
+
+
+def test_report_mentions_algorithms(report):
+    text, _messages = report
+    for name in ("storage-affinity", "rest.2", "combined.2"):
+        assert name in text
+
+
+def test_progress_messages_emitted(report):
+    _text, messages = report
+    assert any("Figure 4" in m or "capacity" in m for m in messages)
+    assert len(messages) >= 6
+
+
+def test_report_is_markdown(report):
+    text, _messages = report
+    assert text.startswith("# Reproduction report")
+    assert text.count("```") % 2 == 0  # balanced code fences
+
+
+def test_ablations_flag_adds_sections():
+    text = reproduce_all(MICRO, include_ablations=True)
+    assert "ChooseTask(n)" in text
+    assert "combined-literal" in text
+    assert "task presentation order" in text.lower() \
+        or "task order" in text.lower()

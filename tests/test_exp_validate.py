@@ -1,0 +1,107 @@
+"""The runtime invariant validator."""
+
+import random
+
+import pytest
+
+from repro.analysis.trace import TaskCompleted, TaskStarted, TraceBus
+from repro.core.registry import create_scheduler
+from repro.exp.validate import (GridValidator, InvariantViolation,
+                                Violation)
+
+from conftest import make_grid, make_job
+
+
+@pytest.mark.parametrize("scheduler_name,replicates",
+                         [("rest.2", False), ("storage-affinity", True),
+                          ("xsufferage", False),
+                          ("spatial-clustering", False),
+                          ("workqueue", False)])
+def test_clean_runs_validate(env, scheduler_name, replicates):
+    job = make_job([{i, i + 1, i + 2} for i in range(12)])
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=2,
+                     workers_per_site=2, capacity_files=50)
+    validator = GridValidator(grid,
+                              expect_single_completion=not replicates)
+    grid.attach_scheduler(create_scheduler(scheduler_name, job,
+                                           random.Random(0)))
+    grid.run()
+    validator.final_check()  # must not raise
+    assert validator.violations == []
+
+
+def test_validates_under_failures(env):
+    job = make_job([{i, i + 1} for i in range(10)], flops=2e9 * 10)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=2,
+                     workers_per_site=2)
+    validator = GridValidator(grid)
+    grid.attach_scheduler(create_scheduler("rest", job,
+                                           random.Random(1)))
+    from repro.grid.failures import WorkerFailureInjector
+    WorkerFailureInjector(grid, mtbf=40.0, repair_time=5.0,
+                          rng=random.Random(1))
+    grid.run()
+    validator.final_check()
+
+
+def test_detects_phantom_start(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    validator = GridValidator(grid)
+    # forge a start record for a task whose files are not resident
+    grid.trace.emit(TaskStarted(time=0.0, task_id=0, worker="w0.0",
+                                site=0))
+    assert validator.violations
+    assert validator.violations[0].rule == "task-start-files-resident"
+
+
+def test_detects_duplicate_completion_same_worker(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    validator = GridValidator(grid)
+    record = TaskCompleted(time=1.0, task_id=0, worker="w", site=0)
+    grid.trace.emit(record)
+    grid.trace.emit(record)
+    assert any(v.rule == "task-completes-once-per-worker"
+               for v in validator.violations)
+
+
+def test_replica_completion_flagged_only_when_expected(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    lenient = GridValidator(grid)
+    strict_single = GridValidator(grid, expect_single_completion=True)
+    grid.trace.emit(TaskCompleted(time=1.0, task_id=0, worker="a",
+                                  site=0))
+    grid.trace.emit(TaskCompleted(time=1.1, task_id=0, worker="b",
+                                  site=1))
+    assert lenient.violations == []
+    assert any(v.rule == "task-completes-once"
+               for v in strict_single.violations)
+
+
+def test_strict_mode_raises_immediately(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    validator = GridValidator(grid, strict=True)
+    with pytest.raises(InvariantViolation):
+        grid.trace.emit(TaskStarted(time=0.0, task_id=0, worker="w",
+                                    site=0))
+
+
+def test_final_check_flags_incomplete_job(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    validator = GridValidator(grid)
+    with pytest.raises(InvariantViolation, match="never completed"):
+        validator.final_check()
+
+
+def test_assert_clean_digest(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    validator = GridValidator(grid)
+    validator._report("demo", "something", None)
+    with pytest.raises(InvariantViolation, match="demo"):
+        validator.assert_clean()
+
+
+def test_violation_str():
+    text = str(Violation(time=12.0, rule="r", detail="d"))
+    assert "r" in text and "d" in text

@@ -1,0 +1,155 @@
+"""Asynchronous job arrivals."""
+
+import random
+
+import pytest
+
+from repro.analysis.trace import TaskAssigned, TaskCompleted, TraceBus
+from repro.core.spatial_clustering import SpatialClusteringScheduler
+from repro.core.worker_centric import WorkerCentricScheduler
+from repro.core.workqueue import WorkqueueScheduler
+from repro.grid.arrivals import (ArrivalSchedule, JobArrivalProcess,
+                                 batched_arrivals, jittered_arrivals)
+
+from conftest import make_grid, make_job
+
+
+def make_sixtask_job():
+    return make_job([{i, i + 1, i + 2} for i in range(6)])
+
+
+# -- schedule construction ---------------------------------------------------
+
+def test_batched_arrivals_structure():
+    job = make_sixtask_job()
+    schedule = batched_arrivals(job, num_batches=3, interval=100.0)
+    assert len(schedule.batches) == 3
+    assert [time for time, _ids in schedule.batches] == [0.0, 100.0, 200.0]
+    released = [tid for _t, ids in schedule.batches for tid in ids]
+    assert sorted(released) == [0, 1, 2, 3, 4, 5]
+
+
+def test_batched_arrivals_validation():
+    job = make_sixtask_job()
+    with pytest.raises(ValueError):
+        batched_arrivals(job, num_batches=0, interval=1.0)
+    with pytest.raises(ValueError):
+        batched_arrivals(job, num_batches=2, interval=-1.0)
+
+
+def test_schedule_rejects_duplicates():
+    with pytest.raises(ValueError):
+        ArrivalSchedule(((0.0, (1, 2)), (5.0, (2,))))
+
+
+def test_schedule_rejects_unordered():
+    with pytest.raises(ValueError):
+        ArrivalSchedule(((5.0, (1,)), (0.0, (2,))))
+
+
+def test_schedule_rejects_negative_time():
+    with pytest.raises(ValueError):
+        ArrivalSchedule(((-1.0, (1,)),))
+
+
+def test_initial_and_deferred_ids():
+    job = make_sixtask_job()
+    schedule = ArrivalSchedule(((0.0, (0, 1)), (50.0, (2, 3)),
+                                (90.0, (4,))))
+    assert schedule.deferred_task_ids == {2, 3, 4}
+    # task 5 not listed anywhere: available at start
+    assert schedule.initial_task_ids(job) == {0, 1, 5}
+
+
+def test_jittered_arrivals_monotone():
+    job = make_job([{i} for i in range(12)])
+    schedule = jittered_arrivals(job, num_batches=4, interval=60.0,
+                                 rng=random.Random(1))
+    times = [t for t, _ids in schedule.batches]
+    assert times == sorted(times)
+    assert times[0] == 0.0
+    with pytest.raises(ValueError):
+        jittered_arrivals(job, 2, 60.0, random.Random(0), jitter=1.0)
+
+
+# -- end-to-end ---------------------------------------------------------------
+
+def run_with_arrivals(env, scheduler_cls, interval=200.0, **sched_kwargs):
+    job = make_sixtask_job()
+    schedule = batched_arrivals(job, num_batches=3, interval=interval)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=2)
+    scheduler = scheduler_cls(
+        job, initial_task_ids=schedule.initial_task_ids(job),
+        **sched_kwargs)
+    grid.attach_scheduler(scheduler)
+    JobArrivalProcess(grid, schedule)
+    result = grid.run()
+    return job, trace, result, schedule
+
+
+def test_worker_centric_completes_under_arrivals(env):
+    job, trace, result, _schedule = run_with_arrivals(
+        env, WorkerCentricScheduler, metric="rest")
+    ids = sorted({r.task_id for r in trace.of_type(TaskCompleted)})
+    assert ids == [t.task_id for t in job]
+
+
+def test_deferred_tasks_not_assigned_early(env):
+    _job, trace, _result, schedule = run_with_arrivals(
+        env, WorkerCentricScheduler, metric="rest", interval=500.0)
+    release_time = {tid: time for time, ids in schedule.batches
+                    for tid in ids}
+    for record in trace.of_type(TaskAssigned):
+        assert record.time >= release_time[record.task_id] - 1e-9, \
+            f"task {record.task_id} assigned before its arrival"
+
+
+def test_workqueue_supports_arrivals(env):
+    _job, trace, result, _schedule = run_with_arrivals(
+        env, WorkqueueScheduler)
+    assert result.tasks_completed == 6
+
+
+def test_parked_workers_wake_on_arrival(env):
+    """All workers idle when a late batch lands: they must pick it up."""
+    job = make_job([{0}, {1}, {2}])
+    schedule = ArrivalSchedule(((0.0, (0,)), (5000.0, (1, 2))))
+    grid = make_grid(env, job, num_sites=2)
+    scheduler = WorkerCentricScheduler(
+        job, metric="rest",
+        initial_task_ids=schedule.initial_task_ids(job))
+    grid.attach_scheduler(scheduler)
+    JobArrivalProcess(grid, schedule)
+    result = grid.run()
+    assert result.tasks_completed == 3
+    assert result.makespan > 5000.0
+
+
+def test_offline_planner_rejected(env):
+    job = make_sixtask_job()
+    schedule = batched_arrivals(job, num_batches=2, interval=100.0)
+    grid = make_grid(env, job, num_sites=2)
+    grid.attach_scheduler(SpatialClusteringScheduler(job))
+    with pytest.raises(TypeError):
+        JobArrivalProcess(grid, schedule)
+
+
+def test_arrivals_require_attached_scheduler(env):
+    job = make_sixtask_job()
+    grid = make_grid(env, job)
+    with pytest.raises(RuntimeError):
+        JobArrivalProcess(grid, batched_arrivals(job, 2, 10.0))
+
+
+def test_makespan_reflects_arrival_delay(env):
+    """The same job takes longer when most of it arrives late."""
+    def run(interval):
+        from repro.sim import Environment
+        env_i = Environment()
+        _job, _trace, result, _s = run_with_arrivals(
+            env_i, WorkerCentricScheduler, metric="rest",
+            interval=interval)
+        return result.makespan
+
+    assert run(2000.0) > run(0.0)

@@ -1,0 +1,175 @@
+"""DataServer: serial batch service, pinning, cancellation, stats."""
+
+import pytest
+
+from repro.analysis.trace import BatchServed, FileTransferred, TraceBus
+from repro.grid.data_server import CANCELLED, DONE, DataServer
+from repro.grid.file_server import FileServer
+from repro.grid.files import FileCatalog
+from repro.grid.storage import SiteStorage
+from repro.net import FlowNetwork, Topology
+from repro.sim import Environment
+
+
+def make_server(env, capacity=100, num_files=50, file_size=10.0,
+                bandwidth=10.0, latency=1.0, keep_trace=True):
+    topo = Topology()
+    topo.add_node("fs")
+    topo.add_node("site")
+    topo.add_link("fs", "site", bandwidth=bandwidth, latency=latency)
+    net = FlowNetwork(env, topo)
+    catalog = FileCatalog(num_files, default_size=file_size)
+    file_server = FileServer(env, net, "fs", catalog)
+    storage = SiteStorage(capacity)
+    trace = TraceBus(keep=keep_trace)
+    server = DataServer(env, 0, "site", storage, file_server, trace)
+    return server, storage, file_server, trace
+
+
+def test_batch_fetches_missing_files(env):
+    server, storage, file_server, _ = make_server(env)
+    request = server.submit([1, 2, 3], "w")
+    env.run_until_event(request.done)
+    assert request.done.value is True
+    assert request.state == DONE
+    assert request.transfers == 3
+    for fid in (1, 2, 3):
+        assert fid in storage
+        assert storage.is_pinned(fid)
+    # 3 sequential transfers: each latency 1 + 10/10 = 2s
+    assert env.now == pytest.approx(6.0)
+
+
+def test_batch_reuses_resident_files(env):
+    server, storage, file_server, _ = make_server(env)
+    storage.insert(1)
+    storage.insert(2)
+    request = server.submit([1, 2, 3], "w")
+    env.run_until_event(request.done)
+    assert request.transfers == 1
+    assert file_server.transfers_served == 1
+
+
+def test_requests_served_one_by_one(env):
+    server, storage, _, trace = make_server(env)
+    first = server.submit([1], "w1")
+    second = server.submit([2], "w2")
+    env.run_until_event(second.done)
+    records = trace.of_type(BatchServed)
+    assert [r.worker for r in records] == ["w1", "w2"]
+    assert second.waiting_time == pytest.approx(2.0)  # waited for first
+    assert first.waiting_time == 0.0
+
+
+def test_release_unpins(env):
+    server, storage, _, _ = make_server(env)
+    request = server.submit([1, 2], "w")
+    env.run_until_event(request.done)
+    server.release(request)
+    assert not storage.is_pinned(1)
+    assert not storage.is_pinned(2)
+    assert request.pinned == []
+
+
+def test_touch_records_references(env):
+    server, storage, _, _ = make_server(env)
+    request = server.submit([1, 2], "w")
+    env.run_until_event(request.done)
+    assert storage.reference_count(1) == 1
+    assert storage.reference_count(2) == 1
+
+
+def test_cancel_queued_request(env):
+    server, storage, _, _ = make_server(env)
+    first = server.submit([1], "w1")
+    second = server.submit([2], "w2")
+    server.cancel(second)
+    assert second.done.triggered
+    assert second.done.value is False
+    env.run()
+    assert 2 not in storage
+    assert server.stats.requests_cancelled == 1
+    assert server.stats.requests_served == 1
+
+
+def test_cancel_mid_service_stops_after_current_file(env):
+    server, storage, file_server, _ = make_server(env)
+    request = server.submit([1, 2, 3, 4], "w")
+
+    def canceller(env):
+        yield env.timeout(2.5)  # during second file's transfer
+        server.cancel(request)
+
+    env.process(canceller(env))
+    env.run()
+    assert request.state == CANCELLED
+    # first file done; second completes (in flight); 3 and 4 skipped.
+    assert file_server.transfers_served <= 2
+    assert not storage.is_pinned(1)
+    assert 3 not in storage and 4 not in storage
+
+
+def test_cancel_done_request_releases_pins(env):
+    server, storage, _, _ = make_server(env)
+    request = server.submit([1], "w")
+    env.run_until_event(request.done)
+    server.cancel(request)
+    assert not storage.is_pinned(1)
+    assert request.state == CANCELLED
+
+
+def test_cancel_is_idempotent(env):
+    server, _, _, _ = make_server(env)
+    request = server.submit([1], "w")
+    server.cancel(request)
+    server.cancel(request)
+    env.run()
+    assert request.state == CANCELLED
+
+
+def test_stats_accumulate(env):
+    server, _, _, _ = make_server(env)
+    first = server.submit([1, 2], "w")
+    second = server.submit([3], "w")
+    env.run_until_event(second.done)
+    stats = server.stats
+    assert stats.requests_served == 2
+    assert stats.total_transfers == 3
+    assert stats.avg_transfers == pytest.approx(1.5)
+    assert stats.avg_waiting_time == pytest.approx((0.0 + 4.0) / 2)
+    assert stats.avg_transfer_time == pytest.approx((4.0 + 2.0) / 2)
+
+
+def test_file_transfer_trace_records(env):
+    server, _, _, trace = make_server(env)
+    request = server.submit([1, 2], "w")
+    env.run_until_event(request.done)
+    records = trace.of_type(FileTransferred)
+    assert [r.file_id for r in records] == [1, 2]
+    assert all(r.site == 0 for r in records)
+    assert all(r.duration == pytest.approx(2.0) for r in records)
+
+
+def test_batch_served_record_fields(env):
+    server, _, _, trace = make_server(env)
+    request = server.submit([1, 2], "w9")
+    env.run_until_event(request.done)
+    record = trace.of_type(BatchServed)[0]
+    assert record.worker == "w9"
+    assert record.num_files == 2
+    assert record.num_transfers == 2
+    assert not record.cancelled
+
+
+def test_refetch_after_eviction(env):
+    """A file evicted between two batches is transferred again."""
+    server, storage, file_server, _ = make_server(env, capacity=2)
+    first = server.submit([1, 2], "w")
+    env.run_until_event(first.done)
+    server.release(first)
+    second = server.submit([3, 4], "w")
+    env.run_until_event(second.done)
+    server.release(second)
+    third = server.submit([1], "w")
+    env.run_until_event(third.done)
+    assert file_server.transfers_served == 5  # 1 refetched

@@ -1,0 +1,97 @@
+"""Worker failure injection: tasks still complete exactly once."""
+
+import random
+
+import pytest
+
+from repro.analysis.trace import TaskCancelled, TaskCompleted, TraceBus
+from repro.core.registry import create_scheduler
+from repro.grid.failures import WorkerFailure, WorkerFailureInjector
+
+from conftest import make_grid, make_job
+
+
+def run_with_failures(env, scheduler_name, mtbf=50.0, repair=10.0,
+                      num_tasks=12, seed=3):
+    job = make_job([{i, i + 1, i + 2} for i in range(num_tasks)],
+                   flops=2e9 * 20)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=2,
+                     workers_per_site=2, speed_mflops=1000.0)
+    scheduler = create_scheduler(scheduler_name, job, random.Random(seed))
+    grid.attach_scheduler(scheduler)
+    injector = WorkerFailureInjector(grid, mtbf=mtbf, repair_time=repair,
+                                     rng=random.Random(seed))
+    result = grid.run()
+    return job, trace, injector, result
+
+
+@pytest.mark.parametrize("scheduler_name",
+                         ["rest", "combined.2", "workqueue",
+                          "storage-affinity"])
+def test_all_tasks_complete_despite_failures(env, scheduler_name):
+    job, trace, injector, result = run_with_failures(env, scheduler_name)
+    completed = [r.task_id for r in trace.of_type(TaskCompleted)]
+    assert sorted(set(completed)) == [t.task_id for t in job]
+    assert injector.failures > 0, "test must actually inject failures"
+
+
+def test_cancelled_count_includes_failures(env):
+    _job, trace, injector, result = run_with_failures(env, "rest")
+    assert trace.count(TaskCancelled) >= injector.failures
+
+
+def test_failure_cause_carries_repair_time():
+    failure = WorkerFailure(repair_time=12.5)
+    assert failure.repair_time == 12.5
+
+
+def test_injector_validation(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    grid.attach_scheduler(create_scheduler("rest", tiny_job))
+    with pytest.raises(ValueError):
+        WorkerFailureInjector(grid, mtbf=0.0, repair_time=1.0,
+                              rng=random.Random(0))
+    with pytest.raises(ValueError):
+        WorkerFailureInjector(grid, mtbf=1.0, repair_time=-1.0,
+                              rng=random.Random(0))
+
+
+def test_idle_workers_do_not_fail(env, tiny_job):
+    """With MTBF far above the makespan, attempts mostly miss."""
+    grid = make_grid(env, tiny_job, num_sites=1)
+    scheduler = create_scheduler("rest", tiny_job)
+    grid.attach_scheduler(scheduler)
+    injector = WorkerFailureInjector(grid, mtbf=1.0, repair_time=0.0,
+                                     rng=random.Random(1))
+    grid.run()
+    # attempts happened, and every task still completed exactly once
+    assert injector.failures + injector.misses > 0
+    assert scheduler.tasks_remaining == 0
+
+
+def test_repair_time_delays_worker(env):
+    """A failed worker stays idle for the repair duration."""
+    job = make_job([{0}, {1}], flops=1e9 * 1000)  # long compute
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=1,
+                     speed_mflops=1000.0)
+    scheduler = create_scheduler("workqueue", job)
+    grid.attach_scheduler(scheduler)
+    worker = grid.workers[0]
+
+    downtime = {}
+
+    def killer(env):
+        from repro.analysis.trace import TaskStarted
+        while not trace.of_type(TaskStarted):
+            yield env.timeout(1.0)
+        worker.fail(repair_time=500.0)
+        downtime["failed_at"] = env.now
+
+    env.process(killer(env))
+    grid.run()
+    # the second start (retry after failure) happens >= 500s later
+    cancel_time = trace.of_type(TaskCancelled)[0].time
+    later_starts = [r.time for r in trace.of_type(TaskCompleted)]
+    assert min(later_starts) >= cancel_time + 500.0

@@ -1,0 +1,92 @@
+"""FileServer accounting and the GridScheduler contract."""
+
+import pytest
+
+from repro.grid.file_server import FileServer
+from repro.grid.files import FileCatalog
+from repro.grid.scheduler_api import GridScheduler
+from repro.net import FlowNetwork, Topology
+from repro.sim import Environment
+
+
+def make_file_server(env, num_files=10, size=100.0):
+    topo = Topology()
+    topo.add_node("fs")
+    topo.add_node("dst")
+    topo.add_link("fs", "dst", bandwidth=50.0, latency=0.1)
+    net = FlowNetwork(env, topo)
+    catalog = FileCatalog(num_files, default_size=size)
+    return FileServer(env, net, "fs", catalog), net
+
+
+def test_fetch_counts_and_bytes(env):
+    server, _net = make_file_server(env)
+    server.fetch("dst", 1)
+    server.fetch("dst", 2)
+    env.run()
+    assert server.transfers_served == 2
+    assert server.bytes_served == pytest.approx(200.0)
+
+
+def test_fetch_unknown_file_rejected(env):
+    server, _net = make_file_server(env, num_files=3)
+    with pytest.raises(KeyError):
+        server.fetch("dst", 99)
+
+
+def test_fetch_returns_transfer_event(env):
+    server, _net = make_file_server(env)
+    event = server.fetch("dst", 0)
+    env.run()
+    assert event.processed and event.ok
+    stats = event.value
+    assert stats.size == 100.0
+    assert stats.src == "fs" and stats.dst == "dst"
+
+
+def test_fetch_duration_matches_link(env):
+    server, _net = make_file_server(env)  # 100 B at 50 B/s + 0.1 lat
+    event = server.fetch("dst", 0)
+    env.run()
+    assert event.value.finished_at == pytest.approx(2.1)
+
+
+def test_grid_scheduler_is_abstract():
+    with pytest.raises(TypeError):
+        GridScheduler()
+
+
+def test_base_scheduler_requires_bind(tiny_job):
+    from repro.core.base import BaseScheduler
+
+    class Dummy(BaseScheduler):
+        def next_task(self, worker):  # pragma: no cover
+            raise NotImplementedError
+
+    scheduler = Dummy(tiny_job)
+    with pytest.raises(RuntimeError):
+        scheduler.job_done
+
+
+def test_base_scheduler_rejects_double_bind(env, tiny_job):
+    from repro.core.workqueue import WorkqueueScheduler
+    from conftest import make_grid
+    grid = make_grid(env, tiny_job)
+    scheduler = WorkqueueScheduler(tiny_job)
+    grid.attach_scheduler(scheduler)
+    with pytest.raises(RuntimeError):
+        scheduler.bind(grid)
+
+
+def test_empty_job_is_immediately_done(env):
+    from repro.core.workqueue import WorkqueueScheduler
+    from repro.grid.files import FileCatalog
+    from repro.grid.job import Job
+    from conftest import make_grid
+    job = Job([], FileCatalog(1))
+    grid = make_grid(env, job)
+    scheduler = WorkqueueScheduler(job)
+    grid.attach_scheduler(scheduler)
+    result = grid.run()
+    assert scheduler.tasks_remaining == 0
+    assert result.tasks_completed == 0

@@ -1,0 +1,53 @@
+"""FileCatalog."""
+
+import pytest
+
+from repro.grid import FileCatalog, MB
+
+
+def test_len_and_contains():
+    catalog = FileCatalog(10)
+    assert len(catalog) == 10
+    assert 0 in catalog and 9 in catalog
+    assert 10 not in catalog and -1 not in catalog
+
+
+def test_default_size():
+    catalog = FileCatalog(3, default_size=5 * MB)
+    assert catalog.size(0) == 5 * MB
+    assert catalog.default_size == 5 * MB
+
+
+def test_size_overrides():
+    catalog = FileCatalog(3, default_size=100.0, sizes={1: 250.0})
+    assert catalog.size(0) == 100.0
+    assert catalog.size(1) == 250.0
+
+
+def test_out_of_range_size_raises():
+    catalog = FileCatalog(3)
+    with pytest.raises(KeyError):
+        catalog.size(3)
+
+
+def test_override_out_of_range_rejected():
+    with pytest.raises(KeyError):
+        FileCatalog(3, sizes={7: 10.0})
+
+
+def test_nonpositive_sizes_rejected():
+    with pytest.raises(ValueError):
+        FileCatalog(3, default_size=0)
+    with pytest.raises(ValueError):
+        FileCatalog(3, sizes={0: -5.0})
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        FileCatalog(-1)
+
+
+def test_total_bytes():
+    catalog = FileCatalog(5, default_size=10.0, sizes={2: 100.0})
+    assert catalog.total_bytes([0, 2, 4]) == 120.0
+    assert catalog.total_bytes([]) == 0.0

@@ -1,0 +1,65 @@
+"""Task and Job semantics."""
+
+import pytest
+
+from repro.grid import FileCatalog, Job, Task
+
+from conftest import make_job
+
+
+def test_task_num_files():
+    task = Task(task_id=0, files=frozenset({1, 2, 3}))
+    assert task.num_files == 3
+
+
+def test_task_requires_files():
+    with pytest.raises(ValueError):
+        Task(task_id=0, files=frozenset())
+
+
+def test_task_negative_flops_rejected():
+    with pytest.raises(ValueError):
+        Task(task_id=0, files=frozenset({0}), flops=-1.0)
+
+
+def test_job_iteration_and_lookup(tiny_job):
+    assert len(tiny_job) == 4
+    assert [t.task_id for t in tiny_job] == [0, 1, 2, 3]
+    assert tiny_job[2].files == frozenset({2, 3, 4})
+
+
+def test_job_duplicate_ids_rejected():
+    catalog = FileCatalog(3)
+    tasks = [Task(0, frozenset({0})), Task(0, frozenset({1}))]
+    with pytest.raises(ValueError):
+        Job(tasks, catalog)
+
+
+def test_job_unknown_file_rejected():
+    catalog = FileCatalog(2)
+    with pytest.raises(ValueError):
+        Job([Task(0, frozenset({5}))], catalog)
+
+
+def test_referenced_files(tiny_job):
+    assert tiny_job.referenced_files == frozenset(range(6))
+
+
+def test_reference_counts(tiny_job):
+    counts = tiny_job.reference_counts()
+    # files: 0:{t0} 1:{t0,t1} 2:{t0..t2} 3:{t1..t3} 4:{t2,t3} 5:{t3}
+    assert counts == {0: 1, 1: 2, 2: 3, 3: 3, 4: 2, 5: 1}
+
+
+def test_make_job_helper_sizes():
+    job = make_job([{0, 1}, {1, 2}], file_size=77.0)
+    assert job.catalog.size(0) == 77.0
+    assert len(job.catalog) == 3
+
+
+def test_job_preserves_task_order():
+    catalog = FileCatalog(4)
+    tasks = [Task(3, frozenset({0})), Task(1, frozenset({1}))]
+    job = Job(tasks, catalog)
+    assert [t.task_id for t in job] == [3, 1]
+    assert job[1].task_id == 1

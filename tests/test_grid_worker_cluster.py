@@ -1,0 +1,168 @@
+"""Worker + Grid end-to-end behaviour with a trivial FIFO scheduler."""
+
+import pytest
+
+from repro.analysis.trace import (TaskCancelled, TaskCompleted, TaskStarted,
+                                  TraceBus)
+from repro.core.workqueue import WorkqueueScheduler
+from repro.grid.cluster import Grid
+
+from conftest import make_grid, make_job
+
+
+def run_grid(env, job, trace=None, **kwargs):
+    grid = make_grid(env, job, trace=trace, **kwargs)
+    scheduler = WorkqueueScheduler(job)
+    grid.attach_scheduler(scheduler)
+    return grid, grid.run()
+
+
+def test_all_tasks_complete(env, tiny_job):
+    trace = TraceBus()
+    grid, result = run_grid(env, tiny_job, trace=trace)
+    completed = {r.task_id for r in trace.of_type(TaskCompleted)}
+    assert completed == {0, 1, 2, 3}
+    assert result.tasks_completed == 4
+
+
+def test_each_task_completes_exactly_once(env, tiny_job):
+    trace = TraceBus()
+    _grid, _result = run_grid(env, tiny_job, trace=trace)
+    ids = [r.task_id for r in trace.of_type(TaskCompleted)]
+    assert sorted(ids) == sorted(set(ids))
+
+
+def test_makespan_equals_last_completion(env, tiny_job):
+    trace = TraceBus()
+    _grid, result = run_grid(env, tiny_job, trace=trace)
+    last = max(r.time for r in trace.of_type(TaskCompleted))
+    assert result.makespan == pytest.approx(last)
+
+
+def test_task_starts_only_with_all_files_resident(env, tiny_job):
+    trace = TraceBus()
+    grid = make_grid(env, tiny_job, trace=trace, num_sites=2)
+    scheduler = WorkqueueScheduler(tiny_job)
+    grid.attach_scheduler(scheduler)
+
+    violations = []
+
+    def check(record):
+        storage = grid.sites[record.site].storage
+        task = tiny_job[record.task_id]
+        if any(fid not in storage for fid in task.files):
+            violations.append(record)
+
+    trace.subscribe(TaskStarted, check)
+    grid.run()
+    assert violations == []
+
+
+def test_compute_time_respects_speed(env):
+    job = make_job([{0}], flops=5000e6)  # 5000 MFLOP
+    trace = TraceBus()
+    grid, _result = run_grid(env, job, trace=trace, num_sites=1,
+                             speed_mflops=1000.0)
+    started = trace.of_type(TaskStarted)[0].time
+    completed = trace.of_type(TaskCompleted)[0].time
+    assert completed - started == pytest.approx(5.0)
+
+
+def test_workers_report_completions(env, tiny_job):
+    grid, _result = run_grid(env, tiny_job, num_sites=2)
+    total = sum(w.tasks_completed for w in grid.workers)
+    assert total == len(tiny_job)
+
+
+def test_file_transfer_accounting(env, tiny_job):
+    grid, result = run_grid(env, tiny_job, num_sites=1)
+    # single site: every distinct file transferred exactly once
+    assert result.file_transfers == 6
+    assert result.bytes_transferred == pytest.approx(6 * 1024.0)
+
+
+def test_zero_flops_tasks_still_complete(env):
+    job = make_job([{0, 1}, {1, 2}], flops=0.0)
+    _grid, result = run_grid(env, job, num_sites=1)
+    assert result.tasks_completed == 2
+
+
+def test_grid_requires_scheduler():
+    from repro.sim import Environment
+    env = Environment()
+    job = make_job([{0}])
+    grid = make_grid(env, job)
+    with pytest.raises(RuntimeError):
+        grid.run()
+
+
+def test_double_attach_rejected(env, tiny_job):
+    grid = make_grid(env, tiny_job)
+    grid.attach_scheduler(WorkqueueScheduler(tiny_job))
+    with pytest.raises(RuntimeError):
+        grid.attach_scheduler(WorkqueueScheduler(tiny_job))
+
+
+def test_too_many_sites_rejected(env, tiny_job):
+    from repro.net import TiersParams, generate_tiers
+    topo = generate_tiers(TiersParams(num_sites=2), seed=1)
+    with pytest.raises(ValueError):
+        Grid(env, topo, tiny_job, 100, [[100.0]] * 3)
+
+
+def test_worker_speed_validation(env, tiny_job):
+    with pytest.raises(ValueError):
+        make_grid(env, tiny_job, speed_mflops=0.0)
+
+
+def test_cancel_task_interrupts_running_worker(env):
+    """cancel_task mid-compute aborts and emits TaskCancelled."""
+    job = make_job([{0}], flops=1e9 * 100)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=1,
+                     speed_mflops=1000.0)
+
+    class OneShot(WorkqueueScheduler):
+        pass
+
+    scheduler = OneShot(job)
+    grid.attach_scheduler(scheduler)
+
+    def killer(env):
+        # wait until compute surely started, then cancel
+        while not trace.of_type(TaskStarted):
+            yield env.timeout(1.0)
+        worker = grid.workers[0]
+        assert worker.cancel_task(0)
+
+    env.process(killer(env))
+    # The task never completes: run until queue drains.
+    env.run()
+    assert trace.count(TaskCancelled) == 1
+    assert grid.workers[0].tasks_cancelled == 1
+    # Cancellation released every pin.
+    storage = grid.sites[0].storage
+    assert not any(storage.is_pinned(fid)
+                   for fid in storage.resident_files)
+
+
+def test_cancel_task_wrong_id_is_noop(env):
+    job = make_job([{0}], flops=1e9 * 100)
+    trace = TraceBus()
+    grid = make_grid(env, job, trace=trace, num_sites=1)
+    grid.attach_scheduler(WorkqueueScheduler(job))
+
+    def killer(env):
+        while not trace.of_type(TaskStarted):
+            yield env.timeout(1.0)
+        assert not grid.workers[0].cancel_task(999)
+
+    env.process(killer(env))
+    env.run()
+    assert trace.count(TaskCompleted) == 1
+
+
+def test_worker_names_are_unique(env, tiny_job):
+    grid = make_grid(env, tiny_job, num_sites=2, workers_per_site=3)
+    names = [w.name for w in grid.workers]
+    assert len(names) == len(set(names)) == 6

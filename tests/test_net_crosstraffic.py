@@ -1,0 +1,97 @@
+"""Background cross-traffic injection."""
+
+import random
+
+import pytest
+
+from repro.exp import ExperimentConfig, run_experiment
+from repro.net import FlowNetwork, Topology
+from repro.net.crosstraffic import CrossTraffic
+from repro.sim import Environment
+
+
+def star_topology(leaves=3):
+    topo = Topology()
+    topo.add_node("hub")
+    names = []
+    for i in range(leaves):
+        name = topo.add_node(f"n{i}")
+        topo.add_link("hub", name, bandwidth=10.0, latency=0.01)
+        names.append(name)
+    return topo, names
+
+
+def test_parameter_validation():
+    env = Environment()
+    topo, names = star_topology()
+    net = FlowNetwork(env, topo)
+    with pytest.raises(ValueError):
+        CrossTraffic(env, net, names[:1], 1.0, 1.0, random.Random(0))
+    with pytest.raises(ValueError):
+        CrossTraffic(env, net, names, 0.0, 1.0, random.Random(0))
+    with pytest.raises(ValueError):
+        CrossTraffic(env, net, names, 1.0, 0.0, random.Random(0))
+
+
+def test_flows_injected_until_condition():
+    env = Environment()
+    topo, names = star_topology()
+    net = FlowNetwork(env, topo)
+    traffic = CrossTraffic(env, net, names, mean_interarrival=5.0,
+                           mean_size=10.0, rng=random.Random(1),
+                           until=lambda: env.now > 200.0)
+    env.run()
+    assert traffic.flows_started > 10
+    assert traffic.bytes_injected > 0
+    assert net.completed_transfers == traffic.flows_started
+
+
+def test_generation_stops_and_queue_drains():
+    env = Environment()
+    topo, names = star_topology()
+    net = FlowNetwork(env, topo)
+    CrossTraffic(env, net, names, mean_interarrival=1.0, mean_size=5.0,
+                 rng=random.Random(2), until=lambda: env.now > 50.0)
+    env.run()  # must terminate (no infinite generator)
+    assert net.active_flow_count == 0
+
+
+def test_src_dst_always_distinct():
+    env = Environment()
+    topo, names = star_topology(4)
+    net = FlowNetwork(env, topo)
+    seen = []
+    original = net.transfer
+
+    def spy(src, dst, size):
+        seen.append((src, dst))
+        return original(src, dst, size)
+
+    net.transfer = spy
+    CrossTraffic(env, net, names, mean_interarrival=1.0, mean_size=5.0,
+                 rng=random.Random(3), until=lambda: env.now > 30.0)
+    env.run()
+    assert seen
+    assert all(src != dst for src, dst in seen)
+
+
+def test_cross_traffic_slows_the_grid():
+    base = dict(scheduler="rest", num_tasks=40, num_sites=2,
+                capacity_files=500)
+    quiet = run_experiment(ExperimentConfig(**base))
+    noisy = run_experiment(ExperimentConfig(
+        cross_traffic=True, cross_traffic_interarrival=60.0,
+        cross_traffic_mean_mb=30.0, **base))
+    assert noisy.makespan > quiet.makespan
+    # transfers counted by the file server are unchanged (cross traffic
+    # is not file-server traffic)
+    assert noisy.file_transfers == pytest.approx(quiet.file_transfers,
+                                                 rel=0.2)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExperimentConfig(cross_traffic=True,
+                         cross_traffic_interarrival=0.0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(cross_traffic=True, cross_traffic_mean_mb=0.0)

@@ -1,0 +1,147 @@
+"""Flow network: analytic max-min fair-sharing checks."""
+
+import pytest
+
+from repro.net import FlowNetwork, Topology
+from repro.sim import Environment
+
+
+def finish_times(env, net, transfers):
+    """Run transfers (src, dst, size, start_time) -> completion times."""
+    done = {}
+
+    def starter(env, index, src, dst, size, start):
+        if start:
+            yield env.timeout(start)
+        event = net.transfer(src, dst, size)
+        event.add_callback(lambda e: done.setdefault(index, env.now))
+        if False:  # pragma: no cover - make this a generator
+            yield
+
+    for index, (src, dst, size, start) in enumerate(transfers):
+        env.process(starter(env, index, src, dst, size, start))
+    env.run()
+    return done
+
+
+@pytest.fixture
+def chain():
+    """a --(10,1s)-- b --(5,1s)-- c"""
+    topo = Topology()
+    for name in "abc":
+        topo.add_node(name)
+    topo.add_link("a", "b", bandwidth=10.0, latency=1.0)
+    topo.add_link("b", "c", bandwidth=5.0, latency=1.0)
+    return topo
+
+
+def test_single_flow_latency_plus_bandwidth(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    done = finish_times(env, net, [("a", "b", 100.0, 0.0)])
+    # 1s latency + 100/10 s transfer
+    assert done[0] == pytest.approx(11.0)
+
+
+def test_zero_size_transfer_takes_latency_only(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    done = finish_times(env, net, [("a", "b", 0.0, 0.0)])
+    assert done[0] == pytest.approx(1.0)
+    assert net.completed_transfers == 1
+
+
+def test_same_node_transfer_is_instant(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    done = finish_times(env, net, [("a", "a", 500.0, 0.0)])
+    assert done[0] == pytest.approx(0.0)
+
+
+def test_negative_size_rejected(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    with pytest.raises(ValueError):
+        net.transfer("a", "b", -1.0)
+
+
+def test_two_flows_share_link_equally(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    done = finish_times(env, net, [("a", "b", 50.0, 0.0),
+                                   ("a", "b", 50.0, 0.0)])
+    # both get 5 B/s: 1s latency + 10s
+    assert done[0] == pytest.approx(11.0)
+    assert done[1] == pytest.approx(11.0)
+
+
+def test_flow_speeds_up_when_other_finishes(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    done = finish_times(env, net, [("a", "b", 100.0, 0.0),
+                                   ("a", "b", 40.0, 5.0)])
+    # f1 alone 1..6 (50 bytes), shares 5 B/s until f2 done at 14,
+    # then finishes remaining 10 bytes at 10 B/s -> 15.
+    assert done[1] == pytest.approx(14.0)
+    assert done[0] == pytest.approx(15.0)
+
+
+def test_bottleneck_is_narrowest_link(env, chain):
+    net = FlowNetwork(env, chain)
+    done = finish_times(env, net, [("a", "c", 50.0, 0.0)])
+    # latency 2s + 50/5 s
+    assert done[0] == pytest.approx(12.0)
+
+
+def test_max_min_unequal_routes(env, chain):
+    """One a->c flow (bottleneck 5) and one a->b flow share link ab.
+
+    Max-min: flow a-c is limited to 5 by link bc; flow a-b gets the
+    remaining 5 of link ab.
+    """
+    net = FlowNetwork(env, chain)
+    done = finish_times(env, net, [("a", "c", 50.0, 0.0),
+                                   ("a", "b", 50.0, 0.0)])
+    assert done[0] == pytest.approx(12.0)   # 2 + 50/5
+    # a->b is admitted at t=1 (shorter latency) and runs alone at 10 B/s
+    # until a->c joins at t=2; then 40 bytes at its 5 B/s share -> t=10.
+    assert done[1] == pytest.approx(10.0)
+
+
+def test_three_flows_one_link(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    done = finish_times(env, net, [("a", "b", 30.0, 0.0)] * 3)
+    # each 10/3 B/s: 1 + 30/(10/3) = 10s
+    for index in range(3):
+        assert done[index] == pytest.approx(10.0)
+
+
+def test_counters_accumulate(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    finish_times(env, net, [("a", "b", 30.0, 0.0), ("a", "b", 20.0, 0.0)])
+    assert net.completed_transfers == 2
+    assert net.bytes_transferred == pytest.approx(50.0)
+    assert net.active_flow_count == 0
+
+
+def test_transfer_stats_fields(env, two_node_topology):
+    net = FlowNetwork(env, two_node_topology)
+    captured = {}
+    net.transfer("a", "b", 100.0).add_callback(
+        lambda e: captured.update(stats=e.value))
+    env.run()
+    stats = captured["stats"]
+    assert stats.src == "a" and stats.dst == "b"
+    assert stats.size == 100.0
+    assert stats.requested_at == 0.0
+    assert stats.started_at == pytest.approx(1.0)
+    assert stats.finished_at == pytest.approx(11.0)
+    assert stats.duration == pytest.approx(11.0)
+
+
+def test_many_sequential_transfers_keep_clock_sane(env, two_node_topology):
+    """Regression: float-resolution completion must never stall time."""
+    net = FlowNetwork(env, two_node_topology)
+
+    def sender(env):
+        for _ in range(200):
+            yield net.transfer("a", "b", 7.3)
+
+    process = env.process(sender(env))
+    env.run_until_event(process)
+    assert net.completed_transfers == 200
+    assert env.now == pytest.approx(200 * (1.0 + 0.73), rel=1e-6)

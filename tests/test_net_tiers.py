@@ -1,0 +1,83 @@
+"""Tiers-style topology generation."""
+
+import pytest
+
+from repro.net import TiersParams, generate_tiers
+
+
+def test_default_generation_shape():
+    grid = generate_tiers(TiersParams(num_sites=10), seed=1)
+    assert grid.num_sites == 10
+    assert len(grid.site_gateways) == 10
+    assert grid.topology.node_kind(grid.scheduler_node) == "service"
+    assert grid.topology.node_kind(grid.file_server_node) == "service"
+
+
+def test_generation_is_deterministic():
+    a = generate_tiers(TiersParams(num_sites=6), seed=9)
+    b = generate_tiers(TiersParams(num_sites=6), seed=9)
+    assert a.site_gateways == b.site_gateways
+    assert [(l.a, l.b, l.bandwidth, l.latency) for l in a.topology.links] \
+        == [(l.a, l.b, l.bandwidth, l.latency) for l in b.topology.links]
+
+
+def test_different_seeds_differ():
+    a = generate_tiers(TiersParams(num_sites=6), seed=1)
+    b = generate_tiers(TiersParams(num_sites=6), seed=2)
+    assert [(l.a, l.b) for l in a.topology.links] \
+        != [(l.a, l.b) for l in b.topology.links] or \
+        [l.bandwidth for l in a.topology.links] \
+        != [l.bandwidth for l in b.topology.links]
+
+
+def test_every_site_reaches_services():
+    grid = generate_tiers(TiersParams(num_sites=12), seed=3)
+    for gateway in grid.site_gateways:
+        assert grid.topology.route(gateway, grid.file_server_node).links
+        assert grid.topology.route(gateway, grid.scheduler_node).links
+
+
+def test_connected_for_many_seeds():
+    for seed in range(20):
+        grid = generate_tiers(TiersParams(num_sites=9), seed=seed)
+        assert grid.topology.is_connected()
+
+
+def test_single_site():
+    grid = generate_tiers(TiersParams(num_sites=1), seed=0)
+    assert grid.num_sites == 1
+    assert grid.topology.is_connected()
+
+
+def test_bandwidth_jitter_bounds():
+    params = TiersParams(num_sites=8, bandwidth_jitter=0.25)
+    grid = generate_tiers(params, seed=5)
+    site_links = [l for l in grid.topology.links
+                  if l.a.startswith("site") or l.b.startswith("site")]
+    assert site_links
+    for link in site_links:
+        assert params.site_bandwidth * 0.75 <= link.bandwidth \
+            <= params.site_bandwidth * 1.25
+
+
+def test_zero_jitter_exact_bandwidths():
+    params = TiersParams(num_sites=4, bandwidth_jitter=0.0)
+    grid = generate_tiers(params, seed=5)
+    site_links = [l for l in grid.topology.links
+                  if l.a.startswith("site") or l.b.startswith("site")]
+    for link in site_links:
+        assert link.bandwidth == params.site_bandwidth
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        TiersParams(num_sites=0)
+    with pytest.raises(ValueError):
+        TiersParams(num_wan_routers=0)
+    with pytest.raises(ValueError):
+        TiersParams(bandwidth_jitter=1.0)
+
+
+def test_site_kind_nodes_match_gateways():
+    grid = generate_tiers(TiersParams(num_sites=7), seed=2)
+    assert grid.topology.nodes_of_kind("site") == grid.site_gateways

@@ -1,0 +1,143 @@
+"""Topology graph and routing."""
+
+import pytest
+
+from repro.net import Topology
+
+
+def build_diamond():
+    r"""a - b - d and a - c - d, with b cheaper than c."""
+    topo = Topology()
+    for name in "abcd":
+        topo.add_node(name)
+    topo.add_link("a", "b", bandwidth=10.0, latency=1.0)
+    topo.add_link("b", "d", bandwidth=10.0, latency=1.0)
+    topo.add_link("a", "c", bandwidth=10.0, latency=5.0)
+    topo.add_link("c", "d", bandwidth=10.0, latency=5.0)
+    return topo
+
+
+def test_duplicate_node_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(ValueError):
+        topo.add_node("a")
+
+
+def test_link_to_unknown_node_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(KeyError):
+        topo.add_link("a", "ghost", 1.0, 0.0)
+
+
+def test_self_link_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    with pytest.raises(ValueError):
+        topo.add_link("a", "a", 1.0, 0.0)
+
+
+def test_nonpositive_bandwidth_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", 0.0, 0.0)
+
+
+def test_negative_latency_rejected():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    with pytest.raises(ValueError):
+        topo.add_link("a", "b", 1.0, -1.0)
+
+
+def test_link_other_endpoint():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    link = topo.add_link("a", "b", 1.0, 0.5)
+    assert link.other("a") == "b"
+    assert link.other("b") == "a"
+    with pytest.raises(ValueError):
+        link.other("c")
+
+
+def test_route_prefers_lower_latency():
+    topo = build_diamond()
+    route = topo.route("a", "d")
+    assert [link.other("a") for link in route.links[:1]] == ["b"]
+    assert route.latency == 2.0
+    assert len(route.links) == 2
+
+
+def test_route_same_node_is_empty():
+    topo = build_diamond()
+    route = topo.route("a", "a")
+    assert route.links == ()
+    assert route.latency == 0.0
+    assert route.bottleneck_bandwidth == float("inf")
+
+
+def test_route_unknown_node_raises():
+    topo = build_diamond()
+    with pytest.raises(KeyError):
+        topo.route("a", "nope")
+
+
+def test_route_disconnected_raises():
+    topo = Topology()
+    topo.add_node("a")
+    topo.add_node("b")
+    with pytest.raises(ValueError):
+        topo.route("a", "b")
+
+
+def test_route_is_cached_and_symmetric():
+    topo = build_diamond()
+    forward = topo.route("a", "d")
+    backward = topo.route("d", "a")
+    assert [l.link_id for l in backward.links] == \
+        [l.link_id for l in reversed(forward.links)]
+    assert topo.route("a", "d") is forward  # cache hit
+
+
+def test_cache_invalidated_by_new_link():
+    topo = build_diamond()
+    topo.route("a", "d")
+    topo.add_link("a", "d", bandwidth=10.0, latency=0.1)
+    assert topo.route("a", "d").latency == 0.1
+
+
+def test_bottleneck_bandwidth():
+    topo = Topology()
+    for name in "abc":
+        topo.add_node(name)
+    topo.add_link("a", "b", bandwidth=100.0, latency=0.0)
+    topo.add_link("b", "c", bandwidth=3.0, latency=0.0)
+    assert topo.route("a", "c").bottleneck_bandwidth == 3.0
+
+
+def test_nodes_of_kind():
+    topo = Topology()
+    topo.add_node("s1", "site")
+    topo.add_node("r1", "router")
+    topo.add_node("s2", "site")
+    assert topo.nodes_of_kind("site") == ("s1", "s2")
+    assert topo.node_kind("r1") == "router"
+
+
+def test_neighbors_and_degree():
+    topo = build_diamond()
+    assert set(topo.neighbors("a")) == {"b", "c"}
+    assert topo.degree("d") == 2
+
+
+def test_is_connected():
+    topo = build_diamond()
+    assert topo.is_connected()
+    topo.add_node("island")
+    assert not topo.is_connected()
+    assert Topology().is_connected()  # vacuous

@@ -1,0 +1,159 @@
+"""Environment: clock, scheduling order, run semantics."""
+
+import pytest
+
+from repro.sim import (EmptyScheduleError, Environment,
+                       SchedulingInPastError)
+from repro.sim.events import Event, NORMAL, URGENT
+
+
+def test_initial_time_defaults_to_zero():
+    assert Environment().now == 0.0
+
+
+def test_initial_time_can_be_set():
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock(env):
+    env.timeout(10.0)
+    env.run()
+    assert env.now == 10.0
+
+
+def test_events_fire_in_time_order(env):
+    fired = []
+    for delay in (5.0, 1.0, 3.0):
+        env.timeout(delay).add_callback(
+            lambda e, d=delay: fired.append(d))
+    env.run()
+    assert fired == [1.0, 3.0, 5.0]
+
+
+def test_same_time_events_fire_in_insertion_order(env):
+    fired = []
+    for tag in ("first", "second", "third"):
+        env.timeout(1.0).add_callback(lambda e, t=tag: fired.append(t))
+    env.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_urgent_priority_precedes_normal_at_same_time(env):
+    fired = []
+    normal = Event(env)
+    normal.callbacks.append(lambda e: fired.append("normal"))
+    normal.succeed()
+    urgent = Event(env)
+    urgent.callbacks.append(lambda e: fired.append("urgent"))
+    urgent._ok = True
+    urgent._state = 1
+    env.schedule(urgent, priority=URGENT)
+    env.run()
+    assert fired == ["urgent", "normal"]
+
+
+def test_step_raises_on_empty_queue(env):
+    with pytest.raises(EmptyScheduleError):
+        env.step()
+
+
+def test_run_returns_on_empty_queue(env):
+    env.run()  # must not raise
+    assert env.now == 0.0
+
+
+def test_run_until_stops_clock_exactly_at_limit(env):
+    env.timeout(100.0)
+    env.run(until=30.0)
+    assert env.now == 30.0
+    assert len(env) == 1  # the far event is still queued
+
+
+def test_run_until_processes_events_at_limit(env):
+    fired = []
+    env.timeout(30.0).add_callback(lambda e: fired.append(env.now))
+    env.run(until=30.0)
+    assert fired == [30.0]
+
+
+def test_run_until_in_past_raises(env):
+    env.timeout(5.0)
+    env.run()
+    with pytest.raises(SchedulingInPastError):
+        env.run(until=1.0)
+
+
+def test_negative_delay_raises(env):
+    with pytest.raises(SchedulingInPastError):
+        env.schedule(Event(env), delay=-1.0)
+
+
+def test_peek_reports_next_event_time(env):
+    assert env.peek == float("inf")
+    env.timeout(7.0)
+    env.timeout(3.0)
+    assert env.peek == 3.0
+
+
+def test_run_until_event_returns_value(env):
+    def proc(env):
+        yield env.timeout(4.0)
+        return "result"
+
+    process = env.process(proc(env))
+    assert env.run_until_event(process) == "result"
+    assert env.now == 4.0
+
+
+def test_run_until_event_raises_event_failure(env):
+    def proc(env):
+        yield env.timeout(1.0)
+        raise ValueError("boom")
+
+    process = env.process(proc(env))
+    with pytest.raises(ValueError, match="boom"):
+        env.run_until_event(process)
+
+
+def test_run_until_event_raises_when_drained(env):
+    never = Event(env)
+    env.timeout(1.0)
+    with pytest.raises(EmptyScheduleError):
+        env.run_until_event(never)
+
+
+def test_failed_event_with_no_waiters_crashes_run(env):
+    Event(env).fail(RuntimeError("unobserved"))
+    with pytest.raises(RuntimeError, match="unobserved"):
+        env.run()
+
+
+def test_failed_event_with_waiter_does_not_crash(env):
+    failing = Event(env)
+    caught = []
+
+    def proc(env):
+        try:
+            yield failing
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    env.process(proc(env))
+    failing.fail(RuntimeError("handled"))
+    env.run()
+    assert caught == ["handled"]
+
+
+def test_len_counts_scheduled_events(env):
+    env.timeout(1.0)
+    env.timeout(2.0)
+    assert len(env) >= 2
+
+
+def test_clock_is_monotonic_across_many_events(env):
+    seen = []
+    for delay in (9, 2, 7, 2, 5, 0, 1):
+        env.timeout(float(delay)).add_callback(
+            lambda e: seen.append(env.now))
+    env.run()
+    assert seen == sorted(seen)

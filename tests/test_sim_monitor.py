@@ -1,0 +1,81 @@
+"""Periodic state sampling."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.monitor import StateMonitor, grid_probes
+
+
+def test_interval_validation(env):
+    with pytest.raises(ValueError):
+        StateMonitor(env, interval=0.0)
+
+
+def test_samples_on_cadence(env):
+    clock = {"ticks": 0}
+
+    def advance(env):
+        for _ in range(10):
+            yield env.timeout(10.0)
+            clock["ticks"] += 1
+
+    monitor = StateMonitor(env, interval=25.0,
+                           stop_when=lambda: env.now >= 100.0)
+    monitor.add_probe("ticks", lambda: clock["ticks"])
+    env.process(advance(env))
+    env.run()
+    times = [t for t, _v in monitor.series["ticks"]]
+    # sampling stops at the first check after stop_when turns true,
+    # so t=100 itself is not sampled
+    assert times == [0.0, 25.0, 50.0, 75.0]
+
+
+def test_duplicate_probe_rejected(env):
+    monitor = StateMonitor(env, interval=1.0, stop_when=lambda: True)
+    monitor.add_probe("x", lambda: 0)
+    with pytest.raises(ValueError):
+        monitor.add_probe("x", lambda: 1)
+
+
+def test_peak_and_mean(env):
+    values = iter([1.0, 5.0, 3.0])
+    monitor = StateMonitor(env, interval=10.0,
+                           stop_when=lambda: env.now >= 20.0)
+    monitor.add_probe("v", lambda: next(values))
+    env.timeout(30.0)  # keep the clock moving
+    env.run()
+    assert monitor.peak("v") == (10.0, 5.0)
+    assert monitor.mean("v") == pytest.approx(3.0)
+
+
+def test_stats_require_samples(env):
+    monitor = StateMonitor(env, interval=1.0, stop_when=lambda: True)
+    monitor.add_probe("empty", lambda: 0)
+    env.run()
+    with pytest.raises(ValueError):
+        monitor.peak("empty")
+    with pytest.raises(ValueError):
+        monitor.mean("empty")
+
+
+def test_grid_probes_on_real_run():
+    from repro.exp import ExperimentConfig
+    from repro.exp.runner import build_grid, build_job
+    from repro.core.registry import create_scheduler
+    import random
+
+    config = ExperimentConfig(scheduler="rest", num_tasks=30,
+                              num_sites=2, capacity_files=400)
+    job = build_job(config)
+    grid = build_grid(config, job)
+    scheduler = create_scheduler("rest", job, random.Random(0))
+    grid.attach_scheduler(scheduler)
+    monitor = StateMonitor(grid.env, interval=60.0,
+                           stop_when=lambda: scheduler.tasks_remaining
+                           == 0)
+    grid_probes(monitor, grid)
+    grid.run()
+    assert monitor.series["pending_tasks"][0][1] == 30
+    assert monitor.series["pending_tasks"][-1][1] <= 1
+    assert 0.0 <= monitor.mean("storage_fill") <= 1.0
+    assert monitor.peak("busy_workers")[1] >= 1

@@ -1,0 +1,174 @@
+"""Resource / Store / PriorityStore contention semantics."""
+
+import pytest
+
+from repro.sim import Environment, PriorityStore, Resource, Store
+
+
+def test_resource_grants_up_to_capacity(env):
+    resource = Resource(env, capacity=2)
+    first, second, third = (resource.request() for _ in range(3))
+    assert first.triggered and second.triggered
+    assert not third.triggered
+    assert resource.count == 2
+    assert resource.queue_length == 1
+
+
+def test_resource_release_wakes_fifo(env):
+    resource = Resource(env, capacity=1)
+    held = resource.request()
+    waiting_a = resource.request()
+    waiting_b = resource.request()
+    resource.release()
+    assert waiting_a.triggered
+    assert not waiting_b.triggered
+
+
+def test_resource_release_without_request_raises(env):
+    with pytest.raises(RuntimeError):
+        Resource(env).release()
+
+
+def test_resource_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_cancel_queued_request(env):
+    resource = Resource(env, capacity=1)
+    resource.request()
+    queued = resource.request()
+    assert resource.cancel(queued)
+    assert not resource.cancel(queued)  # already removed
+    resource.release()
+    assert not queued.triggered
+    assert resource.count == 0
+
+
+def test_resource_serializes_processes(env):
+    resource = Resource(env, capacity=1)
+    spans = []
+
+    def user(env, tag, hold):
+        request = resource.request()
+        yield request
+        start = env.now
+        yield env.timeout(hold)
+        resource.release()
+        spans.append((tag, start, env.now))
+
+    env.process(user(env, "a", 4.0))
+    env.process(user(env, "b", 2.0))
+    env.run()
+    assert spans == [("a", 0.0, 4.0), ("b", 4.0, 6.0)]
+
+
+def test_store_put_then_get(env):
+    store = Store(env)
+    store.put("item")
+    got = store.get()
+    assert got.triggered and got.value == "item"
+
+
+def test_store_get_blocks_until_put(env):
+    store = Store(env)
+    results = []
+
+    def consumer(env):
+        item = yield store.get()
+        results.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(5.0)
+        store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert results == [(5.0, "late")]
+
+
+def test_store_fifo_order(env):
+    store = Store(env)
+    for i in range(3):
+        store.put(i)
+    assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+
+def test_store_getters_served_in_order(env):
+    store = Store(env)
+    order = []
+
+    def consumer(env, tag):
+        item = yield store.get()
+        order.append((tag, item))
+
+    env.process(consumer(env, "first"))
+    env.process(consumer(env, "second"))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        store.put("x")
+        store.put("y")
+
+    env.process(producer(env))
+    env.run()
+    assert order == [("first", "x"), ("second", "y")]
+
+
+def test_bounded_store_blocks_put(env):
+    store = Store(env, capacity=1)
+    first = store.put("a")
+    second = store.put("b")
+    assert first.triggered
+    assert not second.triggered
+    got = store.get()
+    assert got.value == "a"
+    assert second.triggered
+    assert store.items == ("b",)
+
+
+def test_store_capacity_validation(env):
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len_and_items(env):
+    store = Store(env)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == (1, 2)
+
+
+def test_priority_store_orders_items(env):
+    store = PriorityStore(env)
+    for value in (5, 1, 3):
+        store.put(value)
+    assert [store.get().value for _ in range(3)] == [1, 3, 5]
+
+
+def test_priority_store_ties_fifo(env):
+    store = PriorityStore(env)
+    store.put((1, "first"))
+    store.put((1, "second"))
+    assert store.get().value == (1, "first")
+    assert store.get().value == (1, "second")
+
+
+def test_priority_store_blocking_get(env):
+    store = PriorityStore(env)
+    got = store.get()
+    assert not got.triggered
+    store.put(7)
+    assert got.triggered and got.value == 7
+
+
+def test_priority_store_bounded_put(env):
+    store = PriorityStore(env, capacity=1)
+    store.put(2)
+    blocked = store.put(1)
+    assert not blocked.triggered
+    assert store.get().value == 2
+    assert blocked.triggered
+    assert store.get().value == 1

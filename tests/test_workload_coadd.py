@@ -1,0 +1,116 @@
+"""Synthetic Coadd: calibration against Table 2 / Figure 3."""
+
+import pytest
+
+from repro.workload import COADD_6000, CoaddParams, characterize, generate_coadd
+from repro.workload.coadd import COADD_FULL
+
+
+@pytest.fixture(scope="module")
+def coadd_job():
+    return generate_coadd(COADD_6000, seed=0)
+
+
+@pytest.fixture(scope="module")
+def coadd_stats(coadd_job):
+    return characterize(coadd_job)
+
+
+def test_task_count(coadd_stats):
+    assert coadd_stats.num_tasks == 6000
+
+
+def test_total_files_matches_table2(coadd_stats):
+    # Table 2: 53,390 files; calibrated within 2%.
+    assert coadd_stats.total_files == pytest.approx(53390, rel=0.02)
+
+
+def test_files_per_task_range_matches_table2(coadd_stats):
+    # Table 2: min 36, max 101.
+    assert 30 <= coadd_stats.min_files_per_task <= 45
+    assert 90 <= coadd_stats.max_files_per_task <= 115
+
+
+def test_avg_files_per_task_matches_table2(coadd_stats):
+    # Table 2: 78.4327 average; within 3%.
+    assert coadd_stats.avg_files_per_task == pytest.approx(78.43, rel=0.03)
+
+
+def test_reference_cdf_matches_fig3(coadd_stats):
+    # Figure 3: ~85% of files referenced by 6 or more tasks.
+    fraction = coadd_stats.fraction_referenced_at_least(6)
+    assert fraction == pytest.approx(0.85, abs=0.04)
+
+
+def test_reference_cdf_monotone(coadd_stats):
+    series = coadd_stats.reference_cdf
+    fractions = [fraction for _k, fraction in series]
+    assert fractions == sorted(fractions, reverse=True)
+    assert series[0][1] == pytest.approx(1.0)
+
+
+def test_generation_is_deterministic():
+    small = CoaddParams(num_tasks=50)
+    a = generate_coadd(small, seed=5)
+    b = generate_coadd(small, seed=5)
+    assert all(ta.files == tb.files for ta, tb in zip(a, b))
+
+
+def test_different_seeds_differ():
+    small = CoaddParams(num_tasks=50)
+    a = generate_coadd(small, seed=1)
+    b = generate_coadd(small, seed=2)
+    assert any(ta.files != tb.files for ta, tb in zip(a, b))
+
+
+def test_neighbours_share_most_files(coadd_job):
+    """Spatial locality: consecutive stripe tasks overlap heavily."""
+    tasks = coadd_job.tasks
+    overlaps = []
+    for left, right in zip(tasks[100:200], tasks[101:201]):
+        shared = len(left.files & right.files)
+        overlaps.append(shared / min(left.num_files, right.num_files))
+    assert sum(overlaps) / len(overlaps) > 0.7
+
+
+def test_file_size_override():
+    job = generate_coadd(CoaddParams(num_tasks=20), seed=0,
+                         file_size=123.0)
+    assert job.catalog.default_size == 123.0
+
+
+def test_flops_proportional_to_files():
+    params = CoaddParams(num_tasks=20, flops_per_file=7.0)
+    job = generate_coadd(params, seed=0)
+    for task in job:
+        assert task.flops == pytest.approx(7.0 * task.num_files)
+
+
+def test_stats_stable_across_seeds():
+    params = CoaddParams(num_tasks=2000)
+    for seed in (1, 2):
+        stats = characterize(generate_coadd(params, seed=seed))
+        assert stats.avg_files_per_task == pytest.approx(78.4, rel=0.05)
+        assert stats.fraction_referenced_at_least(6) == pytest.approx(
+            0.85, abs=0.06)
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        CoaddParams(num_tasks=0)
+    with pytest.raises(ValueError):
+        CoaddParams(stride=0)
+    with pytest.raises(ValueError):
+        CoaddParams(width_lo=0)
+    with pytest.raises(ValueError):
+        CoaddParams(aux_files_per_task=-1)
+    with pytest.raises(ValueError):
+        CoaddParams(aux_span_lo=3, aux_span_hi=2)
+    with pytest.raises(ValueError):
+        CoaddParams(field_lengths=(0.0,))
+
+
+def test_full_preset_shape():
+    assert COADD_FULL.num_tasks == 44000
+    # don't generate 44k tasks in the unit suite; shape-check params only
+    assert COADD_FULL.num_runs > COADD_6000.num_runs

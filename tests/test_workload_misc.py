@@ -1,0 +1,199 @@
+"""Synthetic generators, Top500 speeds, stats, ordering, traces."""
+
+import random
+
+import pytest
+
+from repro.workload import (characterize, load_job, reference_cdf_series,
+                            sample_speed, sample_speeds, save_job,
+                            sliding_window, uniform_random, zipf_popularity)
+from repro.workload import top500
+from repro.workload.ordering import reorder_job
+from repro.workload.traces import job_from_dict, job_to_dict
+
+from conftest import make_job
+
+
+# -- synthetic generators ------------------------------------------------
+
+def test_uniform_random_shape():
+    job = uniform_random(num_tasks=20, num_files=100, files_per_task=5,
+                         seed=1)
+    assert len(job) == 20
+    assert all(task.num_files == 5 for task in job)
+    assert len(job.catalog) == 100
+
+
+def test_uniform_random_validation():
+    with pytest.raises(ValueError):
+        uniform_random(5, num_files=3, files_per_task=4)
+
+
+def test_uniform_random_deterministic():
+    a = uniform_random(10, 50, 5, seed=3)
+    b = uniform_random(10, 50, 5, seed=3)
+    assert all(ta.files == tb.files for ta, tb in zip(a, b))
+
+
+def test_zipf_popularity_skews_references():
+    job = zipf_popularity(num_tasks=60, num_files=200, files_per_task=10,
+                          alpha=1.2, seed=2)
+    counts = job.reference_counts()
+    top = max(counts.values())
+    # rank-1 files must be far more popular than the median file
+    median = sorted(counts.values())[len(counts) // 2]
+    assert top >= 4 * median
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        zipf_popularity(5, 3, 4)
+    with pytest.raises(ValueError):
+        zipf_popularity(5, 10, 2, alpha=0.0)
+
+
+def test_sliding_window_structure():
+    job = sliding_window(num_tasks=5, span=4, step=2)
+    assert job[0].files == frozenset({0, 1, 2, 3})
+    assert job[1].files == frozenset({2, 3, 4, 5})
+    assert len(job.catalog) == 4 * 2 + 4  # (5-1)*2 + 4
+
+
+def test_sliding_window_validation():
+    with pytest.raises(ValueError):
+        sliding_window(5, span=0)
+
+
+# -- top500 ----------------------------------------------------------------
+
+def test_rmax_endpoints():
+    assert top500.rmax_mflops(1) == pytest.approx(top500.RMAX_TOP_MFLOPS)
+    assert top500.rmax_mflops(500) == pytest.approx(
+        top500.RMAX_BOTTOM_MFLOPS, rel=0.01)
+
+
+def test_rmax_monotone_decreasing():
+    values = [top500.rmax_mflops(rank) for rank in (1, 10, 100, 500)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_rmax_rank_validation():
+    with pytest.raises(ValueError):
+        top500.rmax_mflops(0)
+    with pytest.raises(ValueError):
+        top500.rmax_mflops(501)
+
+
+def test_sample_speed_applies_divisor():
+    rng = random.Random(0)
+    speed = sample_speed(rng)
+    assert top500.RMAX_BOTTOM_MFLOPS / 100 <= speed \
+        <= top500.RMAX_TOP_MFLOPS / 100
+
+
+def test_sample_speeds_count_and_determinism():
+    a = sample_speeds(random.Random(5), 10)
+    b = sample_speeds(random.Random(5), 10)
+    assert len(a) == 10 and a == b
+    with pytest.raises(ValueError):
+        sample_speeds(random.Random(0), -1)
+
+
+# -- stats ------------------------------------------------------------------
+
+def test_characterize_tiny(tiny_job):
+    stats = characterize(tiny_job)
+    assert stats.num_tasks == 4
+    assert stats.total_files == 6
+    assert stats.min_files_per_task == 3
+    assert stats.max_files_per_task == 3
+    assert stats.avg_files_per_task == pytest.approx(3.0)
+
+
+def test_reference_cdf_values(tiny_job):
+    stats = characterize(tiny_job)
+    # counts: two files x1, two x2, two x3
+    assert stats.fraction_referenced_at_least(1) == pytest.approx(1.0)
+    assert stats.fraction_referenced_at_least(2) == pytest.approx(4 / 6)
+    assert stats.fraction_referenced_at_least(3) == pytest.approx(2 / 6)
+    assert stats.fraction_referenced_at_least(4) == 0.0
+
+
+def test_reference_cdf_series_format(tiny_job):
+    series = reference_cdf_series(characterize(tiny_job),
+                                  points=(1, 2, 3))
+    assert series == [(1, pytest.approx(100.0)),
+                      (2, pytest.approx(100 * 4 / 6)),
+                      (3, pytest.approx(100 * 2 / 6))]
+
+
+def test_as_table_contains_counts(tiny_job):
+    text = characterize(tiny_job).as_table()
+    assert "6" in text and "Average" in text
+
+
+# -- ordering ---------------------------------------------------------------
+
+def test_reorder_natural_is_identity(tiny_job):
+    assert reorder_job(tiny_job, "natural") is tiny_job
+
+
+def test_reorder_shuffled_renumbers(tiny_job):
+    shuffled = reorder_job(tiny_job, "shuffled", seed=1)
+    assert [t.task_id for t in shuffled] == [0, 1, 2, 3]
+    original = [t.files for t in tiny_job]
+    permuted = [t.files for t in shuffled]
+    assert sorted(map(sorted, original)) == sorted(map(sorted, permuted))
+    assert original != permuted  # seed 1 actually permutes 4 items
+
+
+def test_reorder_shuffled_deterministic(tiny_job):
+    a = reorder_job(tiny_job, "shuffled", seed=2)
+    b = reorder_job(tiny_job, "shuffled", seed=2)
+    assert [t.files for t in a] == [t.files for t in b]
+
+
+def test_reorder_striped():
+    job = make_job([{i} for i in range(6)])
+    striped = reorder_job(job, "striped", stripes=2)
+    # blocks [0,1,2] and [3,4,5] -> interleave 0,3,1,4,2,5
+    assert [next(iter(t.files)) for t in striped] == [0, 3, 1, 4, 2, 5]
+
+
+def test_reorder_unknown_rejected(tiny_job):
+    with pytest.raises(ValueError):
+        reorder_job(tiny_job, "bogus")
+
+
+# -- traces (serialization) --------------------------------------------------
+
+def test_job_roundtrip_dict(tiny_job):
+    clone = job_from_dict(job_to_dict(tiny_job))
+    assert len(clone) == len(tiny_job)
+    assert all(a.files == b.files and a.flops == b.flops
+               for a, b in zip(tiny_job, clone))
+    assert clone.catalog.default_size == tiny_job.catalog.default_size
+
+
+def test_job_roundtrip_file(tmp_path, tiny_job):
+    path = tmp_path / "job.json"
+    save_job(tiny_job, path)
+    clone = load_job(path)
+    assert all(a.files == b.files for a, b in zip(tiny_job, clone))
+
+
+def test_job_roundtrip_preserves_size_overrides(tmp_path):
+    from repro.grid.files import FileCatalog
+    from repro.grid.job import Job, Task
+    catalog = FileCatalog(3, default_size=10.0, sizes={1: 99.0})
+    job = Job([Task(0, frozenset({0, 1, 2}))], catalog)
+    clone = job_from_dict(job_to_dict(job))
+    assert clone.catalog.size(1) == 99.0
+    assert clone.catalog.size(0) == 10.0
+
+
+def test_bad_version_rejected(tiny_job):
+    data = job_to_dict(tiny_job)
+    data["version"] = 999
+    with pytest.raises(ValueError):
+        job_from_dict(data)
