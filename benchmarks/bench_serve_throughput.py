@@ -1,0 +1,61 @@
+"""Live-service bench: assignment throughput and decision latency.
+
+Not a paper artifact — it characterizes the new ``repro.serve``
+scheduler daemon.  For each fleet size, a fresh in-process server runs
+a Coadd-style job over real localhost TCP with zero simulated work, so
+the measurement isolates the scheduler path: wire framing, policy
+decision (``PolicyEngine.choose``), file-delta ingestion, completion
+bookkeeping.  Reported per fleet size: end-to-end assignments/sec and
+the server-side decision-latency histogram (p50/p99/max).
+"""
+
+import asyncio
+
+from repro.exp import ExperimentConfig
+from repro.exp.runner import build_job
+from repro.serve.loadgen import serve_and_load
+
+WORKER_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run_fleet(job, workers):
+    return asyncio.run(asyncio.wait_for(
+        serve_and_load(job, workers=workers, sites=min(workers, 4),
+                       metric="combined", n=2, seed=0,
+                       capacity_files=600),
+        timeout=300))
+
+
+def test_serve_throughput(benchmark, scale, artifact):
+    num_tasks = max(200, scale.num_tasks // 3)
+    job = build_job(ExperimentConfig(num_tasks=num_tasks,
+                                     capacity_files=600))
+
+    def sweep():
+        rows = []
+        for workers in WORKER_COUNTS:
+            report = run_fleet(job, workers)
+            assert report["tasks_done"] == num_tasks
+            stats = report["stats"]
+            latency = stats["decision_latency"]
+            rows.append((workers, stats["assignments_per_sec"],
+                         latency["p50_us"], latency["p99_us"],
+                         latency["max_us"]))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lines = [
+        f"serve throughput ({num_tasks}-task Coadd, combined.2, "
+        f"localhost TCP, zero simulated work)",
+        f"{'workers':>8} {'assign/s':>10} {'p50 us':>8} "
+        f"{'p99 us':>8} {'max us':>8}",
+    ]
+    for workers, rate, p50, p99, peak in rows:
+        lines.append(f"{workers:>8} {rate:>10.0f} {p50:>8.0f} "
+                     f"{p99:>8.0f} {peak:>8.0f}")
+    artifact("serve_throughput", "\n".join(lines))
+
+    # Sanity floor, not a target: even one worker should clear
+    # hundreds of assignments/sec on localhost.
+    assert all(rate > 50 for _w, rate, *_ in rows)

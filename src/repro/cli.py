@@ -9,6 +9,8 @@ Commands
               optionally saving it to JSON.
 ``figures``   regenerate one of the paper's figures/tables by name.
 ``reproduce`` regenerate every table and figure into one report.
+``serve``     run the live scheduler daemon (JSON-lines over TCP).
+``load``      replay a generated workload against a running daemon.
 
 Examples
 --------
@@ -19,6 +21,8 @@ Examples
     python -m repro sweep --field capacity_files --values 300 600 1500
     python -m repro workload --tasks 6000 --out coadd.json
     python -m repro figures --name fig4 --scale small
+    python -m repro serve --port 7077 --metric combined --n 2
+    python -m repro load --port 7077 --tasks 500 --sites 4 --workers 2
 """
 
 from __future__ import annotations
@@ -189,6 +193,59 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.server import SchedulerServer
+    from .serve.service import SchedulerService
+    from .serve.stats import format_stats
+
+    async def main() -> None:
+        service = SchedulerService(metric=args.metric, n=args.n,
+                                   seed=args.seed)
+        server = SchedulerServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(f"repro-serve listening on {server.host}:{server.port} "
+              f"(metric={args.metric}, n={args.n})", file=sys.stderr)
+        try:
+            await server.serve_until_drained()
+        finally:
+            await server.stop()
+        print("drained; final stats:", file=sys.stderr)
+        print(format_stats(service.stats_snapshot()))
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.loadgen import run_load
+    from .serve.stats import format_stats
+
+    config = _config_from(args)
+    job = build_job(config)
+    workers = config.num_sites * config.workers_per_site
+    report = asyncio.run(run_load(
+        args.host, args.port, job, workers=workers,
+        sites=config.num_sites, capacity_files=config.capacity_files,
+        flops_per_sec=args.flops_per_sec,
+        seconds_per_file=args.seconds_per_file,
+        drain=not args.no_drain))
+    print(f"tasks submitted  : {report['tasks_submitted']}")
+    print(f"tasks completed  : {report['tasks_done']} "
+          f"by {workers} workers over {config.num_sites} sites")
+    print(f"files fetched    : {report['files_fetched']}")
+    print("server stats:")
+    print(format_stats(report["stats"]))
+    missing = report["tasks_submitted"] - report["tasks_done"]
+    return 0 if missing == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -247,6 +304,35 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce_parser.add_argument("--out", default=None,
                                   help="write the markdown report here")
     reproduce_parser.set_defaults(func=_cmd_reproduce)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the live scheduler daemon")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=7077)
+    serve_parser.add_argument("--metric", default="combined",
+                              choices=["overlap", "rest", "combined",
+                                       "combined-literal"])
+    serve_parser.add_argument("--n", type=int, default=2,
+                              help="ChooseTask(n) candidate-set size")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    load_parser = sub.add_parser(
+        "load", help="replay a workload against a running daemon "
+                     "(workers = --sites x --workers)")
+    _add_config_arguments(load_parser)
+    load_parser.add_argument("--host", default="127.0.0.1")
+    load_parser.add_argument("--port", type=int, default=7077)
+    load_parser.add_argument("--flops-per-sec", type=float, default=0.0,
+                             help="simulated compute speed "
+                                  "(0 = no compute delay)")
+    load_parser.add_argument("--seconds-per-file", type=float,
+                             default=0.0,
+                             help="simulated fetch delay per missing "
+                                  "file")
+    load_parser.add_argument("--no-drain", action="store_true",
+                             help="leave the server running afterwards")
+    load_parser.set_defaults(func=_cmd_load)
     return parser
 
 

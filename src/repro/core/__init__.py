@@ -15,6 +15,7 @@ from .metrics import (METRICS, TaskView, combined_literal_metric,
                       combined_metric, overlap_metric, rest_metric,
                       rest_weight)
 from .overlap_index import OverlapIndex
+from .policy_engine import PolicyEngine, SiteFileState
 from .reference import NaiveWorkerCentricScheduler
 from .registry import (PAPER_ALGORITHMS, available_schedulers,
                        create_scheduler)
@@ -32,6 +33,8 @@ __all__ = [
     "NaiveWorkerCentricScheduler",
     "OverlapIndex",
     "PAPER_ALGORITHMS",
+    "PolicyEngine",
+    "SiteFileState",
     "SpatialClusteringScheduler",
     "XSufferageScheduler",
     "cluster_tasks",

@@ -189,6 +189,14 @@ class OverlapIndex:
         """task id -> |F_t| for pending tasks with overlap > 0."""
         return self._sites[site_id].overlap
 
+    def refsums(self, site_id: int) -> Dict[int, float]:
+        """task id -> ref_t for pending tasks with overlap > 0.
+
+        Tasks absent from the map have ``ref_t = 0`` (callers use
+        ``.get(task_id, 0.0)``); both views are read-only by convention.
+        """
+        return self._sites[site_id].refsum
+
     def total_rest(self, site_id: int) -> float:
         """totalRest over the pending set for this site.
 

@@ -1,0 +1,314 @@
+"""Sim-free decision core of the worker-centric scheduler.
+
+:class:`PolicyEngine` is the paper's Figure-2 loop — a pending task
+set, the incremental :class:`~repro.core.overlap_index.OverlapIndex`,
+``CalculateWeight`` over one of the :mod:`~repro.core.metrics`, and
+``ChooseTask(n)`` — with **no dependency on the simulator**.  It can be
+driven two ways:
+
+* **inside the simulator** — :meth:`watch_storage` subscribes the index
+  to a live :class:`~repro.grid.storage.SiteStorage`, exactly as the
+  scheduler always did.  :class:`~repro.core.worker_centric
+  .WorkerCentricScheduler` is now a thin sim adapter around this class.
+* **outside the simulator** — :meth:`attach_site` creates a
+  :class:`SiteFileState` mirror that is updated through explicit
+  file-state deltas (:meth:`file_added` / :meth:`file_removed` /
+  :meth:`file_referenced`).  This is how the live
+  :mod:`repro.serve` scheduler daemon runs the same policy over TCP:
+  workers report what entered/left their site cache and the engine
+  keeps score.
+
+Both paths feed the same index through the same listener interface, so
+a delta stream replayed from a simulation reproduces the simulator's
+decisions bit-for-bit (property-tested via :mod:`repro.serve.replay`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..grid.job import Task
+from .metrics import METRICS, ZERO_OVERLAP_ORDER, TaskView
+from .overlap_index import OverlapIndex
+
+
+class SiteFileState:
+    """A site's file state mirrored from explicit deltas.
+
+    Duck-types the slice of :class:`~repro.grid.storage.SiteStorage`
+    the :class:`OverlapIndex` consumes — membership, ``overlap``,
+    ``reference_count``, ``resident_files`` and the
+    insert/evict/touch listener hooks — but holds no eviction policy of
+    its own: whoever feeds the deltas (a remote worker's cache, a
+    replayed simulation) decides what is resident.
+    """
+
+    def __init__(self) -> None:
+        self._resident: Dict[int, None] = {}
+        self._references: Dict[int, int] = {}
+        self._insert_listeners: List[Callable[[int], None]] = []
+        self._evict_listeners: List[Callable[[int], None]] = []
+        self._touch_listeners: List[Callable[[int], None]] = []
+
+    # -- listener hooks (OverlapIndex.watch_site contract) ---------------
+    def on_insert(self, listener: Callable[[int], None]) -> None:
+        self._insert_listeners.append(listener)
+
+    def on_evict(self, listener: Callable[[int], None]) -> None:
+        self._evict_listeners.append(listener)
+
+    def on_touch(self, listener: Callable[[int], None]) -> None:
+        self._touch_listeners.append(listener)
+
+    # -- queries (OverlapIndex read surface) -----------------------------
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    @property
+    def resident_files(self) -> Tuple[int, ...]:
+        return tuple(self._resident)
+
+    def reference_count(self, fid: int) -> int:
+        """``r_i``: past references of ``fid``, surviving removal."""
+        return self._references.get(fid, 0)
+
+    def overlap(self, files: Iterable[int]) -> int:
+        return sum(1 for fid in files if fid in self._resident)
+
+    # -- deltas ----------------------------------------------------------
+    def add(self, fid: int) -> bool:
+        """A file became resident; False if it already was."""
+        if fid in self._resident:
+            return False
+        self._resident[fid] = None
+        for listener in self._insert_listeners:
+            listener(fid)
+        return True
+
+    def remove(self, fid: int) -> bool:
+        """A file left the site; False if it was not resident."""
+        if fid not in self._resident:
+            return False
+        del self._resident[fid]
+        for listener in self._evict_listeners:
+            listener(fid)
+        return True
+
+    def reference(self, fid: int) -> int:
+        """A task referenced ``fid`` (resident or not); returns r_i.
+
+        Mirrors :meth:`SiteStorage.touch`: the counter is bumped and
+        listeners fire regardless of residency — the index decides
+        whether the reference contributes to a refsum.
+        """
+        self._references[fid] = self._references.get(fid, 0) + 1
+        for listener in self._touch_listeners:
+            listener(fid)
+        return self._references[fid]
+
+
+class PolicyEngine:
+    """Pending set + overlap index + CalculateWeight + ChooseTask(n).
+
+    Parameters
+    ----------
+    job:
+        Task lookup: anything supporting ``job[task_id] -> Task``.  In
+        the simulator this is a :class:`~repro.grid.job.Job`; the live
+        service passes a growable task table.
+    metric:
+        One of ``overlap``, ``rest``, ``combined``, ``combined-literal``.
+    n:
+        ChooseTask(n) candidate-set size; ``1`` = deterministic.
+    rng:
+        Random stream for the randomized variants (``n >= 2``).
+    """
+
+    def __init__(self, job, metric: str = "rest", n: int = 1,
+                 rng: Optional[random.Random] = None):
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; "
+                             f"choose from {sorted(METRICS)}")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        self.job = job
+        self.metric_name = metric
+        self.n = n
+        self._weight = METRICS[metric]
+        self._rng = rng or random.Random(0)
+        self._pending: Dict[int, Task] = {}
+        self._index = OverlapIndex(job, tasks=())
+        self._zero_heap: List[Tuple] = []
+        self._sites: Dict[int, SiteFileState] = {}
+        #: Instrumentation: scheduling decisions made and tasks scored
+        #: (the paper's T·I term), for the complexity ablation.
+        self.decisions = 0
+        self.tasks_scored = 0
+
+    # -- site wiring -----------------------------------------------------
+    def watch_storage(self, site_id: int, storage) -> None:
+        """Track a simulator :class:`SiteStorage` (callback-driven)."""
+        self._index.watch_site(site_id, storage)
+
+    def attach_site(self, site_id: int) -> SiteFileState:
+        """Track a delta-driven site; returns its mutable mirror."""
+        state = SiteFileState()
+        self._index.watch_site(site_id, state)
+        self._sites[site_id] = state
+        return state
+
+    @property
+    def site_ids(self) -> Tuple[int, ...]:
+        """Delta-driven sites attached so far (not watched storages)."""
+        return tuple(self._sites)
+
+    def site_state(self, site_id: int) -> SiteFileState:
+        return self._sites[site_id]
+
+    # -- file-state deltas (delta-driven sites only) ---------------------
+    def file_added(self, site_id: int, fid: int) -> bool:
+        return self._sites[site_id].add(fid)
+
+    def file_removed(self, site_id: int, fid: int) -> bool:
+        return self._sites[site_id].remove(fid)
+
+    def file_referenced(self, site_id: int, fid: int) -> int:
+        return self._sites[site_id].reference(fid)
+
+    # -- pending-set management ------------------------------------------
+    @property
+    def has_pending(self) -> bool:
+        return bool(self._pending)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    @property
+    def pending(self) -> Dict[int, Task]:
+        """The pending map (read-only by convention)."""
+        return self._pending
+
+    def is_pending(self, task_id: int) -> bool:
+        return task_id in self._pending
+
+    def add_task(self, task: Task) -> None:
+        """Make a task schedulable (initial load, arrival, or requeue)."""
+        if task.task_id in self._pending:
+            raise ValueError(f"task {task.task_id} is already pending")
+        self._pending[task.task_id] = task
+        self._index.add_task(task)
+        self._push_zero_candidate(task)
+
+    def remove_task(self, task: Task) -> None:
+        """Retire a task from the pending set (it was assigned)."""
+        del self._pending[task.task_id]
+        self._index.remove_task(task)
+
+    def overlap(self, site_id: int, task_id: int) -> int:
+        """|F_t| of a pending task at a site (0 if no overlap)."""
+        return self._index.nonzero_overlaps(site_id).get(task_id, 0)
+
+    def _push_zero_candidate(self, task: Task) -> None:
+        order = ZERO_OVERLAP_ORDER[self.metric_name]
+        if order == "min_files":
+            entry = (task.num_files, task.task_id)
+        elif order == "max_files":
+            entry = (-task.num_files, task.task_id)
+        else:  # fifo
+            entry = (task.task_id,)
+        heapq.heappush(self._zero_heap, entry)
+
+    # -- the decision ----------------------------------------------------
+    def choose(self, site_id: int) -> Task:
+        """CalculateWeight over candidates + ChooseTask(n).
+
+        Does *not* retire the chosen task; callers decide whether the
+        assignment sticks and then call :meth:`remove_task`.
+        """
+        self.decisions += 1
+        index = self._index
+        total_rest = index.total_rest(site_id)
+        total_ref = index.total_refsum(site_id)
+        overlaps = index.nonzero_overlaps(site_id)
+        refsums = index.refsums(site_id)
+
+        # Rank: higher weight first, lower task id breaks ties.
+        best: List[Tuple[float, int]] = []  # (weight, task_id), len <= n
+
+        def offer(weight: float, task_id: int) -> None:
+            if len(best) < self.n:
+                best.append((weight, task_id))
+                best.sort(key=lambda pair: (-pair[0], pair[1]))
+                return
+            tail_weight, tail_id = best[-1]
+            if weight > tail_weight or (weight == tail_weight
+                                        and task_id < tail_id):
+                best[-1] = (weight, task_id)
+                best.sort(key=lambda pair: (-pair[0], pair[1]))
+
+        for task_id, overlap in overlaps.items():
+            task = self._pending.get(task_id)
+            if task is None:  # defensive; index tracks pending only
+                continue
+            view = TaskView(task_id=task_id, num_files=task.num_files,
+                            overlap=overlap,
+                            refsum=refsums.get(task_id, 0.0),
+                            total_refsum=total_ref, total_rest=total_rest)
+            offer(self._weight(view), task_id)
+            self.tasks_scored += 1
+
+        for task_id in self.zero_overlap_candidates(site_id):
+            task = self._pending[task_id]
+            view = TaskView(task_id=task_id, num_files=task.num_files,
+                            overlap=0, refsum=0.0,
+                            total_refsum=total_ref, total_rest=total_rest)
+            offer(self._weight(view), task_id)
+            self.tasks_scored += 1
+
+        return self._pending[self._sample(best)]
+
+    def zero_overlap_candidates(self, site_id: int) -> List[int]:
+        """Up to ``n`` best pending tasks with zero overlap at the site.
+
+        Pops dead heap entries permanently; live entries that are merely
+        inspected are pushed back for future requests.
+        """
+        overlaps = self._index.nonzero_overlaps(site_id)
+        chosen: List[int] = []
+        skipped: List[Tuple] = []
+        while self._zero_heap and len(chosen) < self.n:
+            entry = heapq.heappop(self._zero_heap)
+            task_id = entry[-1] if len(entry) > 1 else entry[0]
+            if task_id not in self._pending:
+                continue  # stale: task was assigned; drop permanently
+            skipped.append(entry)
+            if task_id not in overlaps:
+                chosen.append(task_id)
+        for entry in skipped:
+            heapq.heappush(self._zero_heap, entry)
+        return chosen
+
+    def _sample(self, best: List[Tuple[float, int]]) -> int:
+        """ChooseTask(n): weight-proportional pick among the best."""
+        if not best:
+            raise RuntimeError("no candidate tasks to choose from")
+        if len(best) == 1 or self.n == 1:
+            return best[0][1]
+        total = sum(weight for weight, _tid in best)
+        if total <= 0:
+            # All candidate weights are zero (e.g. cold-start overlap
+            # metric): uniform random among the candidate set.
+            return self._rng.choice(best)[1]
+        point = self._rng.random() * total
+        acc = 0.0
+        for weight, task_id in best:
+            acc += weight
+            if point <= acc:
+                return task_id
+        return best[-1][1]

@@ -10,26 +10,26 @@ and picks one with ``ChooseTask(n)``:
    (``n = 1`` is the deterministic argmax; ``n = 2`` is the paper's
    randomized ``rest.2`` / ``combined.2`` variants).
 
-Scoring is incremental: tasks with nonzero overlap come from the
-:class:`~repro.core.overlap_index.OverlapIndex`; the best zero-overlap
-candidates come from a lazily-pruned heap ordered per the metric (see
-``ZERO_OVERLAP_ORDER``).  The result is equivalent to the paper's
-O(T·I) full rescan — property-tested in the suite — at a fraction of
-the cost.
+The decision machinery itself — pending set, incremental
+:class:`~repro.core.overlap_index.OverlapIndex`, candidate heaps,
+weight ranking and sampling — lives in the sim-free
+:class:`~repro.core.policy_engine.PolicyEngine`; this class is the
+simulator adapter around it (event plumbing, parked idle workers,
+storage subscriptions, assignment traces).  The same engine powers the
+live :mod:`repro.serve` scheduler daemon, and the equivalence suite
+proves both drive it to identical decisions.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
 import typing
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..grid.job import Job, Task
 from ..sim.events import Event
 from .base import BaseScheduler
-from .metrics import METRICS, ZERO_OVERLAP_ORDER, TaskView
-from .overlap_index import OverlapIndex
+from .policy_engine import PolicyEngine
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from ..grid.worker import Worker
@@ -58,52 +58,49 @@ class WorkerCentricScheduler(BaseScheduler):
                  rng: Optional[random.Random] = None,
                  initial_task_ids: Optional[typing.Iterable[int]] = None):
         super().__init__(job)
-        if metric not in METRICS:
-            raise ValueError(f"unknown metric {metric!r}; "
-                             f"choose from {sorted(METRICS)}")
-        if n < 1:
-            raise ValueError(f"n must be >= 1, got {n}")
-        self.metric_name = metric
-        self.n = n
+        self._engine = PolicyEngine(job, metric=metric, n=n, rng=rng)
         self._initial_ids = (None if initial_task_ids is None
                              else set(initial_task_ids))
-        self._weight = METRICS[metric]
-        self._rng = rng or random.Random(0)
-        self._pending: Dict[int, Task] = {}
-        self._index: Optional[OverlapIndex] = None
-        self._zero_heap: List[Tuple] = []
         self._parked: List[Tuple["Worker", Event]] = []
-        #: Instrumentation: scheduling decisions made and tasks scored
-        #: (the paper's T·I term), for the complexity ablation.
-        self.decisions = 0
-        self.tasks_scored = 0
+
+    # -- engine views ----------------------------------------------------
+    @property
+    def engine(self) -> PolicyEngine:
+        """The sim-free decision core this scheduler drives."""
+        return self._engine
+
+    @property
+    def metric_name(self) -> str:
+        return self._engine.metric_name
+
+    @property
+    def n(self) -> int:
+        return self._engine.n
+
+    @property
+    def decisions(self) -> int:
+        return self._engine.decisions
+
+    @property
+    def tasks_scored(self) -> int:
+        return self._engine.tasks_scored
+
+    @property
+    def _pending(self):
+        return self._engine.pending
 
     # -- lifecycle -------------------------------------------------------
     def _on_bound(self) -> None:
-        initial = [task for task in self.job
-                   if self._initial_ids is None
-                   or task.task_id in self._initial_ids]
-        self._index = OverlapIndex(self.job, tasks=initial)
         for site in self.grid.sites:
-            self._index.watch_site(site.site_id, site.storage)
-        for task in initial:
-            self._pending[task.task_id] = task
-            self._push_zero_candidate(task)
-
-    def _push_zero_candidate(self, task: Task) -> None:
-        order = ZERO_OVERLAP_ORDER[self.metric_name]
-        if order == "min_files":
-            entry = (task.num_files, task.task_id)
-        elif order == "max_files":
-            entry = (-task.num_files, task.task_id)
-        else:  # fifo
-            entry = (task.task_id,)
-        heapq.heappush(self._zero_heap, entry)
+            self._engine.watch_storage(site.site_id, site.storage)
+        for task in self.job:
+            if self._initial_ids is None or task.task_id in self._initial_ids:
+                self._engine.add_task(task)
 
     # -- GridScheduler -----------------------------------------------------
     def next_task(self, worker: "Worker") -> Event:
         event = Event(self.grid.env)
-        if not self._pending:
+        if not self._engine.has_pending:
             if self.tasks_remaining == 0:
                 event.succeed(None)
             else:
@@ -126,9 +123,14 @@ class WorkerCentricScheduler(BaseScheduler):
             self.requeue(task)
 
     # -- internals -------------------------------------------------------
+    def _choose(self, worker: "Worker") -> Task:
+        return self._engine.choose(worker.site.site_id)
+
     def _retire(self, task: Task) -> None:
-        del self._pending[task.task_id]
-        self._index.remove_task(task)
+        self._engine.remove_task(task)
+
+    def _zero_overlap_candidates(self, site_id: int) -> List[int]:
+        return self._engine.zero_overlap_candidates(site_id)
 
     def requeue(self, task: Task) -> None:
         """Return an assigned-but-unfinished task to the pending set."""
@@ -142,13 +144,8 @@ class WorkerCentricScheduler(BaseScheduler):
         immediately.
         """
         for task in tasks:
-            if task.task_id in self._pending:
-                raise ValueError(
-                    f"task {task.task_id} is already pending")
-            self._pending[task.task_id] = task
-            self._index.add_task(task)
-            self._push_zero_candidate(task)
-        while self._parked and self._pending:
+            self._engine.add_task(task)
+        while self._parked and self._engine.has_pending:
             worker, event = self._parked.pop(0)
             if event.triggered:
                 continue
@@ -162,88 +159,3 @@ class WorkerCentricScheduler(BaseScheduler):
         for _worker, event in parked:
             if not event.triggered:
                 event.succeed(None)
-
-    def _choose(self, worker: "Worker") -> Task:
-        """CalculateWeight over candidates + ChooseTask(n)."""
-        self.decisions += 1
-        site_id = worker.site.site_id
-        index = self._index
-        total_rest = index.total_rest(site_id)
-        total_ref = index.total_refsum(site_id)
-        overlaps = index.nonzero_overlaps(site_id)
-        refsums = index._sites[site_id].refsum
-
-        # Rank: higher weight first, lower task id breaks ties.
-        best: List[Tuple[float, int]] = []  # (weight, task_id), len <= n
-
-        def offer(weight: float, task_id: int) -> None:
-            if len(best) < self.n:
-                best.append((weight, task_id))
-                best.sort(key=lambda pair: (-pair[0], pair[1]))
-                return
-            tail_weight, tail_id = best[-1]
-            if weight > tail_weight or (weight == tail_weight
-                                        and task_id < tail_id):
-                best[-1] = (weight, task_id)
-                best.sort(key=lambda pair: (-pair[0], pair[1]))
-
-        for task_id, overlap in overlaps.items():
-            task = self._pending.get(task_id)
-            if task is None:  # defensive; index tracks pending only
-                continue
-            view = TaskView(task_id=task_id, num_files=task.num_files,
-                            overlap=overlap,
-                            refsum=refsums.get(task_id, 0.0),
-                            total_refsum=total_ref, total_rest=total_rest)
-            offer(self._weight(view), task_id)
-            self.tasks_scored += 1
-
-        for task_id in self._zero_overlap_candidates(site_id):
-            task = self._pending[task_id]
-            view = TaskView(task_id=task_id, num_files=task.num_files,
-                            overlap=0, refsum=0.0,
-                            total_refsum=total_ref, total_rest=total_rest)
-            offer(self._weight(view), task_id)
-            self.tasks_scored += 1
-
-        return self._pending[self._sample(best)]
-
-    def _zero_overlap_candidates(self, site_id: int) -> List[int]:
-        """Up to ``n`` best pending tasks with zero overlap at the site.
-
-        Pops dead heap entries permanently; live entries that are merely
-        inspected are pushed back for future requests.
-        """
-        overlaps = self._index.nonzero_overlaps(site_id)
-        chosen: List[int] = []
-        skipped: List[Tuple] = []
-        while self._zero_heap and len(chosen) < self.n:
-            entry = heapq.heappop(self._zero_heap)
-            task_id = entry[-1] if len(entry) > 1 else entry[0]
-            if task_id not in self._pending:
-                continue  # stale: task was assigned; drop permanently
-            skipped.append(entry)
-            if task_id not in overlaps:
-                chosen.append(task_id)
-        for entry in skipped:
-            heapq.heappush(self._zero_heap, entry)
-        return chosen
-
-    def _sample(self, best: List[Tuple[float, int]]) -> int:
-        """ChooseTask(n): weight-proportional pick among the best."""
-        if not best:
-            raise RuntimeError("no candidate tasks to choose from")
-        if len(best) == 1 or self.n == 1:
-            return best[0][1]
-        total = sum(weight for weight, _tid in best)
-        if total <= 0:
-            # All candidate weights are zero (e.g. cold-start overlap
-            # metric): uniform random among the candidate set.
-            return self._rng.choice(best)[1]
-        point = self._rng.random() * total
-        acc = 0.0
-        for weight, task_id in best:
-            acc += weight
-            if point <= acc:
-                return task_id
-        return best[-1][1]

@@ -1,0 +1,29 @@
+"""Live scheduler service: the paper's policies outside the simulator.
+
+The simulator proves the worker-centric policies win; this package
+*runs* them.  A :class:`~repro.serve.server.SchedulerServer` serves a
+:class:`~repro.core.policy_engine.PolicyEngine` over a JSON-lines TCP
+protocol (:mod:`repro.serve.protocol`); real workers —
+:class:`~repro.serve.client.WorkerClient` — pull tasks, report file
+deltas from their local caches, and push completions.  The
+:mod:`repro.serve.loadgen` module replays ``workload``-generated jobs
+against a server at high concurrency, and :mod:`repro.serve.replay`
+proves the live engine makes decisions identical to the simulator's by
+replaying recorded storage-delta streams.
+
+CLI entry points: ``python -m repro serve`` and ``python -m repro load``.
+"""
+
+from .client import WorkerClient
+from .loadgen import run_load, serve_and_load
+from .server import SchedulerServer
+from .service import SchedulerService, ServiceError
+
+__all__ = [
+    "SchedulerServer",
+    "SchedulerService",
+    "ServiceError",
+    "WorkerClient",
+    "run_load",
+    "serve_and_load",
+]

@@ -1,0 +1,139 @@
+"""A live worker: pull a task, fetch its files, compute, report.
+
+:class:`WorkerClient` is the network twin of the simulator's
+``grid.worker.Worker`` pull loop.  It keeps an LRU mirror of its
+site's file cache and reports every change to the scheduler as a
+``FILE_DELTA`` — evictions first, then insertions, then the references
+the task made — which is exactly the event stream the simulator's
+:class:`SiteStorage` feeds the overlap index, so the server's
+:class:`PolicyEngine` sees the same state it would in simulation.
+
+"Work" is simulated wall-clock delay (``seconds_per_file`` per missing
+file for the fetch, ``task.flops / flops_per_sec`` for the compute),
+so load tests can dial realism from zero (pure scheduler stress) up.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from . import protocol
+
+
+class SiteCacheMirror:
+    """Client-side LRU over file ids, reporting what it evicts."""
+
+    def __init__(self, capacity_files: int):
+        if capacity_files < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity_files}")
+        self.capacity_files = capacity_files
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    def __contains__(self, fid: int) -> bool:
+        return fid in self._resident
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def admit(self, files: List[int]) -> Dict[str, List[int]]:
+        """Make ``files`` resident; returns the added/removed delta."""
+        added: List[int] = []
+        removed: List[int] = []
+        for fid in files:
+            if fid in self._resident:
+                self._resident.move_to_end(fid)
+                continue
+            while len(self._resident) >= self.capacity_files:
+                evicted, _ = self._resident.popitem(last=False)
+                removed.append(evicted)
+            self._resident[fid] = None
+            added.append(fid)
+        return {"added": added, "removed": removed}
+
+
+class WorkerClient:
+    """One pull-loop worker talking to a :class:`SchedulerServer`."""
+
+    def __init__(self, host: str, port: int, worker: str = "w0",
+                 site: int = 0, capacity_files: int = 1000,
+                 flops_per_sec: float = 0.0,
+                 seconds_per_file: float = 0.0):
+        self.host = host
+        self.port = port
+        self.worker = worker
+        self.site = site
+        self.cache = SiteCacheMirror(capacity_files)
+        self.flops_per_sec = flops_per_sec
+        self.seconds_per_file = seconds_per_file
+        self.tasks_done = 0
+        self.files_fetched = 0
+        self.stop_reason: Optional[str] = None
+
+    async def run(self) -> Dict:
+        """Pull tasks until the server says NO_TASK; returns a summary."""
+        reader, writer = await asyncio.open_connection(
+            self.host, self.port,
+            limit=protocol.MAX_MESSAGE_BYTES + 1024)
+        try:
+            welcome = await self._call(reader, writer, {
+                "type": protocol.HELLO, "worker": self.worker,
+                "site": self.site})
+            self._expect(welcome, protocol.WELCOME)
+            while True:
+                reply = await self._call(
+                    reader, writer, {"type": protocol.REQUEST_TASK})
+                if reply["type"] == protocol.NO_TASK:
+                    self.stop_reason = reply.get("reason", "no task")
+                    break
+                self._expect(reply, protocol.TASK)
+                await self._execute(reader, writer, reply)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        return {"worker": self.worker, "site": self.site,
+                "tasks_done": self.tasks_done,
+                "files_fetched": self.files_fetched,
+                "stop_reason": self.stop_reason}
+
+    async def _execute(self, reader, writer, assignment: Dict) -> None:
+        files = assignment["files"]
+        missing = [fid for fid in files if fid not in self.cache]
+        if missing and self.seconds_per_file > 0:
+            await asyncio.sleep(self.seconds_per_file * len(missing))
+        delta = self.cache.admit(files)
+        self.files_fetched += len(delta["added"])
+        ack = await self._call(reader, writer, {
+            "type": protocol.FILE_DELTA, "site": self.site,
+            "added": delta["added"], "removed": delta["removed"],
+            "referenced": list(files)})
+        self._expect(ack, protocol.ACK)
+        flops = assignment.get("flops", 0.0)
+        if flops and self.flops_per_sec > 0:
+            await asyncio.sleep(flops / self.flops_per_sec)
+        ack = await self._call(reader, writer, {
+            "type": protocol.TASK_DONE,
+            "task_id": assignment["task_id"]})
+        self._expect(ack, protocol.ACK)
+        self.tasks_done += 1
+
+    async def _call(self, reader, writer, message: Dict) -> Dict:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+        line = await reader.readline()
+        if not line:
+            raise ConnectionError(
+                f"server closed the connection on {self.worker}")
+        return protocol.decode(line)
+
+    @staticmethod
+    def _expect(reply: Dict, kind: str) -> None:
+        if reply["type"] == protocol.ERROR:
+            raise RuntimeError(f"server error: {reply.get('error')}")
+        if reply["type"] != kind:
+            raise RuntimeError(
+                f"expected {kind}, got {reply['type']}: {reply}")

@@ -1,0 +1,99 @@
+"""JSON-lines wire protocol between scheduler daemon and workers.
+
+One message per line, UTF-8 JSON with a mandatory string ``type``
+field.  Strict request/response: every client message gets exactly one
+reply, in order, so clients never need to correlate (a parked
+``REQUEST_TASK`` simply delays its reply until a task frees up or the
+job ends).
+
+Client -> server
+----------------
+``HELLO``         ``{worker, site}`` — register; must precede the rest.
+``REQUEST_TASK``  pull the next task for the client's site.
+``TASK_DONE``     ``{task_id}`` — a task finished (duplicate-tolerant).
+``FILE_DELTA``    ``{added, removed, referenced}`` — site cache deltas.
+``JOB_SUBMIT``    ``{tasks: [{files, flops}, ...]}`` — append work.
+``STATS``         request the observability snapshot.
+``DRAIN``         stop handing out tasks; shut down once idle.
+
+Server -> client
+----------------
+``WELCOME``       hello ack: server name, metric, n.
+``TASK``          ``{task_id, files, flops}`` — an assignment.
+``NO_TASK``       ``{reason}`` — nothing left (or draining): disconnect.
+``ACK``           generic success (``TASK_DONE``/``FILE_DELTA``/...).
+``JOB_ACCEPTED``  ``{job_id, task_ids}`` — globally-assigned task ids.
+``STATS``         ``{stats}`` — the snapshot.
+``ERROR``         ``{error}`` — the request was rejected.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+#: Hard cap on one encoded message; JOB_SUBMIT chunks below this.
+MAX_MESSAGE_BYTES = 1 << 20
+
+# client -> server
+HELLO = "HELLO"
+REQUEST_TASK = "REQUEST_TASK"
+TASK_DONE = "TASK_DONE"
+FILE_DELTA = "FILE_DELTA"
+JOB_SUBMIT = "JOB_SUBMIT"
+STATS = "STATS"
+DRAIN = "DRAIN"
+
+# server -> client
+WELCOME = "WELCOME"
+TASK = "TASK"
+NO_TASK = "NO_TASK"
+ACK = "ACK"
+JOB_ACCEPTED = "JOB_ACCEPTED"
+ERROR = "ERROR"
+
+CLIENT_TYPES = frozenset({HELLO, REQUEST_TASK, TASK_DONE, FILE_DELTA,
+                          JOB_SUBMIT, STATS, DRAIN})
+
+
+class ProtocolError(ValueError):
+    """A message violated the wire format."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message -> one ``\\n``-terminated JSON line."""
+    if "type" not in message:
+        raise ProtocolError("message has no 'type'")
+    line = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=True).encode("ascii")
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds {MAX_MESSAGE_BYTES}")
+    return line + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """One received line -> message dict (validated)."""
+    if len(line) > MAX_MESSAGE_BYTES:
+        raise ProtocolError(
+            f"line of {len(line)} bytes exceeds {MAX_MESSAGE_BYTES}")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"bad JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be an object, got {type(message).__name__}")
+    kind = message.get("type")
+    if not isinstance(kind, str):
+        raise ProtocolError("message 'type' missing or not a string")
+    return message
+
+
+def int_list(message: Dict[str, Any], field: str) -> list:
+    """Validate an optional homogeneous list-of-ints field."""
+    value = message.get(field, [])
+    if not isinstance(value, list) or any(
+            not isinstance(item, int) for item in value):
+        raise ProtocolError(f"{field!r} must be a list of ints")
+    return value

@@ -1,0 +1,195 @@
+"""Asyncio TCP front-end for :class:`SchedulerService`.
+
+One coroutine per connection reads newline-framed JSON messages
+(:mod:`repro.serve.protocol`), calls into the single-threaded service,
+and writes the reply.  Backpressure is per-connection: every write is
+followed by ``await writer.drain()``, so a slow worker throttles only
+its own stream, never the scheduler.  A parked ``REQUEST_TASK`` blocks
+only that connection's read loop — the client is waiting for the reply
+anyway — while other connections keep being served.
+
+Shutdown: a ``DRAIN`` message (or :meth:`SchedulerServer.drain`) flips
+the service into draining mode; once the last outstanding task
+completes the server closes its listener and all idle connections, and
+:meth:`serve_until_drained` returns.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Set
+
+from ..grid.job import Task
+from . import protocol
+from .service import SchedulerService, ServiceError
+
+
+class SchedulerServer:
+    """Serves one :class:`SchedulerService` on a TCP port."""
+
+    def __init__(self, service: SchedulerService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: Set[asyncio.StreamWriter] = set()
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self._drained = asyncio.Event()
+        self._conn_seq = 0
+        service.on_drained = self._drained.set
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and listen; resolves :attr:`port` when it was 0."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_MESSAGE_BYTES + 1024)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_drained(self) -> None:
+        """Serve until a DRAIN completes, then close everything."""
+        if self._server is None:
+            await self.start()
+        await self._drained.wait()
+        await self.stop()
+
+    def drain(self) -> None:
+        self.service.drain()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        if self._handler_tasks:
+            # Closed transports EOF the read loops; let them finish so
+            # loop teardown never has to cancel a live handler.
+            await asyncio.wait(self._handler_tasks, timeout=5)
+        self._drained.set()
+
+    # -- per-connection loop ---------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._conn_seq += 1
+        worker_key = f"conn-{self._conn_seq}"
+        site_id: Optional[int] = None
+        self._connections.add(writer)
+        self._handler_tasks.add(asyncio.current_task())
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, {
+                        "type": protocol.ERROR,
+                        "error": "line too long"})
+                    break
+                if not line:
+                    break  # EOF
+                if line.strip() == b"":
+                    continue
+                try:
+                    message = protocol.decode(line)
+                except protocol.ProtocolError as exc:
+                    await self._send(writer, {"type": protocol.ERROR,
+                                              "error": str(exc)})
+                    continue
+                try:
+                    reply, site_id, worker_key = await self._dispatch(
+                        message, worker_key, site_id)
+                except (ServiceError, protocol.ProtocolError) as exc:
+                    reply = {"type": protocol.ERROR, "error": str(exc)}
+                await self._send(writer, reply)
+                if reply["type"] == protocol.NO_TASK:
+                    break  # the worker is done; close our side too
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._handler_tasks.discard(asyncio.current_task())
+            self._connections.discard(writer)
+            self.service.disconnect(worker_key)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    message: Dict) -> None:
+        writer.write(protocol.encode(message))
+        await writer.drain()  # per-connection backpressure
+
+    async def _dispatch(self, message: Dict, worker_key: str,
+                        site_id: Optional[int]):
+        kind = message["type"]
+        service = self.service
+        if kind == protocol.HELLO:
+            name = message.get("worker")
+            site = message.get("site")
+            if not isinstance(name, str) or not isinstance(site, int):
+                raise protocol.ProtocolError(
+                    "HELLO needs string 'worker' and int 'site'")
+            worker_key = f"{name}/{worker_key}"
+            service.ensure_site(site)
+            return ({"type": protocol.WELCOME, "server": service.name,
+                     "metric": service.engine.metric_name,
+                     "n": service.engine.n}, site, worker_key)
+
+        if kind == protocol.REQUEST_TASK:
+            if site_id is None:
+                raise protocol.ProtocolError("REQUEST_TASK before HELLO")
+            future: asyncio.Future = (
+                asyncio.get_running_loop().create_future())
+
+            def deliver(task: Optional[Task]) -> None:
+                if not future.done():
+                    future.set_result(task)
+
+            service.request_task(worker_key, site_id, deliver)
+            task = await future
+            if task is None:
+                reason = ("draining" if service.draining
+                          else "job complete")
+                return ({"type": protocol.NO_TASK, "reason": reason},
+                        site_id, worker_key)
+            return ({"type": protocol.TASK, "task_id": task.task_id,
+                     "files": sorted(task.files), "flops": task.flops},
+                    site_id, worker_key)
+
+        if kind == protocol.TASK_DONE:
+            duplicate = service.task_done(worker_key,
+                                          message.get("task_id"))
+            return ({"type": protocol.ACK, "duplicate": duplicate},
+                    site_id, worker_key)
+
+        if kind == protocol.FILE_DELTA:
+            site = message.get("site", site_id)
+            if not isinstance(site, int):
+                raise protocol.ProtocolError(
+                    "FILE_DELTA needs an int 'site' (or a prior HELLO)")
+            service.file_delta(
+                site,
+                added=protocol.int_list(message, "added"),
+                removed=protocol.int_list(message, "removed"),
+                referenced=protocol.int_list(message, "referenced"))
+            return ({"type": protocol.ACK}, site_id, worker_key)
+
+        if kind == protocol.JOB_SUBMIT:
+            accepted = service.submit_job(message.get("tasks"))
+            return ({"type": protocol.JOB_ACCEPTED, **accepted},
+                    site_id, worker_key)
+
+        if kind == protocol.STATS:
+            return ({"type": protocol.STATS,
+                     "stats": service.stats_snapshot()},
+                    site_id, worker_key)
+
+        if kind == protocol.DRAIN:
+            service.drain()
+            return ({"type": protocol.ACK, "draining": True},
+                    site_id, worker_key)
+
+        raise protocol.ProtocolError(f"unknown message type {kind!r}")

@@ -1,0 +1,269 @@
+"""Transport-agnostic scheduler service around a :class:`PolicyEngine`.
+
+The asyncio server in :mod:`repro.serve.server` is a thin shell; every
+scheduling rule lives here, synchronously, so the semantics are
+testable without sockets:
+
+* **pull dispatch** — ``request_task`` scores the pending set for the
+  requesting worker's site via the engine and hands out the winner;
+* **idle parking** — when nothing is pending but tasks are still
+  outstanding (or no job has arrived yet) the request is parked and
+  answered later, FIFO, when work appears;
+* **duplicate-completion tolerance** — ``task_done`` of an
+  already-completed task is acknowledged and counted, matching
+  :meth:`BaseScheduler.notify_complete`'s contract;
+* **requeue on disconnect** — a worker that vanishes with assigned
+  tasks returns them to the pending set (first-order failure handling;
+  heartbeats are a ROADMAP item);
+* **graceful drain** — stop handing out tasks, answer parked requests
+  with "no task", and report idle once the last outstanding completion
+  lands.
+
+Everything is single-threaded: callers (the asyncio event loop, or a
+test) serialize calls.  Replies to parked requests are delivered
+through the ``deliver`` callback handed to ``request_task``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from ..core.policy_engine import PolicyEngine
+from ..grid.job import Task
+from .stats import ServeStats
+
+Deliver = Callable[[Optional[Task]], None]
+
+
+class ServiceError(RuntimeError):
+    """A request the service rejects (reported as a protocol ERROR)."""
+
+
+class _TaskTable:
+    """Growable task lookup satisfying the engine's ``job[id]`` needs."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[int, Task] = {}
+
+    def add(self, task: Task) -> None:
+        self._tasks[task.task_id] = task
+
+    def __getitem__(self, task_id: int) -> Task:
+        return self._tasks[task_id]
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self):
+        return iter(self._tasks.values())
+
+
+class SchedulerService:
+    """Live counterpart of the simulator's global scheduler."""
+
+    def __init__(self, metric: str = "rest", n: int = 1, seed: int = 0,
+                 name: str = "repro-serve",
+                 clock: Callable[[], float] = time.perf_counter):
+        self.name = name
+        self._clock = clock
+        self._table = _TaskTable()
+        self.engine = PolicyEngine(self._table, metric=metric, n=n,
+                                   rng=random.Random(seed))
+        self.stats = ServeStats()
+        self._completed: Set[int] = set()
+        self._assigned: Dict[int, str] = {}        # task_id -> worker key
+        self._by_worker: Dict[str, Set[int]] = {}  # worker key -> task_ids
+        self._parked: Deque[Tuple[str, int, Deliver]] = deque()
+        self._next_task_id = 0
+        self._next_job_id = 0
+        self._draining = False
+        #: Called (once) when a drain completes: draining and no
+        #: outstanding work.  The server uses it to shut down.
+        self.on_drained: Optional[Callable[[], None]] = None
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self.engine.pending_count
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._assigned)
+
+    @property
+    def parked_workers(self) -> int:
+        return len(self._parked)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def is_idle(self) -> bool:
+        return self.queue_depth == 0 and self.outstanding == 0
+
+    def ensure_site(self, site_id: int) -> None:
+        if site_id not in self.engine.site_ids:
+            self.engine.attach_site(site_id)
+
+    # -- job intake ------------------------------------------------------
+    def submit_job(self, tasks_payload: List[dict]) -> Dict:
+        """Append a batch of tasks; returns their global ids.
+
+        ``tasks_payload`` items need ``files`` (non-empty int list) and
+        optional ``flops``.  Task ids are assigned by the service so
+        independent submitters can never collide.
+        """
+        if self._draining:
+            raise ServiceError("server is draining; job rejected")
+        if not isinstance(tasks_payload, list) or not tasks_payload:
+            raise ServiceError("JOB_SUBMIT needs a non-empty task list")
+        tasks: List[Task] = []
+        for spec in tasks_payload:
+            if not isinstance(spec, dict):
+                raise ServiceError("each task must be an object")
+            files = spec.get("files")
+            if (not isinstance(files, list) or not files
+                    or any(not isinstance(fid, int) for fid in files)):
+                raise ServiceError(
+                    "each task needs a non-empty int 'files' list")
+            flops = spec.get("flops", 0.0)
+            if not isinstance(flops, (int, float)) or flops < 0:
+                raise ServiceError("'flops' must be a number >= 0")
+            tasks.append(Task(task_id=self._next_task_id,
+                              files=frozenset(files), flops=float(flops)))
+            self._next_task_id += 1
+        job_id = self._next_job_id
+        self._next_job_id += 1
+        for task in tasks:
+            self._table.add(task)
+            self.engine.add_task(task)
+        self.stats.jobs_submitted += 1
+        self.stats.tasks_submitted += len(tasks)
+        self.stats.record_queue_depth(self.queue_depth)
+        self._dispatch_parked()
+        return {"job_id": job_id,
+                "task_ids": [task.task_id for task in tasks]}
+
+    # -- the pull loop ---------------------------------------------------
+    def request_task(self, worker: str, site_id: int,
+                     deliver: Deliver) -> None:
+        """Answer a worker's pull, now or later, via ``deliver``.
+
+        ``deliver(task)`` hands out an assignment; ``deliver(None)``
+        means "no task will ever come — disconnect" (drain, or the
+        submitted work is fully complete).
+        """
+        self.ensure_site(site_id)
+        if self.engine.has_pending and not self._draining:
+            deliver(self._assign(worker, site_id))
+        elif self._draining or (self._next_task_id > 0 and self.is_idle):
+            deliver(None)
+        else:
+            # Nothing pending but work outstanding (may be requeued), or
+            # no job submitted yet: park until the situation changes.
+            self._parked.append((worker, site_id, deliver))
+
+    def _assign(self, worker: str, site_id: int) -> Task:
+        start = self._clock()
+        task = self.engine.choose(site_id)
+        latency = self._clock() - start
+        overlap = self.engine.overlap(site_id, task.task_id)
+        self.engine.remove_task(task)
+        self._assigned[task.task_id] = worker
+        self._by_worker.setdefault(worker, set()).add(task.task_id)
+        self.stats.record_assignment(site_id, latency, overlap > 0)
+        return task
+
+    def _dispatch_parked(self) -> None:
+        while (self._parked and self.engine.has_pending
+               and not self._draining):
+            worker, site_id, deliver = self._parked.popleft()
+            deliver(self._assign(worker, site_id))
+        if self._draining or (self._next_task_id > 0 and self.is_idle):
+            self._release_parked()
+
+    def _release_parked(self) -> None:
+        parked, self._parked = self._parked, deque()
+        for _worker, _site_id, deliver in parked:
+            deliver(None)
+
+    # -- completions -----------------------------------------------------
+    def task_done(self, worker: str, task_id: int) -> bool:
+        """Record a completion; True if it was a duplicate."""
+        if not isinstance(task_id, int) or not (
+                0 <= task_id < self._next_task_id):
+            raise ServiceError(f"unknown task id {task_id!r}")
+        owner = self._assigned.pop(task_id, None)
+        if owner is not None:
+            self._by_worker.get(owner, set()).discard(task_id)
+        if task_id in self._completed:
+            self.stats.duplicate_completions += 1
+            return True
+        self._completed.add(task_id)
+        self.stats.completions += 1
+        if self.is_idle:
+            self._release_parked()
+        self._maybe_drained()
+        return False
+
+    # -- file-state deltas ----------------------------------------------
+    def file_delta(self, site_id: int, added: List[int],
+                   removed: List[int], referenced: List[int]) -> None:
+        """Apply a worker's report of its site cache changes.
+
+        Removals apply first (an LRU reports the eviction a new file
+        caused), then insertions, then references — the same order the
+        simulator's storage emits.  Redundant adds/removes (two workers
+        sharing a site) are idempotent no-ops.
+        """
+        self.ensure_site(site_id)
+        for fid in removed:
+            self.engine.file_removed(site_id, fid)
+        for fid in added:
+            self.engine.file_added(site_id, fid)
+        for fid in referenced:
+            self.engine.file_referenced(site_id, fid)
+        self.stats.record_delta(len(added), len(removed), len(referenced))
+
+    # -- lifecycle -------------------------------------------------------
+    def disconnect(self, worker: str) -> int:
+        """A worker's connection closed; requeue its assigned tasks."""
+        self._parked = deque(entry for entry in self._parked
+                             if entry[0] != worker)
+        lost = self._by_worker.pop(worker, set())
+        requeued = 0
+        for task_id in sorted(lost):
+            self._assigned.pop(task_id, None)
+            if task_id not in self._completed:
+                self.engine.add_task(self._table[task_id])
+                requeued += 1
+        if requeued:
+            self.stats.requeues += requeued
+            self.stats.record_queue_depth(self.queue_depth)
+            self._dispatch_parked()
+        self._maybe_drained()
+        return requeued
+
+    def drain(self) -> None:
+        """Stop handing out tasks; finish outstanding work, then idle."""
+        self._draining = True
+        self._release_parked()
+        self._maybe_drained()
+
+    def _maybe_drained(self) -> None:
+        if self._draining and self.outstanding == 0:
+            callback, self.on_drained = self.on_drained, None
+            if callback is not None:
+                callback()
+
+    # -- observability ---------------------------------------------------
+    def stats_snapshot(self) -> Dict:
+        return self.stats.snapshot(
+            queue_depth=self.queue_depth,
+            outstanding=self.outstanding,
+            parked_workers=self.parked_workers,
+            draining=self._draining)

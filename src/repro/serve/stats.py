@@ -1,0 +1,190 @@
+"""Observability for the live scheduler: latency histogram + counters.
+
+Everything the ``STATS`` request exposes is maintained here, O(1) per
+event: a geometric-bucket latency histogram for scheduling decisions,
+assignment/completion counters, per-site overlap hit rates, and
+file-delta volume.  No external metrics dependency — the snapshot is a
+plain dict, ready for JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+
+class LatencyHistogram:
+    """Geometric buckets from 1 µs up, doubling; O(1) record/quantile.
+
+    Bucket ``k`` holds samples in ``(base·2^(k-1), base·2^k]``; an
+    underflow bucket catches anything ≤ base.  Quantiles return the
+    upper edge of the containing bucket — a ≤2× overestimate, which is
+    the right bias for latency reporting.
+    """
+
+    def __init__(self, base_seconds: float = 1e-6, num_buckets: int = 36):
+        self._base = base_seconds
+        self._counts = [0] * (num_buckets + 1)  # [underflow, b1..bN]
+        self._edges = [base_seconds * (2 ** k)
+                       for k in range(num_buckets + 1)]
+        self.count = 0
+        self.max = 0.0
+        self.total = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        index = 0
+        edge = self._base
+        while seconds > edge and index < len(self._counts) - 1:
+            index += 1
+            edge *= 2
+        self._counts[index] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket edge containing the q-quantile (0 if empty)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self._counts):
+            seen += bucket
+            if seen >= target:
+                return min(self._edges[index], self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": self.mean * 1e6,
+            "p50_us": self.quantile(0.50) * 1e6,
+            "p90_us": self.quantile(0.90) * 1e6,
+            "p99_us": self.quantile(0.99) * 1e6,
+            "max_us": self.max * 1e6,
+        }
+
+
+class _SiteCounters:
+    __slots__ = ("assignments", "overlap_hits")
+
+    def __init__(self) -> None:
+        self.assignments = 0
+        self.overlap_hits = 0
+
+
+class ServeStats:
+    """All counters behind the ``STATS`` request."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self.decision_latency = LatencyHistogram()
+        self.tasks_submitted = 0
+        self.jobs_submitted = 0
+        self.assignments = 0
+        self.completions = 0
+        self.duplicate_completions = 0
+        self.requeues = 0
+        self.peak_queue_depth = 0
+        self.files_added = 0
+        self.files_removed = 0
+        self.files_referenced = 0
+        self._sites: Dict[int, _SiteCounters] = {}
+
+    # -- recording -------------------------------------------------------
+    def record_queue_depth(self, depth: int) -> None:
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+
+    def record_assignment(self, site_id: int, latency_s: float,
+                          overlap_hit: bool) -> None:
+        self.assignments += 1
+        self.decision_latency.record(latency_s)
+        site = self._sites.setdefault(site_id, _SiteCounters())
+        site.assignments += 1
+        if overlap_hit:
+            site.overlap_hits += 1
+
+    def record_delta(self, added: int, removed: int,
+                     referenced: int) -> None:
+        self.files_added += added
+        self.files_removed += removed
+        self.files_referenced += referenced
+
+    # -- reporting -------------------------------------------------------
+    @property
+    def uptime(self) -> float:
+        return self._clock() - self.started_at
+
+    def snapshot(self, queue_depth: int = 0, outstanding: int = 0,
+                 parked_workers: int = 0,
+                 draining: Optional[bool] = None) -> Dict:
+        uptime = max(self.uptime, 1e-9)
+        sites = {
+            str(site_id): {
+                "assignments": counters.assignments,
+                "overlap_hits": counters.overlap_hits,
+                "overlap_hit_rate": (counters.overlap_hits
+                                     / counters.assignments
+                                     if counters.assignments else 0.0),
+            }
+            for site_id, counters in sorted(self._sites.items())
+        }
+        snap = {
+            "uptime_s": uptime,
+            "jobs_submitted": self.jobs_submitted,
+            "tasks_submitted": self.tasks_submitted,
+            "assignments": self.assignments,
+            "assignments_per_sec": self.assignments / uptime,
+            "completions": self.completions,
+            "duplicate_completions": self.duplicate_completions,
+            "requeues": self.requeues,
+            "queue_depth": queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "outstanding": outstanding,
+            "parked_workers": parked_workers,
+            "decision_latency": self.decision_latency.snapshot(),
+            "file_deltas": {
+                "added": self.files_added,
+                "removed": self.files_removed,
+                "referenced": self.files_referenced,
+            },
+            "sites": sites,
+        }
+        if draining is not None:
+            snap["draining"] = draining
+        return snap
+
+
+def format_stats(snapshot: Dict) -> str:
+    """Human-readable multi-line rendering of a stats snapshot."""
+    latency = snapshot["decision_latency"]
+    lines: List[str] = [
+        f"uptime            : {snapshot['uptime_s']:.1f} s",
+        f"jobs / tasks      : {snapshot['jobs_submitted']} / "
+        f"{snapshot['tasks_submitted']}",
+        f"assignments       : {snapshot['assignments']} "
+        f"({snapshot['assignments_per_sec']:.1f}/s)",
+        f"completions       : {snapshot['completions']} "
+        f"(+{snapshot['duplicate_completions']} duplicate, "
+        f"{snapshot['requeues']} requeued)",
+        f"queue depth       : {snapshot['queue_depth']} now, "
+        f"{snapshot['peak_queue_depth']} peak, "
+        f"{snapshot['outstanding']} outstanding, "
+        f"{snapshot['parked_workers']} parked",
+        f"decision latency  : p50 {latency['p50_us']:.0f} us, "
+        f"p99 {latency['p99_us']:.0f} us, "
+        f"max {latency['max_us']:.0f} us over {latency['count']}",
+    ]
+    for site_id, site in snapshot["sites"].items():
+        lines.append(
+            f"site {site_id:>3} overlap : "
+            f"{site['overlap_hit_rate']:6.1%} "
+            f"({site['overlap_hits']}/{site['assignments']})")
+    return "\n".join(lines)

@@ -92,3 +92,20 @@ def test_compare_uses_task_order_flag(capsys):
                         "--capacity", "400", "--task-order", "natural",
                         "--scheduler", "rest")
     assert code == 0
+
+
+def test_serve_parser_flags():
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--metric", "rest", "--n", "1"])
+    assert args.port == 0
+    assert args.metric == "rest"
+    assert args.func is not None
+
+
+def test_load_parser_reuses_config_arguments():
+    args = build_parser().parse_args(
+        ["load", "--port", "7077", "--tasks", "500",
+         "--sites", "4", "--workers", "2"])
+    assert args.tasks == 500
+    assert args.sites == 4 and args.workers == 2
+    assert not args.no_drain

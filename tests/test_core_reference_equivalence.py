@@ -83,6 +83,40 @@ def test_indexed_equals_naive_on_coadd(metric, n):
     assert fast == slow
 
 
+@given(workload_and_params())
+@settings(max_examples=40, deadline=None)
+def test_policy_engine_replay_equals_simulator(data):
+    """The sim-free PolicyEngine, fed only the storage-delta stream a
+    live server would see, must reproduce the simulator's decision
+    sequence exactly (metrics x n x seeds)."""
+    from repro.serve.replay import (record_run, recorded_decisions,
+                                    replay_decisions)
+    task_files, metric, n, seed, capacity = data
+    job = make_job(task_files, flops=1e9)
+    events = record_run(job, metric=metric, n=n, seed=seed,
+                        num_sites=2, capacity_files=capacity)
+    assert recorded_decisions(events) == replay_decisions(
+        job, events, metric=metric, n=n, seed=seed)
+
+
+@pytest.mark.parametrize("metric", ["overlap", "rest", "combined",
+                                    "combined-literal"])
+@pytest.mark.parametrize("n", [1, 2])
+def test_policy_engine_replay_on_coadd(metric, n):
+    """Same replay equivalence on a realistic (small Coadd) workload."""
+    from repro.exp import ExperimentConfig
+    from repro.exp.runner import build_job
+    from repro.serve.replay import (record_run, recorded_decisions,
+                                    replay_decisions)
+    job = build_job(ExperimentConfig(num_tasks=40, capacity_files=500))
+    events = record_run(job, metric=metric, n=n, seed=11,
+                        num_sites=3, capacity_files=500)
+    decisions = recorded_decisions(events)
+    assert len(decisions) == len(job)
+    assert decisions == replay_decisions(job, events, metric=metric,
+                                         n=n, seed=11)
+
+
 def test_naive_validation(tiny_job):
     with pytest.raises(ValueError):
         NaiveWorkerCentricScheduler(tiny_job, metric="nope")

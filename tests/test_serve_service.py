@@ -1,0 +1,203 @@
+"""Scheduling semantics of the transport-agnostic SchedulerService."""
+
+import pytest
+
+from repro.core.policy_engine import PolicyEngine, SiteFileState
+from repro.grid.job import Task
+from repro.serve.service import SchedulerService, ServiceError
+
+
+def submit(service, specs):
+    return service.submit_job([{"files": files, "flops": flops}
+                               for files, flops in specs])
+
+
+def pull(service, worker="w0", site=0):
+    """Synchronous request_task; returns the delivered task (or None)
+    immediately, or the string "parked" when the request parked."""
+    box = []
+    service.request_task(worker, site, box.append)
+    return box[0] if box else "parked"
+
+
+# -- engine deltas (sim-free path) -------------------------------------------
+
+def test_site_file_state_mirrors_storage_semantics():
+    state = SiteFileState()
+    seen = []
+    state.on_insert(lambda fid: seen.append(("+", fid)))
+    state.on_evict(lambda fid: seen.append(("-", fid)))
+    state.on_touch(lambda fid: seen.append(("t", fid)))
+    assert state.add(5) and not state.add(5)       # idempotent
+    assert 5 in state and len(state) == 1
+    assert state.reference(5) == 1
+    assert state.reference(7) == 1                 # refs without residency
+    assert state.remove(5) and not state.remove(5)
+    assert state.reference_count(5) == 1           # refs survive removal
+    assert state.overlap([5, 7]) == 0
+    assert seen == [("+", 5), ("t", 5), ("t", 7), ("-", 5)]
+
+
+def test_engine_deltas_steer_decisions():
+    tasks = {0: Task(0, frozenset({1, 2, 3})),
+             1: Task(1, frozenset({8, 9}))}
+    engine = PolicyEngine(tasks, metric="rest", n=1)
+    engine.attach_site(0)
+    for task in tasks.values():
+        engine.add_task(task)
+    # Zero overlap everywhere: rest prefers the fewest-files task.
+    assert engine.choose(0).task_id == 1
+    # Make task 0 almost fully resident at site 0: it must win now.
+    engine.file_added(0, 1)
+    engine.file_added(0, 2)
+    assert engine.choose(0).task_id == 0
+    assert engine.overlap(0, 0) == 2
+    # Removing the files flips the decision back.
+    engine.file_removed(0, 1)
+    engine.file_removed(0, 2)
+    assert engine.choose(0).task_id == 1
+
+
+# -- job intake --------------------------------------------------------------
+
+def test_submit_assigns_global_ids_across_jobs():
+    service = SchedulerService()
+    first = submit(service, [([1, 2], 0.0), ([3], 1.0)])
+    second = submit(service, [([4], 0.0)])
+    assert first == {"job_id": 0, "task_ids": [0, 1]}
+    assert second == {"job_id": 1, "task_ids": [2]}
+    assert service.queue_depth == 3
+
+
+@pytest.mark.parametrize("payload", [
+    None, [], [7], [{"files": []}], [{"files": [1, "x"]}],
+    [{"files": [1], "flops": -2}],
+])
+def test_submit_rejects_bad_payloads(payload):
+    with pytest.raises(ServiceError):
+        SchedulerService().submit_job(payload)
+
+
+# -- pull / park / wake ------------------------------------------------------
+
+def test_pull_assigns_then_reports_done():
+    service = SchedulerService(metric="rest")
+    submit(service, [([1], 0.0), ([2, 3], 0.0)])
+    task = pull(service)
+    assert task.task_id == 0  # rest: fewest files first
+    assert service.outstanding == 1
+    assert service.task_done("w0", 0) is False
+    assert service.stats.completions == 1
+
+
+def test_duplicate_completion_is_tolerated_and_counted():
+    service = SchedulerService()
+    submit(service, [([1], 0.0)])
+    task = pull(service)
+    assert service.task_done("w0", task.task_id) is False
+    assert service.task_done("w0", task.task_id) is True
+    assert service.stats.duplicate_completions == 1
+    with pytest.raises(ServiceError):
+        service.task_done("w0", 999)
+
+
+def test_worker_parks_before_any_job_and_wakes_on_submit():
+    service = SchedulerService()
+    box = []
+    service.request_task("w0", 0, box.append)
+    assert box == []  # parked: no job yet
+    submit(service, [([4], 0.0)])
+    assert len(box) == 1 and box[0].task_id == 0
+
+
+def test_parked_workers_wake_fifo_on_requeue():
+    service = SchedulerService()
+    submit(service, [([1], 0.0)])
+    task = pull(service, worker="lost")
+    # Everything assigned: further pulls park (task may yet requeue).
+    assert pull(service, worker="w1", site=0) == "parked"
+    assert pull(service, worker="w2", site=0) == "parked"
+    # The assignee dies; its task requeues to the first parked worker.
+    assert service.disconnect("lost") == 1
+    assert service.stats.requeues == 1
+    assert service.outstanding == 1  # w1 holds it now
+    assert service.task_done("w1", task.task_id) is False
+
+
+def test_completion_releases_parked_workers_with_no_task():
+    service = SchedulerService()
+    submit(service, [([1], 0.0)])
+    task = pull(service, worker="w0")
+    box = []
+    service.request_task("w1", 0, box.append)
+    assert box == []
+    service.task_done("w0", task.task_id)
+    assert box == [None]  # job complete: parked worker told to leave
+    # And a fresh pull gets the same immediate answer.
+    assert pull(service, worker="w2") is None
+
+
+def test_disconnect_of_clean_worker_changes_nothing():
+    service = SchedulerService()
+    submit(service, [([1], 0.0)])
+    task = pull(service, worker="w0")
+    service.task_done("w0", task.task_id)
+    assert service.disconnect("w0") == 0
+    assert service.stats.requeues == 0
+
+
+# -- file deltas -------------------------------------------------------------
+
+def test_file_delta_steers_assignment():
+    service = SchedulerService(metric="overlap")
+    submit(service, [([1, 2], 0.0), ([8, 9], 0.0)])
+    service.file_delta(3, added=[8, 9], removed=[], referenced=[8])
+    task = pull(service, site=3)
+    assert task.task_id == 1  # overlap metric follows the resident files
+    snap = service.stats_snapshot()
+    assert snap["sites"]["3"]["overlap_hits"] == 1
+    assert snap["file_deltas"]["referenced"] == 1
+
+
+# -- drain -------------------------------------------------------------------
+
+def test_drain_releases_parked_and_rejects_new_jobs():
+    service = SchedulerService()
+    drained = []
+    service.on_drained = lambda: drained.append(True)
+    submit(service, [([1], 0.0), ([2], 0.0)])
+    task = pull(service, worker="w0")
+    box = []
+    # All pending handed out? No — one task left; park a second worker
+    # by draining first so pending is never dispatched.
+    service.drain()
+    service.request_task("w1", 0, box.append)
+    assert box == [None]           # draining: no new assignments
+    assert drained == []           # one task still outstanding
+    with pytest.raises(ServiceError):
+        submit(service, [([5], 0.0)])
+    service.task_done("w0", task.task_id)
+    assert drained == [True]       # last completion finishes the drain
+
+
+def test_drain_when_idle_completes_immediately():
+    service = SchedulerService()
+    drained = []
+    service.on_drained = lambda: drained.append(True)
+    service.drain()
+    assert drained == [True]
+
+
+def test_drained_worker_disconnect_completes_drain():
+    service = SchedulerService()
+    drained = []
+    service.on_drained = lambda: drained.append(True)
+    submit(service, [([1], 0.0)])
+    pull(service, worker="w0")
+    service.drain()
+    assert drained == []
+    # The worker dies instead of completing: drain still finishes
+    # (its task requeues but is never handed out).
+    service.disconnect("w0")
+    assert drained == [True]
+    assert service.queue_depth == 1
