@@ -202,11 +202,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def main() -> None:
         service = SchedulerService(metric=args.metric, n=args.n,
-                                   seed=args.seed)
+                                   seed=args.seed,
+                                   lease_ttl=args.lease_ttl)
         server = SchedulerServer(service, host=args.host, port=args.port)
         await server.start()
         print(f"repro-serve listening on {server.host}:{server.port} "
-              f"(metric={args.metric}, n={args.n})", file=sys.stderr)
+              f"(protocol v2, metric={args.metric}, n={args.n}, "
+              f"lease_ttl={args.lease_ttl:g}s)", file=sys.stderr)
         try:
             await server.serve_until_drained()
         finally:
@@ -236,6 +238,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         flops_per_sec=args.flops_per_sec,
         seconds_per_file=args.seconds_per_file,
         drain=not args.no_drain))
+    print(f"job id           : {report['job_id']} "
+          f"(done={report['job_status']['done']})")
     print(f"tasks submitted  : {report['tasks_submitted']}")
     print(f"tasks completed  : {report['tasks_done']} "
           f"by {workers} workers over {config.num_sites} sites")
@@ -315,6 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--n", type=int, default=2,
                               help="ChooseTask(n) candidate-set size")
     serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--lease-ttl", type=float, default=30.0,
+                              help="seconds before an unrenewed task "
+                                   "lease expires and the task is "
+                                   "requeued to another worker")
     serve_parser.set_defaults(func=_cmd_serve)
 
     load_parser = sub.add_parser(

@@ -225,8 +225,14 @@ class PolicyEngine:
         heapq.heappush(self._zero_heap, entry)
 
     # -- the decision ----------------------------------------------------
-    def choose(self, site_id: int) -> Task:
+    def choose(self, site_id: int, eligible=None) -> Task:
         """CalculateWeight over candidates + ChooseTask(n).
+
+        ``eligible`` (a container of task ids, or None for all pending)
+        restricts the candidate set — the live service uses it for
+        job-scoped pulls.  With the default None the decision is
+        bit-identical to the unscoped algorithm, which is what the
+        replay-equivalence suite pins down.
 
         Does *not* retire the chosen task; callers decide whether the
         assignment sticks and then call :meth:`remove_task`.
@@ -253,6 +259,8 @@ class PolicyEngine:
                 best.sort(key=lambda pair: (-pair[0], pair[1]))
 
         for task_id, overlap in overlaps.items():
+            if eligible is not None and task_id not in eligible:
+                continue
             task = self._pending.get(task_id)
             if task is None:  # defensive; index tracks pending only
                 continue
@@ -263,7 +271,7 @@ class PolicyEngine:
             offer(self._weight(view), task_id)
             self.tasks_scored += 1
 
-        for task_id in self.zero_overlap_candidates(site_id):
+        for task_id in self.zero_overlap_candidates(site_id, eligible):
             task = self._pending[task_id]
             view = TaskView(task_id=task_id, num_files=task.num_files,
                             overlap=0, refsum=0.0,
@@ -273,11 +281,16 @@ class PolicyEngine:
 
         return self._pending[self._sample(best)]
 
-    def zero_overlap_candidates(self, site_id: int) -> List[int]:
+    def zero_overlap_candidates(self, site_id: int,
+                                eligible=None) -> List[int]:
         """Up to ``n`` best pending tasks with zero overlap at the site.
 
         Pops dead heap entries permanently; live entries that are merely
-        inspected are pushed back for future requests.
+        inspected are pushed back for future requests.  ``eligible``
+        restricts the search to a task-id subset (job-scoped pulls); an
+        ineligible entry is skipped but kept, which can make a scoped
+        scan walk the whole heap — acceptable, since scoped pulls are
+        the exception and the unscoped path is untouched.
         """
         overlaps = self._index.nonzero_overlaps(site_id)
         chosen: List[int] = []
@@ -288,6 +301,8 @@ class PolicyEngine:
             if task_id not in self._pending:
                 continue  # stale: task was assigned; drop permanently
             skipped.append(entry)
+            if eligible is not None and task_id not in eligible:
+                continue
             if task_id not in overlaps:
                 chosen.append(task_id)
         for entry in skipped:

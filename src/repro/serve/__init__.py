@@ -3,23 +3,36 @@
 The simulator proves the worker-centric policies win; this package
 *runs* them.  A :class:`~repro.serve.server.SchedulerServer` serves a
 :class:`~repro.core.policy_engine.PolicyEngine` over a JSON-lines TCP
-protocol (:mod:`repro.serve.protocol`); real workers —
-:class:`~repro.serve.client.WorkerClient` — pull tasks, report file
-deltas from their local caches, and push completions.  The
-:mod:`repro.serve.loadgen` module replays ``workload``-generated jobs
-against a server at high concurrency, and :mod:`repro.serve.replay`
-proves the live engine makes decisions identical to the simulator's by
-replaying recorded storage-delta streams.
+protocol — version 2: typed messages (:mod:`repro.serve.messages`),
+version negotiation, lease-based assignment with heartbeat renewal and
+a server-side expiry sweeper, and multi-job tenancy with per-job
+completion tracking.  Real workers —
+:class:`~repro.serve.client.WorkerClient` — pull leased tasks, renew
+them while working, report file deltas from their local caches, and
+push lease-validated completions; submitters drive jobs through
+:class:`~repro.serve.client.SchedulerClient`, whose
+:meth:`~repro.serve.client.SchedulerClient.submit` returns a
+:class:`~repro.serve.client.JobHandle` with per-job status and
+``wait_done()``.  The :mod:`repro.serve.loadgen` module replays
+``workload``-generated jobs against a server at high concurrency, and
+:mod:`repro.serve.replay` proves the live engine makes decisions
+identical to the simulator's by replaying recorded storage-delta
+streams.
 
 CLI entry points: ``python -m repro serve`` and ``python -m repro load``.
 """
 
-from .client import WorkerClient
+from .client import JobHandle, SchedulerClient, WorkerClient
 from .loadgen import run_load, serve_and_load
 from .server import SchedulerServer
-from .service import SchedulerService, ServiceError
+from .service import (Assignment, CompletionResult, SchedulerService,
+                      ServiceError)
 
 __all__ = [
+    "Assignment",
+    "CompletionResult",
+    "JobHandle",
+    "SchedulerClient",
     "SchedulerServer",
     "SchedulerService",
     "ServiceError",

@@ -1,4 +1,4 @@
-"""A live worker: pull a task, fetch its files, compute, report.
+"""Protocol-v2 clients: the pull-loop worker and the control surface.
 
 :class:`WorkerClient` is the network twin of the simulator's
 ``grid.worker.Worker`` pull loop.  It keeps an LRU mirror of its
@@ -7,19 +7,29 @@ site's file cache and reports every change to the scheduler as a
 the task made — which is exactly the event stream the simulator's
 :class:`SiteStorage` feeds the overlap index, so the server's
 :class:`PolicyEngine` sees the same state it would in simulation.
+Every assignment arrives with a lease; while the worker "computes"
+(simulated wall-clock delay: ``seconds_per_file`` per missing file for
+the fetch, ``task.flops / flops_per_sec`` for the compute) it sends
+``HEARTBEAT`` renewals at the cadence the server advertised, so a slow
+task is never mistaken for a dead worker.
 
-"Work" is simulated wall-clock delay (``seconds_per_file`` per missing
-file for the fetch, ``task.flops / flops_per_sec`` for the compute),
-so load tests can dial realism from zero (pure scheduler stress) up.
+:class:`SchedulerClient` is the submitter/operator side:
+:meth:`SchedulerClient.submit` sends a job (chunked ``JOB_SUBMIT``
+messages extending one ``job_id``) and returns a :class:`JobHandle`
+whose :meth:`JobHandle.wait_done` polls per-job completion — multiple
+tenants can share one server and each waits only for its own work.
 """
 
 from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-from . import protocol
+from . import messages, protocol
+
+#: Tasks per JOB_SUBMIT message (keeps lines well under the size cap).
+SUBMIT_CHUNK = 200
 
 
 class SiteCacheMirror:
@@ -53,13 +63,60 @@ class SiteCacheMirror:
         return {"added": added, "removed": removed}
 
 
+class _Connection:
+    """One strict request/response stream of typed messages."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def open(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port,
+            limit=protocol.MAX_MESSAGE_BYTES + 1024)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def call(self, message: messages.ClientMessage,
+                   ) -> messages.ServerMessage:
+        """Send one request, read its one reply (``ERROR`` raises)."""
+        self._writer.write(message.encode())
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        reply = messages.decode_server(line)
+        if isinstance(reply, messages.Error):
+            raise RuntimeError(f"server error: {reply.error}")
+        return reply
+
+    async def hello(self, worker: str, site: int) -> messages.Welcome:
+        reply = await self.call(messages.Hello(
+            worker=worker, site=site,
+            protocol=protocol.PROTOCOL_VERSION))
+        if not isinstance(reply, messages.Welcome):
+            raise RuntimeError(f"expected WELCOME, got {reply}")
+        return reply
+
+
 class WorkerClient:
     """One pull-loop worker talking to a :class:`SchedulerServer`."""
 
     def __init__(self, host: str, port: int, worker: str = "w0",
                  site: int = 0, capacity_files: int = 1000,
                  flops_per_sec: float = 0.0,
-                 seconds_per_file: float = 0.0):
+                 seconds_per_file: float = 0.0,
+                 job_id: Optional[int] = None):
         self.host = host
         self.port = port
         self.worker = worker
@@ -67,73 +124,174 @@ class WorkerClient:
         self.cache = SiteCacheMirror(capacity_files)
         self.flops_per_sec = flops_per_sec
         self.seconds_per_file = seconds_per_file
+        #: Scope pulls to one job; None pulls from the global queue.
+        self.job_id = job_id
         self.tasks_done = 0
         self.files_fetched = 0
+        self.heartbeats_sent = 0
+        self.rejected_completions = 0
         self.stop_reason: Optional[str] = None
+        self._heartbeat_interval = 0.0
 
     async def run(self) -> Dict:
         """Pull tasks until the server says NO_TASK; returns a summary."""
-        reader, writer = await asyncio.open_connection(
-            self.host, self.port,
-            limit=protocol.MAX_MESSAGE_BYTES + 1024)
+        conn = _Connection(self.host, self.port)
+        await conn.open()
         try:
-            welcome = await self._call(reader, writer, {
-                "type": protocol.HELLO, "worker": self.worker,
-                "site": self.site})
-            self._expect(welcome, protocol.WELCOME)
+            welcome = await conn.hello(self.worker, self.site)
+            self._heartbeat_interval = welcome.heartbeat_interval
             while True:
-                reply = await self._call(
-                    reader, writer, {"type": protocol.REQUEST_TASK})
-                if reply["type"] == protocol.NO_TASK:
-                    self.stop_reason = reply.get("reason", "no task")
+                reply = await conn.call(
+                    messages.RequestTask(job_id=self.job_id))
+                if isinstance(reply, messages.NoTask):
+                    self.stop_reason = reply.reason
                     break
-                self._expect(reply, protocol.TASK)
-                await self._execute(reader, writer, reply)
+                if not isinstance(reply, messages.TaskAssign):
+                    raise RuntimeError(f"expected TASK, got {reply}")
+                await self._execute(conn, reply)
         finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
+            await conn.close()
         return {"worker": self.worker, "site": self.site,
+                "job_id": self.job_id,
                 "tasks_done": self.tasks_done,
                 "files_fetched": self.files_fetched,
+                "heartbeats_sent": self.heartbeats_sent,
+                "rejected_completions": self.rejected_completions,
                 "stop_reason": self.stop_reason}
 
-    async def _execute(self, reader, writer, assignment: Dict) -> None:
-        files = assignment["files"]
+    async def _execute(self, conn: _Connection,
+                       assignment: messages.TaskAssign) -> None:
+        files = assignment.files
         missing = [fid for fid in files if fid not in self.cache]
         if missing and self.seconds_per_file > 0:
-            await asyncio.sleep(self.seconds_per_file * len(missing))
+            await self._work(conn, self.seconds_per_file * len(missing),
+                             assignment.lease_id)
         delta = self.cache.admit(files)
         self.files_fetched += len(delta["added"])
-        ack = await self._call(reader, writer, {
-            "type": protocol.FILE_DELTA, "site": self.site,
-            "added": delta["added"], "removed": delta["removed"],
-            "referenced": list(files)})
-        self._expect(ack, protocol.ACK)
-        flops = assignment.get("flops", 0.0)
-        if flops and self.flops_per_sec > 0:
-            await asyncio.sleep(flops / self.flops_per_sec)
-        ack = await self._call(reader, writer, {
-            "type": protocol.TASK_DONE,
-            "task_id": assignment["task_id"]})
-        self._expect(ack, protocol.ACK)
-        self.tasks_done += 1
+        ack = await conn.call(messages.FileDelta(
+            site=self.site, added=delta["added"],
+            removed=delta["removed"], referenced=list(files)))
+        if not isinstance(ack, messages.Ack):
+            raise RuntimeError(f"expected ACK, got {ack}")
+        if assignment.flops and self.flops_per_sec > 0:
+            await self._work(conn, assignment.flops / self.flops_per_sec,
+                             assignment.lease_id)
+        done = await conn.call(messages.TaskDone(
+            task_id=assignment.task_id, lease_id=assignment.lease_id))
+        if not isinstance(done, messages.Ack):
+            raise RuntimeError(f"expected ACK, got {done}")
+        if done.accepted:
+            self.tasks_done += 1
+        else:
+            # The lease lapsed (e.g. a long stall) and the task was
+            # requeued elsewhere; drop it and pull the next one.
+            self.rejected_completions += 1
 
-    async def _call(self, reader, writer, message: Dict) -> Dict:
-        writer.write(protocol.encode(message))
-        await writer.drain()
-        line = await reader.readline()
-        if not line:
-            raise ConnectionError(
-                f"server closed the connection on {self.worker}")
-        return protocol.decode(line)
+    async def _work(self, conn: _Connection, seconds: float,
+                    lease_id: int) -> None:
+        """Sleep ``seconds``, renewing the lease at heartbeat cadence."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + seconds
+        interval = self._heartbeat_interval
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return
+            if interval <= 0 or remaining <= interval:
+                await asyncio.sleep(remaining)
+                return
+            await asyncio.sleep(interval)
+            await conn.call(messages.Heartbeat(lease_ids=[lease_id]))
+            self.heartbeats_sent += 1
 
-    @staticmethod
-    def _expect(reply: Dict, kind: str) -> None:
-        if reply["type"] == protocol.ERROR:
-            raise RuntimeError(f"server error: {reply.get('error')}")
-        if reply["type"] != kind:
-            raise RuntimeError(
-                f"expected {kind}, got {reply['type']}: {reply}")
+
+class JobHandle:
+    """One submitted job, seen through a :class:`SchedulerClient`."""
+
+    def __init__(self, client: "SchedulerClient", job_id: int,
+                 task_ids: List[int]):
+        self._client = client
+        self.job_id = job_id
+        self.task_ids = task_ids
+
+    async def status(self) -> Dict:
+        """The server's per-job counters, as a plain dict."""
+        reply = await self._client.call(
+            messages.JobStatusRequest(job_id=self.job_id))
+        return {"job_id": reply.job_id, "tasks": reply.tasks,
+                "completed": reply.completed, "pending": reply.pending,
+                "outstanding": reply.outstanding, "done": reply.done}
+
+    async def wait_done(self, poll_interval: float = 0.05) -> Dict:
+        """Poll until every task of the job completed; returns the
+        final status.  Wrap in ``asyncio.wait_for`` for a deadline."""
+        while True:
+            status = await self.status()
+            if status["done"]:
+                return status
+            await asyncio.sleep(poll_interval)
+
+
+class SchedulerClient:
+    """A non-worker connection: submit jobs, track them, read stats.
+
+    Async context manager::
+
+        async with SchedulerClient(host, port) as client:
+            handle = await client.submit(job)
+            await handle.wait_done()
+            print(await client.stats())
+    """
+
+    def __init__(self, host: str, port: int, name: str = "control",
+                 site: int = 0):
+        self._conn = _Connection(host, port)
+        self.name = name
+        self.site = site
+        self.welcome: Optional[messages.Welcome] = None
+
+    async def __aenter__(self) -> "SchedulerClient":
+        await self._conn.open()
+        self.welcome = await self._conn.hello(self.name, self.site)
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self._conn.close()
+
+    async def call(self, message: messages.ClientMessage,
+                   ) -> messages.ServerMessage:
+        return await self._conn.call(message)
+
+    async def submit(self, job: Iterable) -> JobHandle:
+        """Submit every task of ``job``; returns its :class:`JobHandle`.
+
+        ``job`` is any iterable of objects with ``files`` and ``flops``
+        (a :class:`~repro.grid.job.Job`, a task list), or of
+        ``{"files": ..., "flops": ...}`` dicts.  Large jobs are chunked
+        over several ``JOB_SUBMIT`` messages extending one job id.
+        """
+        specs = [task if isinstance(task, dict)
+                 else {"files": sorted(task.files), "flops": task.flops}
+                 for task in job]
+        job_id: Optional[int] = None
+        task_ids: List[int] = []
+        for start in range(0, len(specs), SUBMIT_CHUNK):
+            chunk = specs[start:start + SUBMIT_CHUNK]
+            reply = await self.call(
+                messages.JobSubmit(tasks=chunk, job_id=job_id))
+            if not isinstance(reply, messages.JobAccepted):
+                raise RuntimeError(f"expected JOB_ACCEPTED, got {reply}")
+            job_id = reply.job_id
+            task_ids.extend(reply.task_ids)
+        if job_id is None:
+            raise ValueError("cannot submit an empty job")
+        return JobHandle(self, job_id, task_ids)
+
+    async def stats(self) -> Dict:
+        reply = await self.call(messages.StatsRequest())
+        if not isinstance(reply, messages.StatsReply):
+            raise RuntimeError(f"expected STATS, got {reply}")
+        return reply.stats
+
+    async def drain(self) -> None:
+        await self.call(messages.Drain())

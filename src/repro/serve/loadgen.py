@@ -1,12 +1,14 @@
 """Load generator: replay ``workload`` jobs against a live scheduler.
 
 ``run_load`` drives an already-listening server: it submits a
-:class:`~repro.grid.job.Job` (chunked ``JOB_SUBMIT`` messages over a
-control connection), spins up ``workers`` concurrent
-:class:`~repro.serve.client.WorkerClient` pull loops spread
-round-robin over ``sites`` site ids, waits for all of them to be told
-``NO_TASK`` (i.e. every task completed), then pulls a ``STATS``
-snapshot and optionally drains the server.
+:class:`~repro.grid.job.Job` through a :class:`SchedulerClient`
+(chunked ``JOB_SUBMIT`` messages extending one job id), spins up
+``workers`` concurrent :class:`~repro.serve.client.WorkerClient` pull
+loops spread round-robin over ``sites`` site ids — each scoped to the
+submitted job, so they stop on ``NO_TASK(job-done)`` even if other
+tenants keep the server busy — waits for the fleet, confirms the job
+completed via its :class:`JobHandle`, then pulls a ``STATS`` snapshot
+and optionally drains the server.
 
 ``serve_and_load`` bundles server + load into one event loop for
 tests, benchmarks and single-command demos.
@@ -15,100 +17,49 @@ tests, benchmarks and single-command demos.
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..grid.job import Job
-from . import protocol
-from .client import WorkerClient
+from .client import SUBMIT_CHUNK, JobHandle, SchedulerClient, WorkerClient
 from .server import SchedulerServer
 from .service import SchedulerService
 
-#: Tasks per JOB_SUBMIT message (keeps lines well under the size cap).
-SUBMIT_CHUNK = 200
-
-
-class ControlClient:
-    """A non-worker connection: submit jobs, read stats, drain."""
-
-    def __init__(self, host: str, port: int):
-        self.host = host
-        self.port = port
-        self._reader: Optional[asyncio.StreamReader] = None
-        self._writer: Optional[asyncio.StreamWriter] = None
-
-    async def __aenter__(self) -> "ControlClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port,
-            limit=protocol.MAX_MESSAGE_BYTES + 1024)
-        return self
-
-    async def __aexit__(self, *exc_info) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
-                pass
-
-    async def call(self, message: Dict) -> Dict:
-        self._writer.write(protocol.encode(message))
-        await self._writer.drain()
-        line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the control connection")
-        reply = protocol.decode(line)
-        if reply["type"] == protocol.ERROR:
-            raise RuntimeError(f"server error: {reply.get('error')}")
-        return reply
-
-    async def submit_job(self, job: Job) -> List[int]:
-        """Submit every task of ``job``; returns the global task ids."""
-        task_ids: List[int] = []
-        tasks = list(job)
-        for start in range(0, len(tasks), SUBMIT_CHUNK):
-            chunk = tasks[start:start + SUBMIT_CHUNK]
-            reply = await self.call({
-                "type": protocol.JOB_SUBMIT,
-                "tasks": [{"files": sorted(task.files),
-                           "flops": task.flops} for task in chunk]})
-            task_ids.extend(reply["task_ids"])
-        return task_ids
-
-    async def stats(self) -> Dict:
-        reply = await self.call({"type": protocol.STATS})
-        return reply["stats"]
-
-    async def drain(self) -> None:
-        await self.call({"type": protocol.DRAIN})
+__all__ = ["SUBMIT_CHUNK", "run_load", "serve_and_load",
+           "SchedulerClient", "JobHandle"]
 
 
 async def run_load(host: str, port: int, job: Job, workers: int = 8,
                    sites: int = 4, capacity_files: int = 600,
                    flops_per_sec: float = 0.0,
                    seconds_per_file: float = 0.0,
-                   drain: bool = True) -> Dict:
+                   drain: bool = True,
+                   scope_to_job: bool = True) -> Dict:
     """Submit ``job``, run the worker fleet, return a load report."""
     if workers < 1 or sites < 1:
         raise ValueError("need at least one worker and one site")
-    async with ControlClient(host, port) as control:
-        task_ids = await control.submit_job(job)
+    async with SchedulerClient(host, port, name="loadgen") as control:
+        handle = await control.submit(job)
         fleet = [
             WorkerClient(host, port, worker=f"w{index}",
                          site=index % sites,
                          capacity_files=capacity_files,
                          flops_per_sec=flops_per_sec,
-                         seconds_per_file=seconds_per_file)
+                         seconds_per_file=seconds_per_file,
+                         job_id=handle.job_id if scope_to_job else None)
             for index in range(workers)
         ]
         summaries = await asyncio.gather(
             *(worker.run() for worker in fleet))
+        job_status = await handle.status()
         stats = await control.stats()
         if drain:
             await control.drain()
     return {
-        "tasks_submitted": len(task_ids),
+        "job_id": handle.job_id,
+        "tasks_submitted": len(handle.task_ids),
         "tasks_done": sum(s["tasks_done"] for s in summaries),
         "files_fetched": sum(s["files_fetched"] for s in summaries),
+        "job_status": job_status,
         "workers": summaries,
         "stats": stats,
     }
@@ -118,9 +69,11 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
                          metric: str = "rest", n: int = 1, seed: int = 0,
                          capacity_files: int = 600,
                          flops_per_sec: float = 0.0,
-                         seconds_per_file: float = 0.0) -> Dict:
+                         seconds_per_file: float = 0.0,
+                         lease_ttl: Optional[float] = None) -> Dict:
     """In-process server + load run; returns the load report."""
-    service = SchedulerService(metric=metric, n=n, seed=seed)
+    kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
+    service = SchedulerService(metric=metric, n=n, seed=seed, **kwargs)
     server = SchedulerServer(service)
     await server.start()
     serve_task = asyncio.ensure_future(server.serve_until_drained())

@@ -1,0 +1,400 @@
+"""Typed message surface of the serve protocol (v2).
+
+One frozen dataclass per wire message.  :mod:`repro.serve.protocol`
+stays the thin codec layer (constants, line framing, field
+validators); this module gives both the server and the clients a
+statically-known shape for every message instead of raw-dict plumbing:
+
+* ``message.encode()`` produces the wire line; :func:`decode_client` /
+  :func:`decode_server` parse one back into the right dataclass for
+  the receiving side (``STATS`` and ``JOB_STATUS`` are request *and*
+  reply types, so the registries are per-direction).
+* decoding is **unknown-field tolerant**: fields a newer peer added
+  are ignored, so a v2.x server can talk to a v2.y client as long as
+  the required fields survive.  Missing required fields and
+  wrong-typed values raise :class:`~repro.serve.protocol.ProtocolError`.
+* every value a dataclass holds is JSON-native, so
+  ``decode_*(m.encode())`` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, List, Optional, Type
+
+from . import protocol as wire
+from .protocol import ProtocolError
+
+__all__ = [
+    "Message", "ClientMessage", "ServerMessage",
+    # client -> server
+    "Hello", "RequestTask", "TaskDone", "Heartbeat", "FileDelta",
+    "JobSubmit", "JobStatusRequest", "StatsRequest", "Drain",
+    # server -> client
+    "Welcome", "TaskAssign", "NoTask", "Ack", "HeartbeatAck",
+    "JobAccepted", "JobStatusReply", "StatsReply", "Error",
+    # codec entry points
+    "decode_client", "decode_server",
+    "client_from_dict", "server_from_dict",
+]
+
+
+# -- field validators --------------------------------------------------------
+
+def _need_int(kind: str, name: str, value: Any,
+              minimum: Optional[int] = None) -> None:
+    if not wire.is_int(value):
+        raise ProtocolError(f"{kind}.{name} must be an int, "
+                            f"got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ProtocolError(f"{kind}.{name} must be >= {minimum}, "
+                            f"got {value}")
+
+
+def _need_str(kind: str, name: str, value: Any) -> None:
+    if not isinstance(value, str):
+        raise ProtocolError(f"{kind}.{name} must be a string, "
+                            f"got {value!r}")
+
+
+def _need_number(kind: str, name: str, value: Any) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"{kind}.{name} must be a number, "
+                            f"got {value!r}")
+
+
+def _need_int_list(kind: str, name: str, value: Any) -> None:
+    if not isinstance(value, list) or any(
+            not wire.is_int(item) for item in value):
+        raise ProtocolError(f"{kind}.{name} must be a list of ints")
+
+
+def _need_bool(kind: str, name: str, value: Any) -> None:
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{kind}.{name} must be a bool, "
+                            f"got {value!r}")
+
+
+# -- the base ----------------------------------------------------------------
+
+class Message:
+    """Shared encode/decode machinery; subclasses are frozen dataclasses.
+
+    Direction bases (:class:`ClientMessage` / :class:`ServerMessage`)
+    register concrete subclasses by their ``TYPE`` wire constant.
+    """
+
+    TYPE: ClassVar[str] = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire dict; ``None``-valued optional fields are omitted."""
+        payload: Dict[str, Any] = {"type": self.TYPE}
+        for spec in dataclasses.fields(self):
+            value = getattr(self, spec.name)
+            if value is None:
+                continue
+            payload[spec.name] = value
+        return payload
+
+    def encode(self) -> bytes:
+        return wire.encode(self.to_dict())
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Message":
+        """Build from a wire dict, ignoring unknown fields."""
+        kwargs = {}
+        for spec in dataclasses.fields(cls):
+            if spec.name in payload:
+                kwargs[spec.name] = payload[spec.name]
+            elif (spec.default is dataclasses.MISSING
+                  and spec.default_factory is dataclasses.MISSING):
+                raise ProtocolError(
+                    f"{cls.TYPE} missing required field {spec.name!r}")
+        message = cls(**kwargs)
+        message.validate()
+        return message
+
+    def validate(self) -> None:
+        """Field-type checks; subclasses override (raise ProtocolError)."""
+
+
+class ClientMessage(Message):
+    """A message a client sends; the server decodes these."""
+
+    REGISTRY: ClassVar[Dict[str, Type["ClientMessage"]]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        ClientMessage.REGISTRY[cls.TYPE] = cls
+
+
+class ServerMessage(Message):
+    """A message the server sends; clients decode these."""
+
+    REGISTRY: ClassVar[Dict[str, Type["ServerMessage"]]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        ServerMessage.REGISTRY[cls.TYPE] = cls
+
+
+def _from_dict(registry: Dict[str, Type[Message]], direction: str,
+               payload: Dict[str, Any]) -> Message:
+    cls = registry.get(payload["type"])
+    if cls is None:
+        raise ProtocolError(
+            f"unknown {direction} message type {payload['type']!r}")
+    return cls.from_dict(payload)
+
+
+def client_from_dict(payload: Dict[str, Any]) -> "ClientMessage":
+    return _from_dict(ClientMessage.REGISTRY, "client", payload)
+
+
+def server_from_dict(payload: Dict[str, Any]) -> "ServerMessage":
+    return _from_dict(ServerMessage.REGISTRY, "server", payload)
+
+
+def decode_client(line: bytes) -> "ClientMessage":
+    """Server side: one received line -> a typed client message."""
+    return client_from_dict(wire.decode(line))
+
+
+def decode_server(line: bytes) -> "ServerMessage":
+    """Client side: one received line -> a typed server message."""
+    return server_from_dict(wire.decode(line))
+
+
+# -- client -> server --------------------------------------------------------
+
+@dataclass(frozen=True)
+class Hello(ClientMessage):
+    """Register a connection (worker or control); starts negotiation."""
+    TYPE = wire.HELLO
+    worker: str
+    site: int
+    protocol: int = 1  # v1 clients never sent the field
+
+    def validate(self) -> None:
+        _need_str(self.TYPE, "worker", self.worker)
+        _need_int(self.TYPE, "site", self.site, minimum=0)
+        _need_int(self.TYPE, "protocol", self.protocol, minimum=1)
+
+
+@dataclass(frozen=True)
+class RequestTask(ClientMessage):
+    """Pull the next task; ``job_id`` scopes the pull to one job."""
+    TYPE = wire.REQUEST_TASK
+    job_id: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.job_id is not None:
+            _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+
+
+@dataclass(frozen=True)
+class TaskDone(ClientMessage):
+    """Report a completion; must present the assignment's lease."""
+    TYPE = wire.TASK_DONE
+    task_id: int
+    lease_id: int
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "task_id", self.task_id, minimum=0)
+        _need_int(self.TYPE, "lease_id", self.lease_id, minimum=0)
+
+
+@dataclass(frozen=True)
+class Heartbeat(ClientMessage):
+    """Renew leases; ``lease_ids`` of None renews all held leases."""
+    TYPE = wire.HEARTBEAT
+    lease_ids: Optional[List[int]] = None
+
+    def validate(self) -> None:
+        if self.lease_ids is not None:
+            _need_int_list(self.TYPE, "lease_ids", self.lease_ids)
+
+
+@dataclass(frozen=True)
+class FileDelta(ClientMessage):
+    """A worker's report of its site cache changes."""
+    TYPE = wire.FILE_DELTA
+    added: List[int] = dataclasses.field(default_factory=list)
+    removed: List[int] = dataclasses.field(default_factory=list)
+    referenced: List[int] = dataclasses.field(default_factory=list)
+    site: Optional[int] = None
+
+    def validate(self) -> None:
+        for name in ("added", "removed", "referenced"):
+            _need_int_list(self.TYPE, name, getattr(self, name))
+        if self.site is not None:
+            _need_int(self.TYPE, "site", self.site, minimum=0)
+
+
+@dataclass(frozen=True)
+class JobSubmit(ClientMessage):
+    """Append a batch of tasks (to job ``job_id`` when given)."""
+    TYPE = wire.JOB_SUBMIT
+    tasks: List[dict]
+    job_id: Optional[int] = None
+
+    def validate(self) -> None:
+        if not isinstance(self.tasks, list):
+            raise ProtocolError(f"{self.TYPE}.tasks must be a list")
+        if self.job_id is not None:
+            _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+
+
+@dataclass(frozen=True)
+class JobStatusRequest(ClientMessage):
+    TYPE = wire.JOB_STATUS
+    job_id: int
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+
+
+@dataclass(frozen=True)
+class StatsRequest(ClientMessage):
+    TYPE = wire.STATS
+
+
+@dataclass(frozen=True)
+class Drain(ClientMessage):
+    TYPE = wire.DRAIN
+
+
+# -- server -> client --------------------------------------------------------
+
+@dataclass(frozen=True)
+class Welcome(ServerMessage):
+    """HELLO ack, carrying the negotiated protocol and lease terms."""
+    TYPE = wire.WELCOME
+    server: str
+    metric: str
+    n: int
+    protocol: int = wire.PROTOCOL_VERSION
+    lease_ttl: float = 0.0
+    heartbeat_interval: float = 0.0
+
+    def validate(self) -> None:
+        _need_str(self.TYPE, "server", self.server)
+        _need_str(self.TYPE, "metric", self.metric)
+        _need_int(self.TYPE, "n", self.n, minimum=1)
+        _need_int(self.TYPE, "protocol", self.protocol, minimum=1)
+        _need_number(self.TYPE, "lease_ttl", self.lease_ttl)
+        _need_number(self.TYPE, "heartbeat_interval",
+                     self.heartbeat_interval)
+
+
+@dataclass(frozen=True)
+class TaskAssign(ServerMessage):
+    """An assignment: the task plus the lease that guards it."""
+    TYPE = wire.TASK
+    task_id: int
+    files: List[int]
+    flops: float
+    lease_id: int
+    lease_ttl: float
+    job_id: int
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "task_id", self.task_id, minimum=0)
+        _need_int_list(self.TYPE, "files", self.files)
+        _need_number(self.TYPE, "flops", self.flops)
+        _need_int(self.TYPE, "lease_id", self.lease_id, minimum=0)
+        _need_number(self.TYPE, "lease_ttl", self.lease_ttl)
+        _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+
+
+@dataclass(frozen=True)
+class NoTask(ServerMessage):
+    """No task will ever come; ``reason`` is a closed enum."""
+    TYPE = wire.NO_TASK
+    reason: str
+
+    def validate(self) -> None:
+        if self.reason not in wire.NO_TASK_REASONS:
+            raise ProtocolError(
+                f"{self.TYPE}.reason must be one of "
+                f"{sorted(wire.NO_TASK_REASONS)}, got {self.reason!r}")
+
+
+@dataclass(frozen=True)
+class Ack(ServerMessage):
+    """Success/rejection ack (TASK_DONE / FILE_DELTA / DRAIN).
+
+    ``accepted`` is False when a ``TASK_DONE`` presented an invalid
+    lease; ``reason`` then says why (``stale-lease`` or
+    ``already-complete``).
+    """
+    TYPE = wire.ACK
+    accepted: bool = True
+    reason: Optional[str] = None
+    draining: Optional[bool] = None
+
+    def validate(self) -> None:
+        _need_bool(self.TYPE, "accepted", self.accepted)
+        if self.reason is not None:
+            _need_str(self.TYPE, "reason", self.reason)
+
+
+@dataclass(frozen=True)
+class HeartbeatAck(ServerMessage):
+    """Renewal outcome: which leases renewed, which no longer exist."""
+    TYPE = wire.HEARTBEAT_ACK
+    renewed: List[int] = dataclasses.field(default_factory=list)
+    expired: List[int] = dataclasses.field(default_factory=list)
+
+    def validate(self) -> None:
+        _need_int_list(self.TYPE, "renewed", self.renewed)
+        _need_int_list(self.TYPE, "expired", self.expired)
+
+
+@dataclass(frozen=True)
+class JobAccepted(ServerMessage):
+    TYPE = wire.JOB_ACCEPTED
+    job_id: int
+    task_ids: List[int]
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+        _need_int_list(self.TYPE, "task_ids", self.task_ids)
+
+
+@dataclass(frozen=True)
+class JobStatusReply(ServerMessage):
+    """Per-job progress: ``tasks = completed + pending + outstanding``."""
+    TYPE = wire.JOB_STATUS
+    job_id: int
+    tasks: int
+    completed: int
+    pending: int
+    outstanding: int
+    done: bool
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+        for name in ("tasks", "completed", "pending", "outstanding"):
+            _need_int(self.TYPE, name, getattr(self, name), minimum=0)
+        _need_bool(self.TYPE, "done", self.done)
+
+
+@dataclass(frozen=True)
+class StatsReply(ServerMessage):
+    TYPE = wire.STATS
+    stats: Dict[str, Any]
+
+    def validate(self) -> None:
+        if not isinstance(self.stats, dict):
+            raise ProtocolError(f"{self.TYPE}.stats must be an object")
+
+
+@dataclass(frozen=True)
+class Error(ServerMessage):
+    TYPE = wire.ERROR
+    error: str
+
+    def validate(self) -> None:
+        _need_str(self.TYPE, "error", self.error)

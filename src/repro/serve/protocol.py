@@ -1,4 +1,4 @@
-"""JSON-lines wire protocol between scheduler daemon and workers.
+"""JSON-lines wire protocol between scheduler daemon and workers (v2).
 
 One message per line, UTF-8 JSON with a mandatory string ``type``
 field.  Strict request/response: every client message gets exactly one
@@ -6,31 +6,66 @@ reply, in order, so clients never need to correlate (a parked
 ``REQUEST_TASK`` simply delays its reply until a task frees up or the
 job ends).
 
+This module is the thin codec layer: wire constants, line framing, and
+low-level field validators.  The typed message surface — one frozen
+dataclass per message type with ``encode()``/``decode()`` round-trip —
+lives in :mod:`repro.serve.messages`.
+
+Protocol version 2 (see ``docs/architecture.md`` for the full
+reference) adds on top of v1:
+
+* **version negotiation** — ``HELLO`` carries ``protocol: 2``; the
+  server rejects other versions with a clean ``ERROR``.
+* **leases** — every ``TASK`` reply carries a ``lease_id`` and a TTL;
+  ``TASK_DONE`` must present the lease, and ``HEARTBEAT`` renews it.
+  An expired lease requeues the task to another worker.
+* **multi-job tenancy** — ``JOB_SUBMIT`` tracks completion per
+  ``job_id``, ``REQUEST_TASK`` can scope to a job, ``JOB_STATUS``
+  reports per-job progress, and ``NO_TASK.reason`` is a closed enum
+  distinguishing "your job is done" from "server idle/draining".
+
 Client -> server
 ----------------
-``HELLO``         ``{worker, site}`` — register; must precede the rest.
-``REQUEST_TASK``  pull the next task for the client's site.
-``TASK_DONE``     ``{task_id}`` — a task finished (duplicate-tolerant).
+``HELLO``         ``{worker, site, protocol}`` — register; must precede
+                  the rest.
+``REQUEST_TASK``  ``{job_id?}`` — pull the next task for the client's
+                  site, optionally scoped to one job.
+``TASK_DONE``     ``{task_id, lease_id}`` — a task finished; the lease
+                  must still be valid or the completion is rejected.
+``HEARTBEAT``     ``{lease_ids?}`` — renew leases (all held if omitted).
 ``FILE_DELTA``    ``{added, removed, referenced}`` — site cache deltas.
-``JOB_SUBMIT``    ``{tasks: [{files, flops}, ...]}`` — append work.
+``JOB_SUBMIT``    ``{tasks: [{files, flops}, ...], job_id?}`` — append
+                  work (to an existing job when ``job_id`` is given).
+``JOB_STATUS``    ``{job_id}`` — per-job completion counters.
 ``STATS``         request the observability snapshot.
 ``DRAIN``         stop handing out tasks; shut down once idle.
 
 Server -> client
 ----------------
-``WELCOME``       hello ack: server name, metric, n.
-``TASK``          ``{task_id, files, flops}`` — an assignment.
-``NO_TASK``       ``{reason}`` — nothing left (or draining): disconnect.
-``ACK``           generic success (``TASK_DONE``/``FILE_DELTA``/...).
-``JOB_ACCEPTED``  ``{job_id, task_ids}`` — globally-assigned task ids.
-``STATS``         ``{stats}`` — the snapshot.
-``ERROR``         ``{error}`` — the request was rejected.
+``WELCOME``        hello ack: server name, metric, n, protocol version,
+                   lease TTL and suggested heartbeat interval.
+``TASK``           ``{task_id, files, flops, lease_id, lease_ttl,
+                   job_id}`` — a leased assignment.
+``NO_TASK``        ``{reason}`` — one of :data:`NO_TASK_REASONS`;
+                   disconnect.
+``ACK``            ``{accepted, reason?}`` — success/rejection for
+                   ``TASK_DONE``/``FILE_DELTA``/``DRAIN``.
+``HEARTBEAT_ACK``  ``{renewed, expired}`` — lease renewal outcome.
+``JOB_ACCEPTED``   ``{job_id, task_ids}`` — globally-assigned task ids.
+``JOB_STATUS``     ``{job_id, tasks, completed, pending, outstanding,
+                   done}`` — the per-job snapshot.
+``STATS``          ``{stats}`` — the snapshot.
+``ERROR``          ``{error}`` — the request was rejected.
 """
 
 from __future__ import annotations
 
 import json
 from typing import Any, Dict
+
+#: The protocol version this codebase speaks.  ``HELLO`` messages must
+#: carry it; anything else is rejected during negotiation.
+PROTOCOL_VERSION = 2
 
 #: Hard cap on one encoded message; JOB_SUBMIT chunks below this.
 MAX_MESSAGE_BYTES = 1 << 20
@@ -39,8 +74,10 @@ MAX_MESSAGE_BYTES = 1 << 20
 HELLO = "HELLO"
 REQUEST_TASK = "REQUEST_TASK"
 TASK_DONE = "TASK_DONE"
+HEARTBEAT = "HEARTBEAT"
 FILE_DELTA = "FILE_DELTA"
 JOB_SUBMIT = "JOB_SUBMIT"
+JOB_STATUS = "JOB_STATUS"
 STATS = "STATS"
 DRAIN = "DRAIN"
 
@@ -49,11 +86,21 @@ WELCOME = "WELCOME"
 TASK = "TASK"
 NO_TASK = "NO_TASK"
 ACK = "ACK"
+HEARTBEAT_ACK = "HEARTBEAT_ACK"
 JOB_ACCEPTED = "JOB_ACCEPTED"
 ERROR = "ERROR"
 
-CLIENT_TYPES = frozenset({HELLO, REQUEST_TASK, TASK_DONE, FILE_DELTA,
-                          JOB_SUBMIT, STATS, DRAIN})
+CLIENT_TYPES = frozenset({HELLO, REQUEST_TASK, TASK_DONE, HEARTBEAT,
+                          FILE_DELTA, JOB_SUBMIT, JOB_STATUS, STATS,
+                          DRAIN})
+
+#: ``NO_TASK.reason`` is a closed enum — clients may switch on it.
+REASON_JOB_DONE = "job-done"    #: the job you scoped to is complete
+REASON_IDLE = "idle"            #: all submitted work is complete
+REASON_DRAINING = "draining"    #: the server is shutting down
+
+NO_TASK_REASONS = frozenset({REASON_JOB_DONE, REASON_IDLE,
+                             REASON_DRAINING})
 
 
 class ProtocolError(ValueError):
@@ -90,10 +137,17 @@ def decode(line: bytes) -> Dict[str, Any]:
     return message
 
 
+def is_int(value: Any) -> bool:
+    """True for real ints only — ``bool`` is a subclass of ``int`` in
+    Python, so ``isinstance(True, int)`` holds and would let ``true``
+    masquerade as a file or task id on the wire."""
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
 def int_list(message: Dict[str, Any], field: str) -> list:
     """Validate an optional homogeneous list-of-ints field."""
     value = message.get(field, [])
     if not isinstance(value, list) or any(
-            not isinstance(item, int) for item in value):
+            not is_int(item) for item in value):
         raise ProtocolError(f"{field!r} must be a list of ints")
     return value

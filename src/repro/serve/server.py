@@ -1,12 +1,25 @@
-"""Asyncio TCP front-end for :class:`SchedulerService`.
+"""Asyncio TCP front-end for :class:`SchedulerService` (protocol v2).
 
-One coroutine per connection reads newline-framed JSON messages
-(:mod:`repro.serve.protocol`), calls into the single-threaded service,
-and writes the reply.  Backpressure is per-connection: every write is
-followed by ``await writer.drain()``, so a slow worker throttles only
-its own stream, never the scheduler.  A parked ``REQUEST_TASK`` blocks
-only that connection's read loop — the client is waiting for the reply
-anyway — while other connections keep being served.
+One coroutine per connection reads newline-framed JSON messages,
+decodes them into the typed dataclasses of
+:mod:`repro.serve.messages`, calls into the single-threaded service,
+and writes the typed reply.  Backpressure is per-connection: every
+write is followed by ``await writer.drain()``, so a slow worker
+throttles only its own stream, never the scheduler.  A parked
+``REQUEST_TASK`` blocks only that connection's read loop — the client
+is waiting for the reply anyway — while other connections keep being
+served.
+
+Version negotiation: ``HELLO`` must carry ``protocol == 2``.  A v1
+client (or any other version) gets a clean ``ERROR`` naming the
+supported version and its connection is closed — never a crash or a
+silent hang.
+
+Lease sweeping: :meth:`start` spawns a monotonic-clock sweeper task
+that calls :meth:`SchedulerService.expire_leases` every
+``sweep_interval`` seconds, so a worker that dies *without* closing
+its TCP connection (kill -9, network partition, frozen VM) still has
+its tasks requeued within one lease TTL plus one sweep.
 
 Shutdown: a ``DRAIN`` message (or :meth:`SchedulerServer.drain`) flips
 the service into draining mode; once the last outstanding task
@@ -17,10 +30,10 @@ completes the server closes its listener and all idle connections, and
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Set
+import contextlib
+from typing import Optional, Set, Tuple
 
-from ..grid.job import Task
-from . import protocol
+from . import messages, protocol
 from .service import SchedulerService, ServiceError
 
 
@@ -28,13 +41,21 @@ class SchedulerServer:
     """Serves one :class:`SchedulerService` on a TCP port."""
 
     def __init__(self, service: SchedulerService,
-                 host: str = "127.0.0.1", port: int = 0):
+                 host: str = "127.0.0.1", port: int = 0,
+                 sweep_interval: Optional[float] = None):
         self.service = service
         self.host = host
         self.port = port
+        #: How often the lease sweeper runs; defaults to a quarter of
+        #: the lease TTL (bounded to [10 ms, 1 s]) so expiry lag is a
+        #: small fraction of the TTL without busy-looping.
+        if sweep_interval is None:
+            sweep_interval = min(max(service.lease_ttl / 4.0, 0.01), 1.0)
+        self.sweep_interval = sweep_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.StreamWriter] = set()
         self._handler_tasks: Set[asyncio.Task] = set()
+        self._sweeper: Optional[asyncio.Task] = None
         self._drained = asyncio.Event()
         self._conn_seq = 0
         service.on_drained = self._drained.set
@@ -46,6 +67,13 @@ class SchedulerServer:
             self._handle_connection, self.host, self.port,
             limit=protocol.MAX_MESSAGE_BYTES + 1024)
         self.port = self._server.sockets[0].getsockname()[1]
+        self._sweeper = asyncio.get_running_loop().create_task(
+            self._sweep_leases())
+
+    async def _sweep_leases(self) -> None:
+        while True:
+            await asyncio.sleep(self.sweep_interval)
+            self.service.expire_leases()
 
     async def serve_until_drained(self) -> None:
         """Serve until a DRAIN completes, then close everything."""
@@ -58,6 +86,11 @@ class SchedulerServer:
         self.service.drain()
 
     async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sweeper
+            self._sweeper = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -83,28 +116,29 @@ class SchedulerServer:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    await self._send(writer, {
-                        "type": protocol.ERROR,
-                        "error": "line too long"})
+                    await self._send(writer,
+                                     messages.Error("line too long"))
                     break
                 if not line:
                     break  # EOF
                 if line.strip() == b"":
                     continue
                 try:
-                    message = protocol.decode(line)
+                    message = messages.decode_client(line)
                 except protocol.ProtocolError as exc:
-                    await self._send(writer, {"type": protocol.ERROR,
-                                              "error": str(exc)})
+                    await self._send(writer, messages.Error(str(exc)))
                     continue
                 try:
                     reply, site_id, worker_key = await self._dispatch(
                         message, worker_key, site_id)
                 except (ServiceError, protocol.ProtocolError) as exc:
-                    reply = {"type": protocol.ERROR, "error": str(exc)}
+                    reply = messages.Error(str(exc))
                 await self._send(writer, reply)
-                if reply["type"] == protocol.NO_TASK:
+                if isinstance(reply, messages.NoTask):
                     break  # the worker is done; close our side too
+                if (isinstance(reply, messages.Error)
+                        and isinstance(message, messages.Hello)):
+                    break  # failed negotiation: clean close
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -118,78 +152,100 @@ class SchedulerServer:
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    message: Dict) -> None:
-        writer.write(protocol.encode(message))
+                    message: messages.ServerMessage) -> None:
+        writer.write(message.encode())
         await writer.drain()  # per-connection backpressure
 
-    async def _dispatch(self, message: Dict, worker_key: str,
-                        site_id: Optional[int]):
-        kind = message["type"]
+    async def _dispatch(self, message: messages.ClientMessage,
+                        worker_key: str, site_id: Optional[int],
+                        ) -> Tuple[messages.ServerMessage,
+                                   Optional[int], str]:
         service = self.service
-        if kind == protocol.HELLO:
-            name = message.get("worker")
-            site = message.get("site")
-            if not isinstance(name, str) or not isinstance(site, int):
-                raise protocol.ProtocolError(
-                    "HELLO needs string 'worker' and int 'site'")
-            worker_key = f"{name}/{worker_key}"
-            service.ensure_site(site)
-            return ({"type": protocol.WELCOME, "server": service.name,
-                     "metric": service.engine.metric_name,
-                     "n": service.engine.n}, site, worker_key)
 
-        if kind == protocol.REQUEST_TASK:
+        if isinstance(message, messages.Hello):
+            if message.protocol != protocol.PROTOCOL_VERSION:
+                # v1 (or future) clients get a clean refusal, and the
+                # read loop closes the connection after sending it.
+                return (messages.Error(
+                    f"unsupported protocol version {message.protocol}; "
+                    f"this server speaks "
+                    f"{protocol.PROTOCOL_VERSION}"), site_id, worker_key)
+            worker_key = f"{message.worker}/{worker_key}"
+            service.ensure_site(message.site)
+            return (messages.Welcome(
+                server=service.name,
+                metric=service.engine.metric_name,
+                n=service.engine.n,
+                protocol=protocol.PROTOCOL_VERSION,
+                lease_ttl=service.lease_ttl,
+                heartbeat_interval=service.heartbeat_interval),
+                message.site, worker_key)
+
+        if isinstance(message, messages.RequestTask):
             if site_id is None:
                 raise protocol.ProtocolError("REQUEST_TASK before HELLO")
             future: asyncio.Future = (
                 asyncio.get_running_loop().create_future())
 
-            def deliver(task: Optional[Task]) -> None:
+            def deliver(outcome) -> None:
                 if not future.done():
-                    future.set_result(task)
+                    future.set_result(outcome)
 
-            service.request_task(worker_key, site_id, deliver)
-            task = await future
-            if task is None:
-                reason = ("draining" if service.draining
-                          else "job complete")
-                return ({"type": protocol.NO_TASK, "reason": reason},
+            service.request_task(worker_key, site_id, deliver,
+                                 job_id=message.job_id)
+            outcome = await future
+            if isinstance(outcome, str):  # a NO_TASK reason
+                return (messages.NoTask(reason=outcome),
                         site_id, worker_key)
-            return ({"type": protocol.TASK, "task_id": task.task_id,
-                     "files": sorted(task.files), "flops": task.flops},
+            return (messages.TaskAssign(
+                task_id=outcome.task.task_id,
+                files=sorted(outcome.task.files),
+                flops=outcome.task.flops,
+                lease_id=outcome.lease_id,
+                lease_ttl=outcome.lease_ttl,
+                job_id=outcome.job_id), site_id, worker_key)
+
+        if isinstance(message, messages.TaskDone):
+            result = service.task_done(worker_key, message.task_id,
+                                       message.lease_id)
+            return (messages.Ack(accepted=result.accepted,
+                                 reason=result.reason),
                     site_id, worker_key)
 
-        if kind == protocol.TASK_DONE:
-            duplicate = service.task_done(worker_key,
-                                          message.get("task_id"))
-            return ({"type": protocol.ACK, "duplicate": duplicate},
+        if isinstance(message, messages.Heartbeat):
+            renewed, gone = service.heartbeat(worker_key,
+                                              message.lease_ids)
+            return (messages.HeartbeatAck(renewed=renewed, expired=gone),
                     site_id, worker_key)
 
-        if kind == protocol.FILE_DELTA:
-            site = message.get("site", site_id)
-            if not isinstance(site, int):
+        if isinstance(message, messages.FileDelta):
+            site = message.site if message.site is not None else site_id
+            if site is None:
                 raise protocol.ProtocolError(
                     "FILE_DELTA needs an int 'site' (or a prior HELLO)")
-            service.file_delta(
-                site,
-                added=protocol.int_list(message, "added"),
-                removed=protocol.int_list(message, "removed"),
-                referenced=protocol.int_list(message, "referenced"))
-            return ({"type": protocol.ACK}, site_id, worker_key)
+            service.file_delta(site, added=message.added,
+                               removed=message.removed,
+                               referenced=message.referenced)
+            return (messages.Ack(), site_id, worker_key)
 
-        if kind == protocol.JOB_SUBMIT:
-            accepted = service.submit_job(message.get("tasks"))
-            return ({"type": protocol.JOB_ACCEPTED, **accepted},
+        if isinstance(message, messages.JobSubmit):
+            accepted = service.submit_job(message.tasks,
+                                          job_id=message.job_id)
+            return (messages.JobAccepted(**accepted),
                     site_id, worker_key)
 
-        if kind == protocol.STATS:
-            return ({"type": protocol.STATS,
-                     "stats": service.stats_snapshot()},
+        if isinstance(message, messages.JobStatusRequest):
+            return (messages.JobStatusReply(
+                **service.job_status(message.job_id)),
+                site_id, worker_key)
+
+        if isinstance(message, messages.StatsRequest):
+            return (messages.StatsReply(stats=service.stats_snapshot()),
                     site_id, worker_key)
 
-        if kind == protocol.DRAIN:
+        if isinstance(message, messages.Drain):
             service.drain()
-            return ({"type": protocol.ACK, "draining": True},
-                    site_id, worker_key)
+            return (messages.Ack(draining=True), site_id, worker_key)
 
-        raise protocol.ProtocolError(f"unknown message type {kind!r}")
+        raise protocol.ProtocolError(
+            f"unhandled message type {message.TYPE!r}")

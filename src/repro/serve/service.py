@@ -6,22 +6,32 @@ testable without sockets:
 
 * **pull dispatch** — ``request_task`` scores the pending set for the
   requesting worker's site via the engine and hands out the winner;
+* **lease-based assignment** — every assignment is guarded by a lease
+  (monotonic-clock expiry, renewed by ``heartbeat``).  The
+  :meth:`expire_leases` sweeper requeues tasks whose worker went
+  silent, and :meth:`task_done` must present the still-valid lease, so
+  a zombie worker returning after expiry cannot double-complete a
+  task another worker already finished;
+* **multi-job tenancy** — every task belongs to the job that submitted
+  it; completion is tracked per job, pulls can scope to one job, and
+  the "no task" answer distinguishes *your job is done*
+  (``job-done``) from *the whole server is idle* (``idle``) and
+  *shutting down* (``draining``);
 * **idle parking** — when nothing is pending but tasks are still
   outstanding (or no job has arrived yet) the request is parked and
   answered later, FIFO, when work appears;
-* **duplicate-completion tolerance** — ``task_done`` of an
-  already-completed task is acknowledged and counted, matching
-  :meth:`BaseScheduler.notify_complete`'s contract;
 * **requeue on disconnect** — a worker that vanishes with assigned
-  tasks returns them to the pending set (first-order failure handling;
-  heartbeats are a ROADMAP item);
+  tasks returns them to the pending set immediately (faster than
+  waiting for the lease to lapse);
 * **graceful drain** — stop handing out tasks, answer parked requests
-  with "no task", and report idle once the last outstanding completion
-  lands.
+  with ``draining``, and report idle once the last outstanding
+  completion lands (or lease expires).
 
 Everything is single-threaded: callers (the asyncio event loop, or a
 test) serialize calls.  Replies to parked requests are delivered
-through the ``deliver`` callback handed to ``request_task``.
+through the ``deliver`` callback handed to ``request_task``: it
+receives either an :class:`Assignment` or a ``NO_TASK`` reason string
+from :data:`repro.serve.protocol.NO_TASK_REASONS`.
 """
 
 from __future__ import annotations
@@ -29,17 +39,92 @@ from __future__ import annotations
 import random
 import time
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import (Callable, Deque, Dict, List, Optional, Set, Tuple,
+                    Union)
 
 from ..core.policy_engine import PolicyEngine
 from ..grid.job import Task
+from . import protocol
 from .stats import ServeStats
 
-Deliver = Callable[[Optional[Task]], None]
+#: Default lease time-to-live in seconds.  Workers are told to
+#: heartbeat every ``ttl / HEARTBEATS_PER_TTL`` so a healthy worker
+#: gets multiple renewal chances before its lease can lapse.
+DEFAULT_LEASE_TTL = 30.0
+HEARTBEATS_PER_TTL = 3.0
 
 
 class ServiceError(RuntimeError):
     """A request the service rejects (reported as a protocol ERROR)."""
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """A granted task: what ``TASK`` puts on the wire."""
+    task: Task
+    lease_id: int
+    job_id: int
+    lease_ttl: float
+
+
+@dataclass(frozen=True)
+class CompletionResult:
+    """Outcome of a ``task_done``; rejections carry the reason."""
+    accepted: bool
+    reason: Optional[str] = None
+
+
+#: ``deliver`` receives an Assignment, or a NO_TASK reason string.
+Deliver = Callable[[Union[Assignment, str]], None]
+
+
+class _Lease:
+    """One outstanding assignment's liveness contract."""
+
+    __slots__ = ("lease_id", "task_id", "worker", "site_id",
+                 "expires_at")
+
+    def __init__(self, lease_id: int, task_id: int, worker: str,
+                 site_id: int, expires_at: float):
+        self.lease_id = lease_id
+        self.task_id = task_id
+        self.worker = worker
+        self.site_id = site_id
+        self.expires_at = expires_at
+
+
+class _JobState:
+    """Per-job bookkeeping: which tasks are pending/assigned/done."""
+
+    __slots__ = ("job_id", "task_ids", "pending", "completed")
+
+    def __init__(self, job_id: int):
+        self.job_id = job_id
+        self.task_ids: Set[int] = set()
+        self.pending: Set[int] = set()
+        self.completed: Set[int] = set()
+
+    @property
+    def outstanding(self) -> int:
+        return (len(self.task_ids) - len(self.pending)
+                - len(self.completed))
+
+    @property
+    def done(self) -> bool:
+        return bool(self.task_ids) and (
+            len(self.completed) == len(self.task_ids))
+
+
+class _ParkedRequest:
+    __slots__ = ("worker", "site_id", "job_id", "deliver")
+
+    def __init__(self, worker: str, site_id: int,
+                 job_id: Optional[int], deliver: Deliver):
+        self.worker = worker
+        self.site_id = site_id
+        self.job_id = job_id
+        self.deliver = deliver
 
 
 class _TaskTable:
@@ -66,19 +151,27 @@ class SchedulerService:
 
     def __init__(self, metric: str = "rest", n: int = 1, seed: int = 0,
                  name: str = "repro-serve",
-                 clock: Callable[[], float] = time.perf_counter):
+                 lease_ttl: float = DEFAULT_LEASE_TTL,
+                 clock: Callable[[], float] = time.monotonic):
+        if lease_ttl <= 0:
+            raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.name = name
+        self.lease_ttl = float(lease_ttl)
         self._clock = clock
         self._table = _TaskTable()
         self.engine = PolicyEngine(self._table, metric=metric, n=n,
                                    rng=random.Random(seed))
         self.stats = ServeStats()
         self._completed: Set[int] = set()
-        self._assigned: Dict[int, str] = {}        # task_id -> worker key
-        self._by_worker: Dict[str, Set[int]] = {}  # worker key -> task_ids
-        self._parked: Deque[Tuple[str, int, Deliver]] = deque()
+        self._assigned: Dict[int, _Lease] = {}     # task_id -> lease
+        self._leases: Dict[int, _Lease] = {}       # lease_id -> lease
+        self._by_worker: Dict[str, Set[int]] = {}  # worker -> task_ids
+        self._jobs: Dict[int, _JobState] = {}
+        self._task_job: Dict[int, int] = {}        # task_id -> job_id
+        self._parked: Deque[_ParkedRequest] = deque()
         self._next_task_id = 0
         self._next_job_id = 0
+        self._next_lease_id = 1
         self._draining = False
         #: Called (once) when a drain completes: draining and no
         #: outstanding work.  The server uses it to shut down.
@@ -94,6 +187,10 @@ class SchedulerService:
         return len(self._assigned)
 
     @property
+    def active_leases(self) -> int:
+        return len(self._leases)
+
+    @property
     def parked_workers(self) -> int:
         return len(self._parked)
 
@@ -105,110 +202,240 @@ class SchedulerService:
     def is_idle(self) -> bool:
         return self.queue_depth == 0 and self.outstanding == 0
 
+    @property
+    def heartbeat_interval(self) -> float:
+        """The renewal cadence advertised in ``WELCOME``."""
+        return self.lease_ttl / HEARTBEATS_PER_TTL
+
     def ensure_site(self, site_id: int) -> None:
         if site_id not in self.engine.site_ids:
             self.engine.attach_site(site_id)
 
     # -- job intake ------------------------------------------------------
-    def submit_job(self, tasks_payload: List[dict]) -> Dict:
-        """Append a batch of tasks; returns their global ids.
+    def submit_job(self, tasks_payload: List[dict],
+                   job_id: Optional[int] = None) -> Dict:
+        """Append a batch of tasks; returns the job id and task ids.
 
         ``tasks_payload`` items need ``files`` (non-empty int list) and
         optional ``flops``.  Task ids are assigned by the service so
-        independent submitters can never collide.
+        independent submitters can never collide.  ``job_id`` of None
+        opens a new job; otherwise the batch extends an existing job
+        (how large submissions are chunked across messages).
         """
         if self._draining:
             raise ServiceError("server is draining; job rejected")
         if not isinstance(tasks_payload, list) or not tasks_payload:
             raise ServiceError("JOB_SUBMIT needs a non-empty task list")
+        if job_id is not None and job_id not in self._jobs:
+            raise ServiceError(f"unknown job id {job_id!r}")
         tasks: List[Task] = []
         for spec in tasks_payload:
             if not isinstance(spec, dict):
                 raise ServiceError("each task must be an object")
             files = spec.get("files")
             if (not isinstance(files, list) or not files
-                    or any(not isinstance(fid, int) for fid in files)):
+                    or any(not protocol.is_int(fid) for fid in files)):
                 raise ServiceError(
                     "each task needs a non-empty int 'files' list")
             flops = spec.get("flops", 0.0)
-            if not isinstance(flops, (int, float)) or flops < 0:
+            if (isinstance(flops, bool)
+                    or not isinstance(flops, (int, float)) or flops < 0):
                 raise ServiceError("'flops' must be a number >= 0")
             tasks.append(Task(task_id=self._next_task_id,
                               files=frozenset(files), flops=float(flops)))
             self._next_task_id += 1
-        job_id = self._next_job_id
-        self._next_job_id += 1
+        if job_id is None:
+            job_id = self._next_job_id
+            self._next_job_id += 1
+            self._jobs[job_id] = _JobState(job_id)
+            self.stats.jobs_submitted += 1
+        job = self._jobs[job_id]
         for task in tasks:
             self._table.add(task)
             self.engine.add_task(task)
-        self.stats.jobs_submitted += 1
+            job.task_ids.add(task.task_id)
+            job.pending.add(task.task_id)
+            self._task_job[task.task_id] = job_id
         self.stats.tasks_submitted += len(tasks)
         self.stats.record_queue_depth(self.queue_depth)
-        self._dispatch_parked()
+        self._service_parked()
         return {"job_id": job_id,
                 "task_ids": [task.task_id for task in tasks]}
 
+    def job_status(self, job_id: int) -> Dict:
+        """The ``JOB_STATUS`` snapshot for one job."""
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return {"job_id": job_id,
+                "tasks": len(job.task_ids),
+                "completed": len(job.completed),
+                "pending": len(job.pending),
+                "outstanding": job.outstanding,
+                "done": job.done}
+
     # -- the pull loop ---------------------------------------------------
-    def request_task(self, worker: str, site_id: int,
-                     deliver: Deliver) -> None:
+    def request_task(self, worker: str, site_id: int, deliver: Deliver,
+                     job_id: Optional[int] = None) -> None:
         """Answer a worker's pull, now or later, via ``deliver``.
 
-        ``deliver(task)`` hands out an assignment; ``deliver(None)``
-        means "no task will ever come — disconnect" (drain, or the
-        submitted work is fully complete).
+        ``deliver(assignment)`` hands out a leased task;
+        ``deliver(reason)`` with a ``NO_TASK`` reason string means "no
+        task will ever come — disconnect".  ``job_id`` scopes the pull
+        to one job's tasks (and its completion answers ``job-done``).
         """
         self.ensure_site(site_id)
-        if self.engine.has_pending and not self._draining:
-            deliver(self._assign(worker, site_id))
-        elif self._draining or (self._next_task_id > 0 and self.is_idle):
-            deliver(None)
-        else:
-            # Nothing pending but work outstanding (may be requeued), or
-            # no job submitted yet: park until the situation changes.
-            self._parked.append((worker, site_id, deliver))
+        if job_id is not None and job_id not in self._jobs:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        entry = _ParkedRequest(worker, site_id, job_id, deliver)
+        if not self._try_answer(entry):
+            # Park until the situation changes (work arrives, a lease
+            # expires, the job/server finishes, or a drain starts).
+            self._parked.append(entry)
 
-    def _assign(self, worker: str, site_id: int) -> Task:
+    def _try_answer(self, entry: _ParkedRequest) -> bool:
+        """Answer a pull if its outcome is decided; False to park."""
+        if entry.job_id is not None:
+            job = self._jobs[entry.job_id]
+            if job.done:
+                entry.deliver(protocol.REASON_JOB_DONE)
+            elif self._draining:
+                entry.deliver(protocol.REASON_DRAINING)
+            elif job.pending:
+                entry.deliver(self._assign(entry.worker, entry.site_id,
+                                           job))
+            else:
+                return False  # all of the job's tasks are outstanding
+            return True
+        if self._draining:
+            entry.deliver(protocol.REASON_DRAINING)
+        elif self.engine.has_pending:
+            entry.deliver(self._assign(entry.worker, entry.site_id,
+                                       None))
+        elif self._next_task_id > 0 and self.is_idle:
+            entry.deliver(protocol.REASON_IDLE)
+        else:
+            return False  # no job yet, or work outstanding: park
+        return True
+
+    def _assign(self, worker: str, site_id: int,
+                job: Optional[_JobState]) -> Assignment:
         start = self._clock()
-        task = self.engine.choose(site_id)
+        eligible = job.pending if job is not None else None
+        task = self.engine.choose(site_id, eligible=eligible)
         latency = self._clock() - start
         overlap = self.engine.overlap(site_id, task.task_id)
         self.engine.remove_task(task)
-        self._assigned[task.task_id] = worker
+        owner_id = self._task_job[task.task_id]
+        self._jobs[owner_id].pending.discard(task.task_id)
+        lease = _Lease(self._next_lease_id, task.task_id, worker,
+                       site_id, self._clock() + self.lease_ttl)
+        self._next_lease_id += 1
+        self._assigned[task.task_id] = lease
+        self._leases[lease.lease_id] = lease
         self._by_worker.setdefault(worker, set()).add(task.task_id)
         self.stats.record_assignment(site_id, latency, overlap > 0)
-        return task
+        self.stats.leases_granted += 1
+        return Assignment(task=task, lease_id=lease.lease_id,
+                          job_id=owner_id, lease_ttl=self.lease_ttl)
 
-    def _dispatch_parked(self) -> None:
-        while (self._parked and self.engine.has_pending
-               and not self._draining):
-            worker, site_id, deliver = self._parked.popleft()
-            deliver(self._assign(worker, site_id))
-        if self._draining or (self._next_task_id > 0 and self.is_idle):
-            self._release_parked()
-
-    def _release_parked(self) -> None:
-        parked, self._parked = self._parked, deque()
-        for _worker, _site_id, deliver in parked:
-            deliver(None)
+    def _service_parked(self) -> None:
+        """Re-answer every parked pull whose outcome is now decided."""
+        if not self._parked:
+            return
+        remaining: Deque[_ParkedRequest] = deque()
+        while self._parked:
+            entry = self._parked.popleft()
+            if not self._try_answer(entry):
+                remaining.append(entry)
+        self._parked = remaining
 
     # -- completions -----------------------------------------------------
-    def task_done(self, worker: str, task_id: int) -> bool:
-        """Record a completion; True if it was a duplicate."""
-        if not isinstance(task_id, int) or not (
+    def task_done(self, worker: str, task_id: int,
+                  lease_id: int) -> CompletionResult:
+        """Record a completion if ``lease_id`` still guards the task.
+
+        A stale lease (expired, superseded by a reassignment, or for a
+        task already completed) is rejected without touching the
+        completion counters — the zombie-worker double-complete guard.
+        """
+        if not protocol.is_int(task_id) or not (
                 0 <= task_id < self._next_task_id):
             raise ServiceError(f"unknown task id {task_id!r}")
-        owner = self._assigned.pop(task_id, None)
-        if owner is not None:
-            self._by_worker.get(owner, set()).discard(task_id)
-        if task_id in self._completed:
-            self.stats.duplicate_completions += 1
-            return True
+        lease = self._assigned.get(task_id)
+        if lease is None or lease.lease_id != lease_id:
+            if task_id in self._completed:
+                self.stats.duplicate_completions += 1
+                return CompletionResult(False, "already-complete")
+            self.stats.stale_completions += 1
+            return CompletionResult(False, "stale-lease")
+        self._release_lease(lease)
         self._completed.add(task_id)
+        job = self._jobs[self._task_job[task_id]]
+        job.completed.add(task_id)
         self.stats.completions += 1
-        if self.is_idle:
-            self._release_parked()
+        if job.done:
+            self.stats.jobs_completed += 1
+        self._service_parked()
         self._maybe_drained()
-        return False
+        return CompletionResult(True)
+
+    def _release_lease(self, lease: _Lease) -> None:
+        self._assigned.pop(lease.task_id, None)
+        self._leases.pop(lease.lease_id, None)
+        self._by_worker.get(lease.worker, set()).discard(lease.task_id)
+
+    # -- leases ----------------------------------------------------------
+    def heartbeat(self, worker: str,
+                  lease_ids: Optional[List[int]] = None,
+                  ) -> Tuple[List[int], List[int]]:
+        """Renew leases; returns ``(renewed, gone)`` lease-id lists.
+
+        ``lease_ids`` of None renews every lease the worker holds.  A
+        lease that expired (and was requeued) before the heartbeat
+        arrived lands in ``gone`` — the worker should abandon that
+        task.
+        """
+        now = self._clock()
+        if lease_ids is None:
+            held = self._by_worker.get(worker, set())
+            lease_ids = sorted(self._assigned[task_id].lease_id
+                               for task_id in held)
+        renewed: List[int] = []
+        gone: List[int] = []
+        for lease_id in lease_ids:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                gone.append(lease_id)
+            else:
+                lease.expires_at = now + self.lease_ttl
+                renewed.append(lease_id)
+        self.stats.lease_renewals += len(renewed)
+        return renewed, gone
+
+    def expire_leases(self, now: Optional[float] = None) -> int:
+        """Requeue tasks whose lease lapsed; returns how many expired.
+
+        The server calls this from a periodic sweeper; tests drive it
+        directly with a fake clock.
+        """
+        now = self._clock() if now is None else now
+        lapsed = [lease for lease in self._assigned.values()
+                  if lease.expires_at <= now]
+        for lease in lapsed:
+            self._release_lease(lease)
+            self._requeue(lease.task_id)
+            self.stats.lease_expiries += 1
+        if lapsed:
+            self.stats.requeues += len(lapsed)
+            self.stats.record_queue_depth(self.queue_depth)
+            self._service_parked()
+            self._maybe_drained()
+        return len(lapsed)
+
+    def _requeue(self, task_id: int) -> None:
+        self.engine.add_task(self._table[task_id])
+        self._jobs[self._task_job[task_id]].pending.add(task_id)
 
     # -- file-state deltas ----------------------------------------------
     def file_delta(self, site_id: int, added: List[int],
@@ -231,27 +458,34 @@ class SchedulerService:
 
     # -- lifecycle -------------------------------------------------------
     def disconnect(self, worker: str) -> int:
-        """A worker's connection closed; requeue its assigned tasks."""
+        """A worker's connection closed; requeue its assigned tasks.
+
+        Disconnect detection is instant requeue; the lease sweeper
+        covers the harder case of a worker that stays connected (or
+        whose TCP death goes unnoticed) but stops making progress.
+        """
         self._parked = deque(entry for entry in self._parked
-                             if entry[0] != worker)
+                             if entry.worker != worker)
         lost = self._by_worker.pop(worker, set())
         requeued = 0
         for task_id in sorted(lost):
-            self._assigned.pop(task_id, None)
+            lease = self._assigned.pop(task_id, None)
+            if lease is not None:
+                self._leases.pop(lease.lease_id, None)
             if task_id not in self._completed:
-                self.engine.add_task(self._table[task_id])
+                self._requeue(task_id)
                 requeued += 1
         if requeued:
             self.stats.requeues += requeued
             self.stats.record_queue_depth(self.queue_depth)
-            self._dispatch_parked()
+            self._service_parked()
         self._maybe_drained()
         return requeued
 
     def drain(self) -> None:
         """Stop handing out tasks; finish outstanding work, then idle."""
         self._draining = True
-        self._release_parked()
+        self._service_parked()
         self._maybe_drained()
 
     def _maybe_drained(self) -> None:
@@ -266,4 +500,7 @@ class SchedulerService:
             queue_depth=self.queue_depth,
             outstanding=self.outstanding,
             parked_workers=self.parked_workers,
-            draining=self._draining)
+            draining=self._draining,
+            active_leases=self.active_leases,
+            jobs_active=sum(1 for job in self._jobs.values()
+                            if not job.done))

@@ -87,10 +87,15 @@ class ServeStats:
         self.decision_latency = LatencyHistogram()
         self.tasks_submitted = 0
         self.jobs_submitted = 0
+        self.jobs_completed = 0
         self.assignments = 0
         self.completions = 0
         self.duplicate_completions = 0
+        self.stale_completions = 0
         self.requeues = 0
+        self.leases_granted = 0
+        self.lease_renewals = 0
+        self.lease_expiries = 0
         self.peak_queue_depth = 0
         self.files_added = 0
         self.files_removed = 0
@@ -124,7 +129,9 @@ class ServeStats:
 
     def snapshot(self, queue_depth: int = 0, outstanding: int = 0,
                  parked_workers: int = 0,
-                 draining: Optional[bool] = None) -> Dict:
+                 draining: Optional[bool] = None,
+                 active_leases: int = 0,
+                 jobs_active: int = 0) -> Dict:
         uptime = max(self.uptime, 1e-9)
         sites = {
             str(site_id): {
@@ -139,12 +146,21 @@ class ServeStats:
         snap = {
             "uptime_s": uptime,
             "jobs_submitted": self.jobs_submitted,
+            "jobs_completed": self.jobs_completed,
+            "jobs_active": jobs_active,
             "tasks_submitted": self.tasks_submitted,
             "assignments": self.assignments,
             "assignments_per_sec": self.assignments / uptime,
             "completions": self.completions,
             "duplicate_completions": self.duplicate_completions,
+            "stale_completions": self.stale_completions,
             "requeues": self.requeues,
+            "leases": {
+                "active": active_leases,
+                "granted": self.leases_granted,
+                "renewals": self.lease_renewals,
+                "expiries": self.lease_expiries,
+            },
             "queue_depth": queue_depth,
             "peak_queue_depth": self.peak_queue_depth,
             "outstanding": outstanding,
@@ -173,7 +189,12 @@ def format_stats(snapshot: Dict) -> str:
         f"({snapshot['assignments_per_sec']:.1f}/s)",
         f"completions       : {snapshot['completions']} "
         f"(+{snapshot['duplicate_completions']} duplicate, "
+        f"{snapshot['stale_completions']} stale, "
         f"{snapshot['requeues']} requeued)",
+        f"leases            : {snapshot['leases']['active']} active, "
+        f"{snapshot['leases']['granted']} granted, "
+        f"{snapshot['leases']['renewals']} renewed, "
+        f"{snapshot['leases']['expiries']} expired",
         f"queue depth       : {snapshot['queue_depth']} now, "
         f"{snapshot['peak_queue_depth']} peak, "
         f"{snapshot['outstanding']} outstanding, "

@@ -1,0 +1,138 @@
+"""Typed message layer: round-trip, tolerance, validation, direction."""
+
+import dataclasses
+
+import pytest
+
+from repro.serve import messages, protocol
+from repro.serve.protocol import ProtocolError
+
+
+CLIENT_SAMPLES = [
+    messages.Hello(worker="w0", site=3,
+                   protocol=protocol.PROTOCOL_VERSION),
+    messages.RequestTask(),
+    messages.RequestTask(job_id=4),
+    messages.TaskDone(task_id=7, lease_id=12),
+    messages.Heartbeat(),
+    messages.Heartbeat(lease_ids=[1, 2, 3]),
+    messages.FileDelta(added=[1, 2], removed=[3], referenced=[1],
+                       site=0),
+    messages.JobSubmit(tasks=[{"files": [1], "flops": 0.0}]),
+    messages.JobSubmit(tasks=[{"files": [2]}], job_id=9),
+    messages.JobStatusRequest(job_id=0),
+    messages.StatsRequest(),
+    messages.Drain(),
+]
+
+SERVER_SAMPLES = [
+    messages.Welcome(server="s", metric="rest", n=2, protocol=2,
+                     lease_ttl=30.0, heartbeat_interval=10.0),
+    messages.TaskAssign(task_id=5, files=[1, 9], flops=2.5,
+                        lease_id=77, lease_ttl=30.0, job_id=1),
+    messages.NoTask(reason=protocol.REASON_JOB_DONE),
+    messages.Ack(),
+    messages.Ack(accepted=False, reason="stale-lease"),
+    messages.HeartbeatAck(renewed=[77], expired=[3]),
+    messages.JobAccepted(job_id=0, task_ids=[0, 1, 2]),
+    messages.JobStatusReply(job_id=0, tasks=3, completed=1, pending=1,
+                            outstanding=1, done=False),
+    messages.StatsReply(stats={"completions": 4}),
+    messages.Error(error="nope"),
+]
+
+
+@pytest.mark.parametrize("message", CLIENT_SAMPLES,
+                         ids=lambda m: type(m).__name__)
+def test_client_messages_roundtrip(message):
+    assert messages.decode_client(message.encode()) == message
+
+
+@pytest.mark.parametrize("message", SERVER_SAMPLES,
+                         ids=lambda m: type(m).__name__)
+def test_server_messages_roundtrip(message):
+    assert messages.decode_server(message.encode()) == message
+
+
+def test_every_wire_type_is_covered():
+    """The typed registries span the full protocol constant set."""
+    assert set(messages.ClientMessage.REGISTRY) == protocol.CLIENT_TYPES
+    assert set(messages.ServerMessage.REGISTRY) == {
+        protocol.WELCOME, protocol.TASK, protocol.NO_TASK,
+        protocol.ACK, protocol.HEARTBEAT_ACK, protocol.JOB_ACCEPTED,
+        protocol.JOB_STATUS, protocol.STATS, protocol.ERROR}
+
+
+def test_unknown_fields_are_tolerated():
+    """Forward compat: fields a newer peer added are ignored."""
+    line = protocol.encode({"type": protocol.TASK_DONE, "task_id": 1,
+                            "lease_id": 2, "shiny_new_field": "yes"})
+    message = messages.decode_client(line)
+    assert message == messages.TaskDone(task_id=1, lease_id=2)
+
+
+def test_missing_required_field_raises():
+    line = protocol.encode({"type": protocol.TASK_DONE, "task_id": 1})
+    with pytest.raises(ProtocolError, match="lease_id"):
+        messages.decode_client(line)
+
+
+def test_unknown_type_raises_per_direction():
+    with pytest.raises(ProtocolError):
+        messages.decode_client(protocol.encode({"type": "FROBNICATE"}))
+    # A server-only type is unknown on the server's receiving side.
+    with pytest.raises(ProtocolError):
+        messages.decode_client(protocol.encode(
+            {"type": protocol.WELCOME, "server": "s", "metric": "rest",
+             "n": 1}))
+
+
+def test_stats_type_decodes_by_direction():
+    """STATS is request and reply; direction picks the class."""
+    line = protocol.encode({"type": protocol.STATS})
+    assert isinstance(messages.decode_client(line),
+                      messages.StatsRequest)
+    line = protocol.encode({"type": protocol.STATS, "stats": {}})
+    assert isinstance(messages.decode_server(line),
+                      messages.StatsReply)
+
+
+def test_no_task_reason_is_a_closed_enum():
+    for reason in protocol.NO_TASK_REASONS:
+        messages.NoTask(reason=reason).validate()
+    with pytest.raises(ProtocolError):
+        messages.decode_server(protocol.encode(
+            {"type": protocol.NO_TASK, "reason": "because"}))
+
+
+@pytest.mark.parametrize("payload", [
+    {"type": protocol.HELLO, "worker": 7, "site": 0},
+    {"type": protocol.HELLO, "worker": "w", "site": "x"},
+    {"type": protocol.HELLO, "worker": "w", "site": True},
+    {"type": protocol.TASK_DONE, "task_id": -1, "lease_id": 0},
+    {"type": protocol.TASK_DONE, "task_id": True, "lease_id": 0},
+    {"type": protocol.HEARTBEAT, "lease_ids": [1, True]},
+    {"type": protocol.FILE_DELTA, "added": [1, "x"]},
+    {"type": protocol.FILE_DELTA, "added": [True]},
+    {"type": protocol.REQUEST_TASK, "job_id": "0"},
+    {"type": protocol.JOB_SUBMIT, "tasks": "not-a-list"},
+])
+def test_client_field_validation(payload):
+    with pytest.raises(ProtocolError):
+        messages.decode_client(protocol.encode(payload))
+
+
+def test_all_message_dataclasses_are_frozen():
+    for cls in list(messages.ClientMessage.REGISTRY.values()) \
+            + list(messages.ServerMessage.REGISTRY.values()):
+        assert dataclasses.is_dataclass(cls)
+        params = getattr(cls, "__dataclass_params__")
+        assert params.frozen, f"{cls.__name__} must be frozen"
+
+
+def test_none_valued_optionals_stay_off_the_wire():
+    """v1-shaped compactness: absent is the encoding of None."""
+    payload = messages.RequestTask().to_dict()
+    assert payload == {"type": protocol.REQUEST_TASK}
+    payload = messages.Ack().to_dict()
+    assert "reason" not in payload and "draining" not in payload

@@ -58,6 +58,16 @@ def test_int_list_validation():
         protocol.int_list({"added": 3}, "added")
 
 
+def test_int_list_rejects_booleans():
+    """Regression: ``isinstance(True, int)`` is true in Python, so a
+    JSON ``true`` used to slip through as a file id."""
+    with pytest.raises(protocol.ProtocolError):
+        protocol.int_list({"added": [True]}, "added")
+    with pytest.raises(protocol.ProtocolError):
+        protocol.int_list({"added": [1, False, 2]}, "added")
+    assert protocol.is_int(3) and not protocol.is_int(True)
+
+
 # -- latency histogram -------------------------------------------------------
 
 def test_histogram_empty():
