@@ -4,7 +4,10 @@ Not a paper artifact — capacity planning for the harness itself (how
 big a campaign fits in a coffee break).
 """
 
+import random
+
 from repro.net import FlowNetwork, Topology
+from repro.obs.metrics import LatencyHistogram, reference_bucket_index
 from repro.sim import Environment, Store
 
 
@@ -96,3 +99,28 @@ def test_concurrent_flow_recompute(benchmark):
         return net.completed_transfers
 
     assert benchmark(run_star) == 50
+
+
+def test_histogram_record_throughput(benchmark):
+    """O(1) bit_length bucket lookup on the hot stats path.
+
+    Before timing, every sample is cross-checked against the old
+    linear doubling loop (kept as ``reference_bucket_index``) so the
+    fast path can never drift from the bucket edges it claims.
+    """
+    rng = random.Random(7)
+    samples = [rng.random() ** 6 for _ in range(20000)]
+    samples += [0.0, 5e-7, 1e-6, 2e-6, 4e-6 + 1e-18, 1e3, 1e9]
+
+    oracle = LatencyHistogram()
+    for value in samples:
+        assert (oracle.bucket_index(value)
+                == reference_bucket_index(oracle, value)), value
+
+    def run_records():
+        histogram = LatencyHistogram()
+        for value in samples:
+            histogram.record(value)
+        return histogram.count
+
+    assert benchmark(run_records) == len(samples)

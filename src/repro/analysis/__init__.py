@@ -1,6 +1,8 @@
 """Analysis: trace bus, metric extraction, comparison, ASCII charts."""
 
 from .bounds import MakespanBounds, compute_bounds, efficiency
+from .eventlog import (Attempt, TaskTimeline, load_timelines,
+                       task_timelines)
 from .export import export_trace, import_trace, iter_trace
 from .compare import (RankedAlgorithm, SampleSummary, format_ranking,
                       rank_algorithms, significantly_less, summarize,
@@ -14,7 +16,11 @@ from .trace import (BatchServed, FileEvicted, FileTransferred, TaskAssigned,
                     TraceRecord)
 
 __all__ = [
+    "Attempt",
     "BatchServed",
+    "TaskTimeline",
+    "load_timelines",
+    "task_timelines",
     "MakespanBounds",
     "compute_bounds",
     "efficiency",

@@ -9,8 +9,11 @@ Commands
               optionally saving it to JSON.
 ``figures``   regenerate one of the paper's figures/tables by name.
 ``reproduce`` regenerate every table and figure into one report.
-``serve``     run the live scheduler daemon (JSON-lines over TCP).
+``serve``     run the live scheduler daemon (JSON-lines over TCP),
+              optionally with an HTTP metrics endpoint, a JSONL
+              event log, and periodic snapshot logging.
 ``load``      replay a generated workload against a running daemon.
+``top``       live terminal view of a daemon's /stats.json.
 
 Examples
 --------
@@ -21,13 +24,16 @@ Examples
     python -m repro sweep --field capacity_files --values 300 600 1500
     python -m repro workload --tasks 6000 --out coadd.json
     python -m repro figures --name fig4 --scale small
-    python -m repro serve --port 7077 --metric combined --n 2
+    python -m repro serve --port 7077 --metric combined --n 2 \
+        --metrics-port 9090 --event-log events.jsonl
     python -m repro load --port 7077 --tasks 500 --sites 4 --workers 2
+    python -m repro top --port 9090 --once
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional, Sequence
 
@@ -41,6 +47,26 @@ from .exp.runner import build_job, run_averaged, run_experiment
 from .exp.sweep import run_sweep
 from .workload.stats import characterize, reference_cdf_series
 from .workload.traces import save_job
+
+
+def _add_verbosity_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v INFO is default for "
+                             "serve; -vv DEBUG)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (-q WARNING, -qq ERROR)")
+
+
+def _configure_logging(args: argparse.Namespace,
+                       default_level: int = logging.INFO) -> None:
+    """Map -v/-q counts onto a level for the ``repro`` logger tree."""
+    steps = args.quiet - args.verbose
+    level = min(max(default_level + 10 * steps, logging.DEBUG),
+                logging.ERROR)
+    logging.basicConfig(
+        level=level, stream=sys.stderr,
+        format="%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    logging.getLogger("repro").setLevel(level)
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -196,23 +222,61 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from .obs.events import EventLog
+    from .obs.http import ObsHttpServer
+    from .obs.trace import DecisionTracer
     from .serve.server import SchedulerServer
     from .serve.service import SchedulerService
     from .serve.stats import format_stats
 
+    _configure_logging(args)
+
     async def main() -> None:
+        events = EventLog(path=args.event_log) if args.event_log \
+            else None
+        tracer = DecisionTracer()
         service = SchedulerService(metric=args.metric, n=args.n,
                                    seed=args.seed,
-                                   lease_ttl=args.lease_ttl)
-        server = SchedulerServer(service, host=args.host, port=args.port)
+                                   lease_ttl=args.lease_ttl,
+                                   events=events, tracer=tracer)
+        server = SchedulerServer(service, host=args.host,
+                                 port=args.port,
+                                 stats_interval=args.stats_interval)
         await server.start()
+        obs_server = None
+        if args.metrics_port is not None:
+
+            def stats_json():
+                snapshot = service.stats_snapshot()
+                snapshot["jobs"] = service.jobs_overview()
+                return snapshot
+
+            obs_server = ObsHttpServer(
+                registry=service.stats.registry, host=args.host,
+                port=args.metrics_port,
+                json_routes={
+                    "/stats.json": stats_json,
+                    "/trace.json": lambda: {"spans": tracer.spans()},
+                },
+                health=lambda: {
+                    "status": "draining" if service.draining else "ok",
+                    "queue_depth": service.queue_depth,
+                    "outstanding": service.outstanding})
+            await obs_server.start()
         print(f"repro-serve listening on {server.host}:{server.port} "
               f"(protocol v2, metric={args.metric}, n={args.n}, "
               f"lease_ttl={args.lease_ttl:g}s)", file=sys.stderr)
+        if obs_server is not None:
+            print(f"metrics endpoint on {obs_server.url}/metrics",
+                  file=sys.stderr)
         try:
             await server.serve_until_drained()
         finally:
+            if obs_server is not None:
+                await obs_server.stop()
             await server.stop()
+            if events is not None:
+                events.close()
         print("drained; final stats:", file=sys.stderr)
         print(format_stats(service.stats_snapshot()))
 
@@ -237,17 +301,29 @@ def _cmd_load(args: argparse.Namespace) -> int:
         sites=config.num_sites, capacity_files=config.capacity_files,
         flops_per_sec=args.flops_per_sec,
         seconds_per_file=args.seconds_per_file,
-        drain=not args.no_drain))
+        drain=not args.no_drain,
+        event_log=args.event_log))
     print(f"job id           : {report['job_id']} "
           f"(done={report['job_status']['done']})")
     print(f"tasks submitted  : {report['tasks_submitted']}")
     print(f"tasks completed  : {report['tasks_done']} "
           f"by {workers} workers over {config.num_sites} sites")
     print(f"files fetched    : {report['files_fetched']}")
+    if args.event_log:
+        print(f"event log        : {args.event_log}")
     print("server stats:")
     print(format_stats(report["stats"]))
     missing = report["tasks_submitted"] - report["tasks_done"]
     return 0 if missing == 0 else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_top
+
+    url = f"http://{args.host}:{args.port}/stats.json"
+    return run_top(url, interval=args.interval,
+                   iterations=1 if args.once else None,
+                   clear=not args.once)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -323,6 +399,20 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds before an unrenewed task "
                                    "lease expires and the task is "
                                    "requeued to another worker")
+    serve_parser.add_argument("--metrics-port", type=int, default=None,
+                              help="also serve HTTP /metrics, /healthz, "
+                                   "/stats.json and /trace.json on this "
+                                   "port (0 = ephemeral)")
+    serve_parser.add_argument("--event-log", default=None,
+                              help="append structured JSONL events "
+                                   "(assign/complete/lease-expire/...) "
+                                   "to this file")
+    serve_parser.add_argument("--stats-interval", type=float,
+                              default=None,
+                              help="log the full stats snapshot as one "
+                                   "JSON line at INFO every this many "
+                                   "seconds (default: off)")
+    _add_verbosity_arguments(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
     load_parser = sub.add_parser(
@@ -340,7 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
                                   "file")
     load_parser.add_argument("--no-drain", action="store_true",
                              help="leave the server running afterwards")
+    load_parser.add_argument("--event-log", default=None,
+                             help="write the client-side JSONL event "
+                                  "stream (submit/assign/complete) here")
     load_parser.set_defaults(func=_cmd_load)
+
+    top_parser = sub.add_parser(
+        "top", help="live terminal view of a daemon started with "
+                    "--metrics-port")
+    top_parser.add_argument("--host", default="127.0.0.1")
+    top_parser.add_argument("--port", type=int, required=True,
+                            help="the daemon's --metrics-port")
+    top_parser.add_argument("--interval", type=float, default=2.0)
+    top_parser.add_argument("--once", action="store_true",
+                            help="render a single snapshot and exit")
+    top_parser.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -149,6 +149,14 @@ class PolicyEngine:
         #: (the paper's T·I term), for the complexity ablation.
         self.decisions = 0
         self.tasks_scored = 0
+        #: Decision-trace hook: when set, :meth:`choose` calls it with
+        #: one span dict per decision (site, metric, n, the ranked
+        #: top-n candidates with weight/overlap/files_missing, the
+        #: chosen task and the runner-up).  Pure observation — it
+        #: fires after sampling, consumes no randomness, and adds
+        #: zero decisions, so traced and untraced runs are
+        #: bit-identical.  See :mod:`repro.obs.trace`.
+        self.on_decision: Optional[Callable[[dict], None]] = None
 
     # -- site wiring -----------------------------------------------------
     def watch_storage(self, site_id: int, storage) -> None:
@@ -279,7 +287,30 @@ class PolicyEngine:
             offer(self._weight(view), task_id)
             self.tasks_scored += 1
 
-        return self._pending[self._sample(best)]
+        chosen_id = self._sample(best)
+        if self.on_decision is not None:
+            self.on_decision(self._build_span(site_id, overlaps, best,
+                                              chosen_id))
+        return self._pending[chosen_id]
+
+    def _build_span(self, site_id: int, overlaps: Dict[int, int],
+                    best: List[Tuple[float, int]],
+                    chosen_id: int) -> dict:
+        """The trace span for one decision (``on_decision`` payload)."""
+        candidates = []
+        for weight, task_id in best:
+            overlap = overlaps.get(task_id, 0)
+            num_files = self._pending[task_id].num_files
+            candidates.append({"task_id": task_id, "weight": weight,
+                               "overlap": overlap,
+                               "num_files": num_files,
+                               "files_missing": num_files - overlap})
+        runner_up = next((task_id for _weight, task_id in best
+                          if task_id != chosen_id), None)
+        return {"site": site_id, "metric": self.metric_name,
+                "n": self.n, "chosen": chosen_id,
+                "runner_up": runner_up, "candidates": candidates,
+                "pending": len(self._pending)}
 
     def zero_overlap_candidates(self, site_id: int,
                                 eligible=None) -> List[int]:

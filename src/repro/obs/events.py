@@ -1,0 +1,190 @@
+"""Structured JSON-lines event log for scheduler decisions and fates.
+
+Every interesting state transition — job submit, task assignment,
+completion, lease expiry, requeue, file-delta, scheduling decision —
+is one schema-checked JSON object on one line, stamped with a wall
+clock and a monotonically increasing sequence number.  The log is
+simultaneously:
+
+* a bounded in-memory **ring buffer** (``tail()``) for live endpoints,
+* an optional **rotating file sink** (``--event-log PATH``) for
+  post-hoc analysis — :mod:`repro.analysis.eventlog` reconstructs
+  per-task assign→complete timelines from it.
+
+Schemas are *minimum* field sets: emitters may attach extra fields
+(the server adds ``lease_id``/``latency_us`` to ``assign`` records,
+the client-side load generator does not have them), but a record
+missing a required field, or of an unknown type, is rejected at emit
+and at read time — a corrupt log fails loudly, not in the plots.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Set
+
+__all__ = ["EVENT_SCHEMAS", "EventLog", "EventSchemaError",
+           "RotatingJsonlSink", "read_events", "iter_events",
+           "validate_event"]
+
+#: event type -> required fields (beyond ``ts``/``seq``/``event``).
+EVENT_SCHEMAS: Dict[str, Set[str]] = {
+    "submit": {"job_id", "tasks"},
+    "assign": {"task_id", "site", "worker"},
+    "complete": {"task_id", "worker"},
+    "lease-expire": {"task_id", "lease_id"},
+    "requeue": {"task_id", "reason"},
+    "delta": {"site", "added", "removed", "referenced"},
+    "decision": {"site", "metric", "chosen", "candidates"},
+}
+
+
+class EventSchemaError(ValueError):
+    """A record of unknown type or missing a required field."""
+
+
+def validate_event(record: Dict) -> Dict:
+    """Check one record against :data:`EVENT_SCHEMAS`; returns it."""
+    event = record.get("event")
+    schema = EVENT_SCHEMAS.get(event)
+    if schema is None:
+        raise EventSchemaError(f"unknown event type {event!r}")
+    missing = schema - set(record)
+    if missing:
+        raise EventSchemaError(
+            f"{event} record missing fields {sorted(missing)}")
+    return record
+
+
+class RotatingJsonlSink:
+    """Append-only JSONL file with size-based rotation.
+
+    When the file would exceed ``max_bytes`` the existing backups
+    shift up (``path.1`` → ``path.2`` …, oldest dropped) and the
+    current file becomes ``path.1`` — the standard logrotate dance,
+    dependency-free.  A line is never split across files.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 16 << 20,
+                 backups: int = 3):
+        if max_bytes < 1 or backups < 0:
+            raise ValueError("need max_bytes >= 1 and backups >= 0")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self._file: Optional[io.TextIOWrapper] = open(
+            path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+
+    def write(self, line: str) -> None:
+        if self._file is None:
+            raise ValueError("sink is closed")
+        if self._size and self._size + len(line) > self.max_bytes:
+            self._rotate()
+        self._file.write(line)
+        self._size += len(line)
+
+    def _rotate(self) -> None:
+        self._file.close()
+        if self.backups == 0:
+            os.remove(self.path)
+        else:
+            oldest = f"{self.path}.{self.backups}"
+            if os.path.exists(oldest):
+                os.remove(oldest)
+            for index in range(self.backups - 1, 0, -1):
+                src = f"{self.path}.{index}"
+                if os.path.exists(src):
+                    os.replace(src, f"{self.path}.{index + 1}")
+            os.replace(self.path, f"{self.path}.1")
+        self._file = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+
+    def flush(self) -> None:
+        if self._file is not None:
+            self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+
+class EventLog:
+    """Ring buffer + optional rotating file sink of schema'd events.
+
+    ``emit("assign", task_id=3, site=0, worker="w1", ...)`` validates,
+    stamps ``ts`` (wall clock) and ``seq``, keeps the record in the
+    ring, and appends one JSON line to the sink when a path was given.
+    """
+
+    def __init__(self, path: Optional[str] = None, ring_size: int = 2048,
+                 clock=time.time, max_bytes: int = 16 << 20,
+                 backups: int = 3):
+        self._clock = clock
+        self._ring: Deque[Dict] = deque(maxlen=ring_size)
+        self._seq = 0
+        self._sink = (RotatingJsonlSink(path, max_bytes=max_bytes,
+                                        backups=backups)
+                      if path else None)
+        self.path = path
+
+    def emit(self, event: str, **fields) -> Dict:
+        record = {"ts": round(float(self._clock()), 6),
+                  "seq": self._seq, "event": event, **fields}
+        validate_event(record)
+        self._seq += 1
+        self._ring.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(
+                record, separators=(",", ":"), sort_keys=True) + "\n")
+        return record
+
+    @property
+    def emitted(self) -> int:
+        """Total records emitted (ring may hold fewer)."""
+        return self._seq
+
+    def tail(self, count: Optional[int] = None) -> List[Dict]:
+        """The newest ``count`` records (all buffered if None)."""
+        if count is None or count >= len(self._ring):
+            return list(self._ring)
+        return list(self._ring)[-count:]
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def iter_events(path: str) -> Iterator[Dict]:
+    """Stream validated records from one JSONL file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise EventSchemaError(
+                    f"{path}:{line_number}: bad JSON: {exc}") from exc
+            yield validate_event(record)
+
+
+def read_events(path: str) -> List[Dict]:
+    """All validated records of one JSONL file, in file order."""
+    return list(iter_events(path))

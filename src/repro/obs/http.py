@@ -1,0 +1,145 @@
+"""Asyncio HTTP endpoint serving the observability surface.
+
+A deliberately small HTTP/1.1 server (GET/HEAD only, one response per
+connection, ``Connection: close``) — enough for Prometheus scrapers,
+``curl``, health probes, and ``repro top``, with zero dependencies.
+
+Routes:
+
+* ``GET /metrics``    — Prometheus text format from the registry,
+* ``GET /healthz``    — liveness JSON (``{"status": "ok", ...}``),
+* ``GET /stats.json`` — whatever snapshot callable the host wired in,
+* any extra ``json_routes`` (the scheduler daemon adds
+  ``/trace.json`` for recent decision spans).
+
+Handlers run on the event loop, so they must be cheap — all of ours
+are pure in-memory walks.  Errors inside a handler return a 500 with
+the exception name instead of killing the connection task.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Callable, Dict, Optional, Set
+
+from . import prometheus
+from .metrics import MetricsRegistry
+
+__all__ = ["ObsHttpServer"]
+
+log = logging.getLogger("repro.obs.http")
+
+_MAX_REQUEST_BYTES = 16 * 1024
+
+
+class ObsHttpServer:
+    """Serves ``/metrics``, ``/healthz`` and JSON snapshot routes."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 json_routes: Optional[Dict[str, Callable[[], Dict]]]
+                 = None,
+                 health: Optional[Callable[[], Dict]] = None):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self._health = health or (lambda: {"status": "ok"})
+        self._json_routes = dict(json_routes or {})
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handler_tasks: Set[asyncio.Task] = set()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def routes(self) -> tuple:
+        paths = ["/healthz"]
+        if self.registry is not None:
+            paths.append("/metrics")
+        paths.extend(self._json_routes)
+        return tuple(sorted(paths))
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port,
+            limit=_MAX_REQUEST_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("metrics endpoint on %s (routes: %s)", self.url,
+                 ", ".join(self.routes))
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._handler_tasks:
+            await asyncio.wait(self._handler_tasks, timeout=5)
+
+    # -- one request per connection --------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._handler_tasks.add(asyncio.current_task())
+        try:
+            request = await reader.readline()
+            parts = request.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1].split("?", 1)[0]
+            # Drain headers; we answer regardless of their content.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._respond(method, path)
+            head = (f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n")
+            writer.write(head.encode("latin-1"))
+            if method != "HEAD":
+                writer.write(body)
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.LimitOverrunError, ValueError):
+            pass
+        finally:
+            self._handler_tasks.discard(asyncio.current_task())
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _respond(self, method: str, path: str):
+        """(status line, content type, body bytes) for one request."""
+        if method not in ("GET", "HEAD"):
+            return ("405 Method Not Allowed", "text/plain; charset=utf-8",
+                    b"only GET and HEAD are supported\n")
+        try:
+            if path == "/metrics" and self.registry is not None:
+                body = prometheus.render(self.registry).encode("utf-8")
+                return ("200 OK", prometheus.CONTENT_TYPE, body)
+            if path == "/healthz":
+                return ("200 OK", "application/json",
+                        _json_body(self._health()))
+            handler = self._json_routes.get(path)
+            if handler is not None:
+                return ("200 OK", "application/json",
+                        _json_body(handler()))
+        except Exception as exc:  # noqa: BLE001 - report, don't die
+            log.exception("handler for %s failed", path)
+            return ("500 Internal Server Error",
+                    "text/plain; charset=utf-8",
+                    f"{type(exc).__name__}: {exc}\n".encode("utf-8"))
+        return ("404 Not Found", "text/plain; charset=utf-8",
+                f"no route {path}; try {', '.join(self.routes)}\n"
+                .encode("utf-8"))
+
+
+def _json_body(payload: Dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":"), sort_keys=True)
+            + "\n").encode("utf-8")

@@ -1,0 +1,283 @@
+"""Prometheus text exposition: writer and (strict) parser.
+
+:func:`render` walks a :class:`~repro.obs.metrics.MetricsRegistry` and
+produces the text format version 0.0.4 a Prometheus server scrapes —
+``# HELP`` / ``# TYPE`` headers, label escaping, and the
+``_bucket``/``_sum``/``_count`` triplet for histograms.
+
+:func:`parse` is the strict inverse.  It exists so the test suite and
+the CI smoke job can *validate* what ``GET /metrics`` returns instead
+of grepping for substrings: any malformed line, bad escape, duplicate
+family, or out-of-order histogram bucket raises :class:`ParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "ParseError", "ParsedFamily", "parse",
+           "render"]
+
+#: The content type a scrape endpoint must declare for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_SAMPLE_RE = re.compile(
+    r"^(" + _METRIC_NAME + r")(?:\{(.*)\})?\s+(\S+)$")
+_HELP_RE = re.compile(r"^# HELP (" + _METRIC_NAME + r") (.*)$")
+_TYPE_RE = re.compile(r"^# TYPE (" + _METRIC_NAME + r") "
+                      r"(counter|gauge|histogram|summary|untyped)$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+# -- writing -----------------------------------------------------------------
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r"\""))
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{name}="{_escape_label_value(value)}"'
+                    for name, value in labels)
+    return "{" + body + "}"
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text format (one trailing newline)."""
+    lines: List[str] = []
+    for family in registry.collect():
+        if family.help:
+            lines.append(f"# HELP {family.name} "
+                         f"{_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for suffix, labels, value in family.samples():
+            lines.append(f"{family.name}{suffix}"
+                         f"{_format_labels(labels)} "
+                         f"{_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- parsing -----------------------------------------------------------------
+
+class ParseError(ValueError):
+    """The exposition text violates the format."""
+
+
+class ParsedFamily:
+    """One metric family as read back from exposition text."""
+
+    def __init__(self, name: str, kind: str = "untyped",
+                 help_text: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        #: ``[(sample_name, {label: value}, number), ...]`` in order.
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def value(self, labels: Optional[Dict[str, str]] = None,
+              suffix: str = "") -> float:
+        """The one sample matching ``labels`` (and name suffix)."""
+        wanted = labels or {}
+        name = self.name + suffix
+        matches = [value for sample_name, sample_labels, value
+                   in self.samples
+                   if sample_name == name and sample_labels == wanted]
+        if len(matches) != 1:
+            raise KeyError(f"{name} with labels {wanted}: "
+                           f"{len(matches)} matches")
+        return matches[0]
+
+
+def _unescape(text: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "\\":
+            if index + 1 >= len(text):
+                raise ParseError(f"dangling escape in {text!r}")
+            nxt = text[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ("\\", '"'):
+                out.append(nxt)
+            else:
+                raise ParseError(f"bad escape \\{nxt} in {text!r}")
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(body: str) -> Dict[str, str]:
+    """Parse the inside of ``{...}`` — quote- and escape-aware."""
+    labels: Dict[str, str] = {}
+    index = 0
+    length = len(body)
+    while index < length:
+        eq = body.find("=", index)
+        if eq < 0:
+            raise ParseError(f"label without '=' in {{{body}}}")
+        name = body[index:eq]
+        if not _LABEL_NAME_RE.match(name):
+            raise ParseError(f"bad label name {name!r}")
+        if eq + 1 >= length or body[eq + 1] != '"':
+            raise ParseError(f"label {name!r} value is not quoted")
+        cursor = eq + 2
+        raw: List[str] = []
+        while True:
+            if cursor >= length:
+                raise ParseError(f"unterminated label value for {name!r}")
+            char = body[cursor]
+            if char == "\\":
+                if cursor + 1 >= length:
+                    raise ParseError("dangling escape in label value")
+                raw.append(body[cursor:cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            cursor += 1
+        if name in labels:
+            raise ParseError(f"duplicate label {name!r}")
+        labels[name] = _unescape("".join(raw))
+        cursor += 1  # past the closing quote
+        if cursor < length:
+            if body[cursor] != ",":
+                raise ParseError(f"expected ',' after label {name!r}")
+            cursor += 1
+        index = cursor
+    return labels
+
+
+def _parse_number(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise ParseError(f"bad sample value {text!r}") from exc
+
+
+def _base_name(sample_name: str, families: Dict[str, ParsedFamily],
+               ) -> str:
+    """Map ``x_bucket``/``x_sum``/``x_count`` back to family ``x``."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[:-len(suffix)]
+            if base in families and families[base].kind == "histogram":
+                return base
+    return sample_name
+
+
+def parse(text: str) -> Dict[str, ParsedFamily]:
+    """Strictly parse exposition text into families, validating:
+
+    * ``# HELP`` / ``# TYPE`` syntax, no duplicate TYPE per family;
+    * every sample line matches the grammar, labels unescape cleanly;
+    * histogram ``_bucket`` series are cumulative (non-decreasing in
+      ``le`` order), end with ``le="+Inf"``, and agree with ``_count``.
+
+    Returns ``{family_name: ParsedFamily}``.
+    """
+    families: Dict[str, ParsedFamily] = {}
+    for raw_line in text.split("\n"):
+        line = raw_line.rstrip("\r")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            help_match = _HELP_RE.match(line)
+            if help_match:
+                name, help_text = help_match.groups()
+                family = families.setdefault(name, ParsedFamily(name))
+                family.help = _unescape(help_text)
+                continue
+            type_match = _TYPE_RE.match(line)
+            if type_match:
+                name, kind = type_match.groups()
+                family = families.setdefault(name, ParsedFamily(name))
+                if family.kind != "untyped":
+                    raise ParseError(f"duplicate TYPE for {name}")
+                if family.samples:
+                    raise ParseError(
+                        f"TYPE for {name} after its samples")
+                family.kind = kind
+                continue
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                raise ParseError(f"malformed comment line {line!r}")
+            continue  # free-form comment: permitted by the format
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ParseError(f"malformed sample line {line!r}")
+        sample_name, label_body, value_text = match.groups()
+        labels = _parse_labels(label_body) if label_body else {}
+        value = _parse_number(value_text)
+        base = _base_name(sample_name, families)
+        family = families.setdefault(base, ParsedFamily(base))
+        family.samples.append((sample_name, labels, value))
+    for family in families.values():
+        if family.kind == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _check_histogram(family: ParsedFamily) -> None:
+    """Cumulative-bucket and sum/count invariants for one family."""
+    series: Dict[Tuple[Tuple[str, str], ...],
+                 List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for sample_name, labels, value in family.samples:
+        if sample_name == family.name + "_bucket":
+            if "le" not in labels:
+                raise ParseError(
+                    f"{sample_name} without an 'le' label")
+            key = tuple(sorted((name, val) for name, val
+                               in labels.items() if name != "le"))
+            series.setdefault(key, []).append(
+                (_parse_number(labels["le"]), value))
+        elif sample_name == family.name + "_count":
+            key = tuple(sorted(labels.items()))
+            counts[key] = value
+    for key, buckets in series.items():
+        previous_edge = float("-inf")
+        previous_count = 0.0
+        for edge, cumulative in buckets:
+            if edge <= previous_edge:
+                raise ParseError(
+                    f"{family.name}_bucket le values not increasing")
+            if cumulative < previous_count:
+                raise ParseError(
+                    f"{family.name}_bucket counts not cumulative")
+            previous_edge, previous_count = edge, cumulative
+        if not buckets or buckets[-1][0] != float("inf"):
+            raise ParseError(
+                f"{family.name}_bucket series lacks le=\"+Inf\"")
+        if key in counts and buckets[-1][1] != counts[key]:
+            raise ParseError(
+                f"{family.name}: +Inf bucket != _count")

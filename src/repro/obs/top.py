@@ -1,0 +1,122 @@
+"""``repro top``: a live one-screen summary of a running scheduler.
+
+Polls the daemon's ``GET /stats.json`` (served by
+:class:`~repro.obs.http.ObsHttpServer` when ``repro serve`` runs with
+``--metrics-port``) and renders rates, decision-latency percentiles,
+queue/lease state, per-site overlap hit rates, and per-job progress —
+the terminal twin of a Grafana dashboard, with zero dependencies.
+
+``render_top`` is a pure function of the snapshot dict so tests (and
+anything else) can render without a socket; ``fetch_json``/``run_top``
+add the polling loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["fetch_json", "render_top", "run_top"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def fetch_json(url: str, timeout: float = 5.0) -> Dict:
+    """GET ``url`` and decode its JSON body."""
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top(snapshot: Dict) -> str:
+    """The one-screen summary for one ``/stats.json`` payload."""
+    latency = snapshot.get("decision_latency", {})
+    leases = snapshot.get("leases", {})
+    state = "DRAINING" if snapshot.get("draining") else "serving"
+    lines: List[str] = [
+        f"repro top — {state}, up {snapshot.get('uptime_s', 0.0):.1f} s",
+        "",
+        f"jobs      : {snapshot.get('jobs_active', 0)} active / "
+        f"{snapshot.get('jobs_submitted', 0)} submitted / "
+        f"{snapshot.get('jobs_completed', 0)} done",
+        f"tasks     : {snapshot.get('tasks_submitted', 0)} submitted, "
+        f"{snapshot.get('completions', 0)} done, "
+        f"{snapshot.get('queue_depth', 0)} queued "
+        f"(peak {snapshot.get('peak_queue_depth', 0)}), "
+        f"{snapshot.get('outstanding', 0)} running",
+        f"assign    : {snapshot.get('assignments', 0)} total "
+        f"({snapshot.get('assignments_per_sec', 0.0):.1f}/s), "
+        f"{snapshot.get('requeues', 0)} requeued, "
+        f"{snapshot.get('parked_workers', 0)} workers parked",
+        f"leases    : {leases.get('active', 0)} active, "
+        f"{leases.get('granted', 0)} granted, "
+        f"{leases.get('renewals', 0)} renewed, "
+        f"{leases.get('expiries', 0)} expired",
+        f"decision  : p50 {latency.get('p50_us', 0.0):.0f} us   "
+        f"p99 {latency.get('p99_us', 0.0):.0f} us   "
+        f"max {latency.get('max_us', 0.0):.0f} us   "
+        f"({latency.get('count', 0)} decisions)",
+    ]
+    sites = snapshot.get("sites", {})
+    if sites:
+        lines.append("")
+        lines.append("site  overlap hit rate")
+        for site_id, site in sorted(sites.items(),
+                                    key=lambda kv: int(kv[0])):
+            rate = site.get("overlap_hit_rate", 0.0)
+            lines.append(
+                f" {site_id:>3}  [{_bar(rate)}] {rate:6.1%} "
+                f"({site.get('overlap_hits', 0)}"
+                f"/{site.get('assignments', 0)})")
+    jobs = snapshot.get("jobs", [])
+    if jobs:
+        lines.append("")
+        lines.append("job   progress")
+        for job in jobs:
+            total = max(job.get("tasks", 0), 1)
+            done = job.get("completed", 0)
+            flag = "done" if job.get("done") else (
+                f"{job.get('outstanding', 0)} running")
+            lines.append(
+                f" {job.get('job_id', '?'):>3}  [{_bar(done / total)}] "
+                f"{done}/{job.get('tasks', 0)} {flag}")
+    return "\n".join(lines)
+
+
+def run_top(url: str, interval: float = 2.0,
+            iterations: Optional[int] = None, clear: bool = True,
+            out: Callable[[str], None] = print,
+            fetch: Callable[[str], Dict] = fetch_json,
+            sleep: Callable[[float], None] = time.sleep) -> int:
+    """Poll ``url`` and render until interrupted (or ``iterations``).
+
+    Returns a process exit code: 0 on a clean stop, 1 when the very
+    first fetch fails (the server is not there).
+    """
+    shown = 0
+    while iterations is None or shown < iterations:
+        try:
+            snapshot = fetch(url)
+        except (urllib.error.URLError, ConnectionError, OSError) as exc:
+            out(f"repro top: cannot fetch {url}: {exc}")
+            if shown == 0:
+                return 1
+            return 0
+        text = render_top(snapshot)
+        out(_CLEAR + text if clear else text)
+        shown += 1
+        if iterations is not None and shown >= iterations:
+            break
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            break
+    return 0

@@ -26,6 +26,7 @@ import asyncio
 from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional
 
+from ..obs.events import EventLog
 from . import messages, protocol
 
 #: Tasks per JOB_SUBMIT message (keeps lines well under the size cap).
@@ -116,7 +117,8 @@ class WorkerClient:
                  site: int = 0, capacity_files: int = 1000,
                  flops_per_sec: float = 0.0,
                  seconds_per_file: float = 0.0,
-                 job_id: Optional[int] = None):
+                 job_id: Optional[int] = None,
+                 events: Optional[EventLog] = None):
         self.host = host
         self.port = port
         self.worker = worker
@@ -126,6 +128,9 @@ class WorkerClient:
         self.seconds_per_file = seconds_per_file
         #: Scope pulls to one job; None pulls from the global queue.
         self.job_id = job_id
+        #: Client-side event log: the worker's own view of each
+        #: assign/delta/complete, for offline timeline reconstruction.
+        self.events = events
         self.tasks_done = 0
         self.files_fetched = 0
         self.heartbeats_sent = 0
@@ -159,10 +164,18 @@ class WorkerClient:
                 "rejected_completions": self.rejected_completions,
                 "stop_reason": self.stop_reason}
 
+    def _emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
     async def _execute(self, conn: _Connection,
                        assignment: messages.TaskAssign) -> None:
         files = assignment.files
         missing = [fid for fid in files if fid not in self.cache]
+        self._emit("assign", task_id=assignment.task_id, site=self.site,
+                   worker=self.worker, job_id=assignment.job_id,
+                   lease_id=assignment.lease_id,
+                   files=len(files), missing=len(missing))
         if missing and self.seconds_per_file > 0:
             await self._work(conn, self.seconds_per_file * len(missing),
                              assignment.lease_id)
@@ -173,6 +186,11 @@ class WorkerClient:
             removed=delta["removed"], referenced=list(files)))
         if not isinstance(ack, messages.Ack):
             raise RuntimeError(f"expected ACK, got {ack}")
+        if delta["added"] or delta["removed"]:
+            self._emit("delta", site=self.site,
+                       added=len(delta["added"]),
+                       removed=len(delta["removed"]),
+                       referenced=len(files))
         if assignment.flops and self.flops_per_sec > 0:
             await self._work(conn, assignment.flops / self.flops_per_sec,
                              assignment.lease_id)
@@ -182,6 +200,9 @@ class WorkerClient:
             raise RuntimeError(f"expected ACK, got {done}")
         if done.accepted:
             self.tasks_done += 1
+            self._emit("complete", task_id=assignment.task_id,
+                       worker=self.worker, job_id=assignment.job_id,
+                       lease_id=assignment.lease_id)
         else:
             # The lease lapsed (e.g. a long stall) and the task was
             # requeued elsewhere; drop it and pull the next one.

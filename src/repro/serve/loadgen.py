@@ -17,9 +17,11 @@ tests, benchmarks and single-command demos.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 from typing import Dict, Optional
 
 from ..grid.job import Job
+from ..obs.events import EventLog
 from .client import SUBMIT_CHUNK, JobHandle, SchedulerClient, WorkerClient
 from .server import SchedulerServer
 from .service import SchedulerService
@@ -33,27 +35,44 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
                    flops_per_sec: float = 0.0,
                    seconds_per_file: float = 0.0,
                    drain: bool = True,
-                   scope_to_job: bool = True) -> Dict:
-    """Submit ``job``, run the worker fleet, return a load report."""
+                   scope_to_job: bool = True,
+                   event_log: Optional[str] = None) -> Dict:
+    """Submit ``job``, run the worker fleet, return a load report.
+
+    ``event_log`` writes the client-side view of the run — submit,
+    every assign/delta/complete as each worker saw it — as JSON lines
+    to that path, ready for
+    :func:`repro.analysis.eventlog.load_timelines`.
+    """
     if workers < 1 or sites < 1:
         raise ValueError("need at least one worker and one site")
-    async with SchedulerClient(host, port, name="loadgen") as control:
-        handle = await control.submit(job)
-        fleet = [
-            WorkerClient(host, port, worker=f"w{index}",
-                         site=index % sites,
-                         capacity_files=capacity_files,
-                         flops_per_sec=flops_per_sec,
-                         seconds_per_file=seconds_per_file,
-                         job_id=handle.job_id if scope_to_job else None)
-            for index in range(workers)
-        ]
-        summaries = await asyncio.gather(
-            *(worker.run() for worker in fleet))
-        job_status = await handle.status()
-        stats = await control.stats()
-        if drain:
-            await control.drain()
+    events = EventLog(path=event_log) if event_log else None
+    with contextlib.ExitStack() as stack:
+        if events is not None:
+            stack.enter_context(events)
+        async with SchedulerClient(host, port, name="loadgen") as control:
+            handle = await control.submit(job)
+            if events is not None:
+                events.emit("submit", job_id=handle.job_id,
+                            tasks=len(handle.task_ids),
+                            task_ids=handle.task_ids)
+            fleet = [
+                WorkerClient(host, port, worker=f"w{index}",
+                             site=index % sites,
+                             capacity_files=capacity_files,
+                             flops_per_sec=flops_per_sec,
+                             seconds_per_file=seconds_per_file,
+                             job_id=(handle.job_id if scope_to_job
+                                     else None),
+                             events=events)
+                for index in range(workers)
+            ]
+            summaries = await asyncio.gather(
+                *(worker.run() for worker in fleet))
+            job_status = await handle.status()
+            stats = await control.stats()
+            if drain:
+                await control.drain()
     return {
         "job_id": handle.job_id,
         "tasks_submitted": len(handle.task_ids),
@@ -62,6 +81,7 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
         "job_status": job_status,
         "workers": summaries,
         "stats": stats,
+        "event_log": event_log,
     }
 
 
@@ -70,7 +90,8 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
                          capacity_files: int = 600,
                          flops_per_sec: float = 0.0,
                          seconds_per_file: float = 0.0,
-                         lease_ttl: Optional[float] = None) -> Dict:
+                         lease_ttl: Optional[float] = None,
+                         event_log: Optional[str] = None) -> Dict:
     """In-process server + load run; returns the load report."""
     kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
     service = SchedulerService(metric=metric, n=n, seed=seed, **kwargs)
@@ -81,7 +102,8 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
         report = await run_load(
             server.host, server.port, job, workers=workers, sites=sites,
             capacity_files=capacity_files, flops_per_sec=flops_per_sec,
-            seconds_per_file=seconds_per_file, drain=True)
+            seconds_per_file=seconds_per_file, drain=True,
+            event_log=event_log)
         await serve_task
     finally:
         if not serve_task.done():

@@ -31,10 +31,15 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
+import logging
 from typing import Optional, Set, Tuple
 
 from . import messages, protocol
 from .service import SchedulerService, ServiceError
+
+log = logging.getLogger("repro.serve.server")
+stats_log = logging.getLogger("repro.serve.stats")
 
 
 class SchedulerServer:
@@ -42,7 +47,8 @@ class SchedulerServer:
 
     def __init__(self, service: SchedulerService,
                  host: str = "127.0.0.1", port: int = 0,
-                 sweep_interval: Optional[float] = None):
+                 sweep_interval: Optional[float] = None,
+                 stats_interval: Optional[float] = None):
         self.service = service
         self.host = host
         self.port = port
@@ -52,10 +58,19 @@ class SchedulerServer:
         if sweep_interval is None:
             sweep_interval = min(max(service.lease_ttl / 4.0, 0.01), 1.0)
         self.sweep_interval = sweep_interval
+        #: Every ``stats_interval`` seconds the full stats snapshot is
+        #: logged as one JSON line at INFO on ``repro.serve.stats`` —
+        #: greppable history for runs without a scraper.  None (the
+        #: default) disables the ticker.
+        if stats_interval is not None and stats_interval <= 0:
+            raise ValueError(
+                f"stats_interval must be > 0, got {stats_interval}")
+        self.stats_interval = stats_interval
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.StreamWriter] = set()
         self._handler_tasks: Set[asyncio.Task] = set()
         self._sweeper: Optional[asyncio.Task] = None
+        self._stats_ticker: Optional[asyncio.Task] = None
         self._drained = asyncio.Event()
         self._conn_seq = 0
         service.on_drained = self._drained.set
@@ -67,13 +82,27 @@ class SchedulerServer:
             self._handle_connection, self.host, self.port,
             limit=protocol.MAX_MESSAGE_BYTES + 1024)
         self.port = self._server.sockets[0].getsockname()[1]
-        self._sweeper = asyncio.get_running_loop().create_task(
-            self._sweep_leases())
+        loop = asyncio.get_running_loop()
+        self._sweeper = loop.create_task(self._sweep_leases())
+        if self.stats_interval is not None:
+            self._stats_ticker = loop.create_task(self._tick_stats())
+        log.info("listening on %s:%d (metric=%s, n=%d, lease_ttl=%.1fs)",
+                 self.host, self.port, self.service.engine.metric_name,
+                 self.service.engine.n, self.service.lease_ttl)
 
     async def _sweep_leases(self) -> None:
         while True:
             await asyncio.sleep(self.sweep_interval)
-            self.service.expire_leases()
+            expired = self.service.expire_leases()
+            if expired:
+                log.info("lease sweep requeued %d task(s)", expired)
+
+    async def _tick_stats(self) -> None:
+        while True:
+            await asyncio.sleep(self.stats_interval)
+            stats_log.info("%s", json.dumps(
+                self.service.stats_snapshot(), sort_keys=True,
+                separators=(",", ":")))
 
     async def serve_until_drained(self) -> None:
         """Serve until a DRAIN completes, then close everything."""
@@ -83,14 +112,18 @@ class SchedulerServer:
         await self.stop()
 
     def drain(self) -> None:
+        log.info("drain requested (%d outstanding, %d queued)",
+                 self.service.outstanding, self.service.queue_depth)
         self.service.drain()
 
     async def stop(self) -> None:
-        if self._sweeper is not None:
-            self._sweeper.cancel()
-            with contextlib.suppress(asyncio.CancelledError):
-                await self._sweeper
-            self._sweeper = None
+        for task_attr in ("_sweeper", "_stats_ticker"):
+            task = getattr(self, task_attr)
+            if task is not None:
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await task
+                setattr(self, task_attr, None)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -111,6 +144,7 @@ class SchedulerServer:
         site_id: Optional[int] = None
         self._connections.add(writer)
         self._handler_tasks.add(asyncio.current_task())
+        log.debug("connection %s opened", worker_key)
         try:
             while True:
                 try:
@@ -144,7 +178,12 @@ class SchedulerServer:
         finally:
             self._handler_tasks.discard(asyncio.current_task())
             self._connections.discard(writer)
-            self.service.disconnect(worker_key)
+            requeued = self.service.disconnect(worker_key)
+            if requeued:
+                log.info("connection %s closed; requeued %d task(s)",
+                         worker_key, requeued)
+            else:
+                log.debug("connection %s closed", worker_key)
             writer.close()
             try:
                 await writer.wait_closed()

@@ -45,6 +45,8 @@ from typing import (Callable, Deque, Dict, List, Optional, Set, Tuple,
 
 from ..core.policy_engine import PolicyEngine
 from ..grid.job import Task
+from ..obs.events import EventLog
+from ..obs.trace import DecisionTracer
 from . import protocol
 from .stats import ServeStats
 
@@ -152,7 +154,9 @@ class SchedulerService:
     def __init__(self, metric: str = "rest", n: int = 1, seed: int = 0,
                  name: str = "repro-serve",
                  lease_ttl: float = DEFAULT_LEASE_TTL,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 events: Optional[EventLog] = None,
+                 tracer: Optional[DecisionTracer] = None):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.name = name
@@ -162,6 +166,20 @@ class SchedulerService:
         self.engine = PolicyEngine(self._table, metric=metric, n=n,
                                    rng=random.Random(seed))
         self.stats = ServeStats()
+        self.events = events
+        self.tracer = tracer
+        if tracer is not None:
+            # The hook observes the already-made decision; it cannot
+            # change it (no RNG use, fires after sampling).
+            self.engine.on_decision = self._on_decision
+        self.stats.bind_live(
+            queue_depth=lambda: self.queue_depth,
+            outstanding=lambda: self.outstanding,
+            parked_workers=lambda: self.parked_workers,
+            active_leases=lambda: self.active_leases,
+            jobs_active=lambda: sum(1 for job in self._jobs.values()
+                                    if not job.done),
+            draining=lambda: 1.0 if self._draining else 0.0)
         self._completed: Set[int] = set()
         self._assigned: Dict[int, _Lease] = {}     # task_id -> lease
         self._leases: Dict[int, _Lease] = {}       # lease_id -> lease
@@ -211,6 +229,20 @@ class SchedulerService:
         if site_id not in self.engine.site_ids:
             self.engine.attach_site(site_id)
 
+    # -- observability hooks ---------------------------------------------
+    def _emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def _on_decision(self, span: Dict) -> None:
+        """``PolicyEngine.on_decision`` target: record, maybe log."""
+        stamped = self.tracer.record(span)
+        if self.events is not None:
+            self._emit("decision", site=span["site"],
+                       metric=span["metric"], chosen=span["chosen"],
+                       candidates=span["candidates"],
+                       decision=stamped["decision"])
+
     # -- job intake ------------------------------------------------------
     def submit_job(self, tasks_payload: List[dict],
                    job_id: Optional[int] = None) -> Dict:
@@ -258,6 +290,8 @@ class SchedulerService:
             self._task_job[task.task_id] = job_id
         self.stats.tasks_submitted += len(tasks)
         self.stats.record_queue_depth(self.queue_depth)
+        self._emit("submit", job_id=job_id, tasks=len(tasks),
+                   task_ids=[task.task_id for task in tasks])
         self._service_parked()
         return {"job_id": job_id,
                 "task_ids": [task.task_id for task in tasks]}
@@ -336,6 +370,10 @@ class SchedulerService:
         self._by_worker.setdefault(worker, set()).add(task.task_id)
         self.stats.record_assignment(site_id, latency, overlap > 0)
         self.stats.leases_granted += 1
+        self._emit("assign", task_id=task.task_id, site=site_id,
+                   worker=worker, job_id=owner_id,
+                   lease_id=lease.lease_id, overlap=overlap,
+                   latency_us=round(latency * 1e6, 3))
         return Assignment(task=task, lease_id=lease.lease_id,
                           job_id=owner_id, lease_ttl=self.lease_ttl)
 
@@ -374,6 +412,8 @@ class SchedulerService:
         job = self._jobs[self._task_job[task_id]]
         job.completed.add(task_id)
         self.stats.completions += 1
+        self._emit("complete", task_id=task_id, worker=worker,
+                   job_id=job.job_id, lease_id=lease_id)
         if job.done:
             self.stats.jobs_completed += 1
         self._service_parked()
@@ -426,6 +466,10 @@ class SchedulerService:
             self._release_lease(lease)
             self._requeue(lease.task_id)
             self.stats.lease_expiries += 1
+            self._emit("lease-expire", task_id=lease.task_id,
+                       lease_id=lease.lease_id, worker=lease.worker)
+            self._emit("requeue", task_id=lease.task_id,
+                       reason="lease-expired")
         if lapsed:
             self.stats.requeues += len(lapsed)
             self.stats.record_queue_depth(self.queue_depth)
@@ -455,6 +499,8 @@ class SchedulerService:
         for fid in referenced:
             self.engine.file_referenced(site_id, fid)
         self.stats.record_delta(len(added), len(removed), len(referenced))
+        self._emit("delta", site=site_id, added=len(added),
+                   removed=len(removed), referenced=len(referenced))
 
     # -- lifecycle -------------------------------------------------------
     def disconnect(self, worker: str) -> int:
@@ -475,6 +521,8 @@ class SchedulerService:
             if task_id not in self._completed:
                 self._requeue(task_id)
                 requeued += 1
+                self._emit("requeue", task_id=task_id,
+                           reason="disconnect", worker=worker)
         if requeued:
             self.stats.requeues += requeued
             self.stats.record_queue_depth(self.queue_depth)
@@ -504,3 +552,8 @@ class SchedulerService:
             active_leases=self.active_leases,
             jobs_active=sum(1 for job in self._jobs.values()
                             if not job.done))
+
+    def jobs_overview(self) -> List[Dict]:
+        """Per-job progress rows (what ``repro top`` renders as bars)."""
+        return [self.job_status(job_id)
+                for job_id in sorted(self._jobs)]

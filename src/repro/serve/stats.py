@@ -1,131 +1,207 @@
-"""Observability for the live scheduler: latency histogram + counters.
+"""Observability for the live scheduler, on the unified registry.
 
-Everything the ``STATS`` request exposes is maintained here, O(1) per
-event: a geometric-bucket latency histogram for scheduling decisions,
-assignment/completion counters, per-site overlap hit rates, and
-file-delta volume.  No external metrics dependency — the snapshot is a
-plain dict, ready for JSON.
+Every counter behind the ``STATS`` request now lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (one scrape of
+``/metrics`` sees exactly what ``STATS`` reports), but the *wire
+shape* of the snapshot is unchanged — :meth:`ServeStats.snapshot`
+builds the same plain dict as before, byte-compatible with protocol
+v2.  The old attribute API (``stats.completions += 1``) keeps working
+through properties that read and write the underlying metrics.
+
+:class:`~repro.obs.metrics.LatencyHistogram` used to be defined here;
+it is promoted to :mod:`repro.obs.metrics` (with O(1)
+``int.bit_length()`` bucket indexing) and re-exported for
+compatibility.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
+
+from ..obs.metrics import Counter, LatencyHistogram, MetricsRegistry
+
+__all__ = ["LatencyHistogram", "ServeStats", "format_stats"]
+
+#: ``ServeStats`` attribute -> (metric name, help).  One monotonic
+#: counter each; the attribute names are the legacy public API.
+_COUNTERS = {
+    "jobs_submitted": ("repro_jobs_submitted_total",
+                       "Jobs opened by JOB_SUBMIT"),
+    "jobs_completed": ("repro_jobs_completed_total",
+                       "Jobs whose every task completed"),
+    "tasks_submitted": ("repro_tasks_submitted_total",
+                        "Tasks accepted across all jobs"),
+    "assignments": ("repro_assignments_total",
+                    "Tasks handed to workers"),
+    "completions": ("repro_completions_total",
+                    "Completions accepted with a valid lease"),
+    "duplicate_completions": ("repro_duplicate_completions_total",
+                              "Completions for already-complete tasks"),
+    "stale_completions": ("repro_stale_completions_total",
+                          "Completions rejected for a stale lease"),
+    "requeues": ("repro_requeues_total",
+                 "Tasks returned to the pending set"),
+    "leases_granted": ("repro_leases_granted_total",
+                       "Leases granted (one per assignment)"),
+    "lease_renewals": ("repro_lease_renewals_total",
+                       "Lease renewals via HEARTBEAT"),
+    "lease_expiries": ("repro_lease_expiries_total",
+                       "Leases lapsed and swept"),
+    "files_added": ("repro_files_added_total",
+                    "File-delta insertions reported by workers"),
+    "files_removed": ("repro_files_removed_total",
+                      "File-delta evictions reported by workers"),
+    "files_referenced": ("repro_files_referenced_total",
+                         "File references reported by workers"),
+}
+
+#: ``bind_live`` keyword -> (gauge name, help).  Callback gauges over
+#: live service state, so a scrape never reads a stale copy.
+_LIVE_GAUGES = {
+    "queue_depth": ("repro_queue_depth",
+                    "Pending tasks in the scheduler queue"),
+    "outstanding": ("repro_outstanding_tasks",
+                    "Tasks assigned and not yet completed"),
+    "parked_workers": ("repro_parked_workers",
+                       "Worker pulls parked waiting for work"),
+    "active_leases": ("repro_active_leases",
+                      "Leases currently guarding assignments"),
+    "jobs_active": ("repro_jobs_active",
+                    "Jobs with incomplete tasks"),
+    "draining": ("repro_draining",
+                 "1 while the server is draining, else 0"),
+}
 
 
-class LatencyHistogram:
-    """Geometric buckets from 1 µs up, doubling; O(1) record/quantile.
+def _counter_property(attr: str) -> property:
+    def getter(self: "ServeStats") -> int:
+        return int(self._counters[attr].value)
 
-    Bucket ``k`` holds samples in ``(base·2^(k-1), base·2^k]``; an
-    underflow bucket catches anything ≤ base.  Quantiles return the
-    upper edge of the containing bucket — a ≤2× overestimate, which is
-    the right bias for latency reporting.
-    """
+    def setter(self: "ServeStats", value) -> None:
+        # Legacy ``stats.completions += 1`` support: the augmented
+        # assignment reads the property then writes the new total.
+        counter = self._counters[attr]
+        delta = float(value) - counter.value
+        if delta < 0:
+            raise ValueError(f"{attr} is monotonic; cannot go from "
+                             f"{counter.value:g} to {value}")
+        counter.inc(delta)
 
-    def __init__(self, base_seconds: float = 1e-6, num_buckets: int = 36):
-        self._base = base_seconds
-        self._counts = [0] * (num_buckets + 1)  # [underflow, b1..bN]
-        self._edges = [base_seconds * (2 ** k)
-                       for k in range(num_buckets + 1)]
-        self.count = 0
-        self.max = 0.0
-        self.total = 0.0
-
-    def record(self, seconds: float) -> None:
-        self.count += 1
-        self.total += seconds
-        if seconds > self.max:
-            self.max = seconds
-        index = 0
-        edge = self._base
-        while seconds > edge and index < len(self._counts) - 1:
-            index += 1
-            edge *= 2
-        self._counts[index] += 1
-
-    def quantile(self, q: float) -> float:
-        """Upper bucket edge containing the q-quantile (0 if empty)."""
-        if self.count == 0:
-            return 0.0
-        target = q * self.count
-        seen = 0
-        for index, bucket in enumerate(self._counts):
-            seen += bucket
-            if seen >= target:
-                return min(self._edges[index], self.max)
-        return self.max
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
-
-    def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_us": self.mean * 1e6,
-            "p50_us": self.quantile(0.50) * 1e6,
-            "p90_us": self.quantile(0.90) * 1e6,
-            "p99_us": self.quantile(0.99) * 1e6,
-            "max_us": self.max * 1e6,
-        }
+    return property(getter, setter)
 
 
 class _SiteCounters:
-    __slots__ = ("assignments", "overlap_hits")
+    """Per-site metric children plus the derived hit-rate gauge."""
 
-    def __init__(self) -> None:
-        self.assignments = 0
-        self.overlap_hits = 0
+    __slots__ = ("assignment_counter", "hit_counter", "rate_gauge")
+
+    def __init__(self, assignment_counter: Counter, hit_counter: Counter,
+                 rate_gauge) -> None:
+        self.assignment_counter = assignment_counter
+        self.hit_counter = hit_counter
+        self.rate_gauge = rate_gauge
+
+    @property
+    def assignments(self) -> int:
+        return int(self.assignment_counter.value)
+
+    @property
+    def overlap_hits(self) -> int:
+        return int(self.hit_counter.value)
 
 
 class ServeStats:
-    """All counters behind the ``STATS`` request."""
+    """All counters behind the ``STATS`` request, registry-backed."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic,
+                 registry: Optional[MetricsRegistry] = None):
         self._clock = clock
         self.started_at = clock()
-        self.decision_latency = LatencyHistogram()
-        self.tasks_submitted = 0
-        self.jobs_submitted = 0
-        self.jobs_completed = 0
-        self.assignments = 0
-        self.completions = 0
-        self.duplicate_completions = 0
-        self.stale_completions = 0
-        self.requeues = 0
-        self.leases_granted = 0
-        self.lease_renewals = 0
-        self.lease_expiries = 0
-        self.peak_queue_depth = 0
-        self.files_added = 0
-        self.files_removed = 0
-        self.files_referenced = 0
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        reg = self.registry
+        reg.gauge("repro_uptime_seconds",
+                  "Seconds since the stats epoch",
+                  callback=lambda: self.uptime)
+        self.decision_latency = reg.histogram(
+            "repro_decision_latency_seconds",
+            "Scheduling decision latency (PolicyEngine.choose)")
+        self._counters: Dict[str, Counter] = {
+            attr: reg.counter(name, help_text)
+            for attr, (name, help_text) in _COUNTERS.items()}
+        self._peak_queue_depth = reg.gauge(
+            "repro_peak_queue_depth",
+            "High-water mark of the pending queue")
+        self._site_assignments = reg.counter(
+            "repro_site_assignments_total",
+            "Tasks assigned to workers of one site",
+            labelnames=("site",))
+        self._site_overlap_hits = reg.counter(
+            "repro_site_overlap_hits_total",
+            "Assignments with at least one input already resident",
+            labelnames=("site",))
+        self._site_hit_rate = reg.gauge(
+            "repro_site_overlap_hit_rate",
+            "overlap_hits / assignments per site",
+            labelnames=("site",))
         self._sites: Dict[int, _SiteCounters] = {}
 
     # -- recording -------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
         if depth > self.peak_queue_depth:
-            self.peak_queue_depth = depth
+            self._peak_queue_depth.set(depth)
+
+    def _site(self, site_id: int) -> _SiteCounters:
+        site = self._sites.get(site_id)
+        if site is None:
+            label = str(site_id)
+            site = self._sites[site_id] = _SiteCounters(
+                self._site_assignments.labels(site=label),
+                self._site_overlap_hits.labels(site=label),
+                self._site_hit_rate.labels(site=label))
+        return site
 
     def record_assignment(self, site_id: int, latency_s: float,
                           overlap_hit: bool) -> None:
-        self.assignments += 1
+        self._counters["assignments"].inc()
         self.decision_latency.record(latency_s)
-        site = self._sites.setdefault(site_id, _SiteCounters())
-        site.assignments += 1
+        site = self._site(site_id)
+        site.assignment_counter.inc()
         if overlap_hit:
-            site.overlap_hits += 1
+            site.hit_counter.inc()
+        site.rate_gauge.set(site.hit_counter.value
+                            / site.assignment_counter.value)
 
     def record_delta(self, added: int, removed: int,
                      referenced: int) -> None:
-        self.files_added += added
-        self.files_removed += removed
-        self.files_referenced += referenced
+        self._counters["files_added"].inc(added)
+        self._counters["files_removed"].inc(removed)
+        self._counters["files_referenced"].inc(referenced)
+
+    def bind_live(self, **callbacks: Callable[[], float]) -> None:
+        """Register live callback gauges (queue depth, leases, ...).
+
+        Keys must come from the fixed name table; the service calls
+        this once with lambdas over its own properties, after which a
+        ``/metrics`` scrape reads the *current* values with no
+        snapshot copying.
+        """
+        for key, callback in callbacks.items():
+            if key not in _LIVE_GAUGES:
+                raise ValueError(f"unknown live gauge {key!r}; choose "
+                                 f"from {sorted(_LIVE_GAUGES)}")
+            name, help_text = _LIVE_GAUGES[key]
+            self.registry.gauge(name, help_text, callback=callback)
 
     # -- reporting -------------------------------------------------------
     @property
     def uptime(self) -> float:
         return self._clock() - self.started_at
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return int(self._peak_queue_depth.value)
 
     def snapshot(self, queue_depth: int = 0, outstanding: int = 0,
                  parked_workers: int = 0,
@@ -176,6 +252,11 @@ class ServeStats:
         if draining is not None:
             snap["draining"] = draining
         return snap
+
+
+for _attr in _COUNTERS:
+    setattr(ServeStats, _attr, _counter_property(_attr))
+del _attr
 
 
 def format_stats(snapshot: Dict) -> str:

@@ -18,6 +18,17 @@ from .engine import Environment
 
 Probe = Callable[[], float]
 
+#: Probe name -> the metric name the live scheduler publishes for the
+#: same quantity, so a simulated run and a real one land on the same
+#: dashboard series.  Probes outside this table get
+#: ``repro_sim_<name>``.
+PROBE_METRIC_NAMES = {
+    "pending_tasks": "repro_queue_depth",
+    "busy_workers": "repro_busy_workers",
+    "active_flows": "repro_active_flows",
+    "storage_fill": "repro_storage_fill",
+}
+
 
 class StateMonitor:
     """Samples named probes on a fixed simulated-time cadence.
@@ -44,6 +55,7 @@ class StateMonitor:
         self._probes: Dict[str, Probe] = {}
         #: name -> [(time, value), ...]
         self.series: Dict[str, List[Tuple[float, float]]] = {}
+        self._registry = None
         self._process = env.process(self._run(), name="state-monitor")
 
     def add_probe(self, name: str, probe: Probe) -> None:
@@ -52,6 +64,35 @@ class StateMonitor:
             raise ValueError(f"duplicate probe {name!r}")
         self._probes[name] = probe
         self.series[name] = []
+        if self._registry is not None:
+            self._export_probe(name)
+
+    # -- registry bridge --------------------------------------------------
+    def bind_registry(self, registry) -> None:
+        """Publish every probe's latest sample as a callback gauge.
+
+        Metric names follow :data:`PROBE_METRIC_NAMES` so the simulated
+        quantities scrape under the same names the live scheduler uses
+        (``repro_queue_depth`` etc.); unmapped probes become
+        ``repro_sim_<name>``.  Works with any
+        :class:`~repro.obs.metrics.MetricsRegistry`.
+        """
+        self._registry = registry
+        for name in self._probes:
+            self._export_probe(name)
+
+    def _export_probe(self, name: str) -> None:
+        metric_name = PROBE_METRIC_NAMES.get(name, f"repro_sim_{name}")
+        if metric_name in self._registry:
+            return
+        self._registry.gauge(
+            metric_name, f"latest '{name}' sample from StateMonitor",
+            callback=lambda name=name: self.latest(name))
+
+    def latest(self, name: str) -> float:
+        """The most recent sample of ``name`` (0.0 before the first)."""
+        samples = self.series[name]
+        return samples[-1][1] if samples else 0.0
 
     def _run(self):
         while self._stop_when is None or not self._stop_when():

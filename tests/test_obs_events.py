@@ -1,0 +1,167 @@
+"""Event log: schemas, ring buffer, rotation, round-trip, timelines."""
+
+import json
+
+import pytest
+
+from repro.analysis.eventlog import load_timelines, task_timelines
+from repro.obs.events import (EVENT_SCHEMAS, EventLog, EventSchemaError,
+                              RotatingJsonlSink, read_events,
+                              validate_event)
+
+
+def fake_clock(start=1000.0, step=1.0):
+    state = [start - step]
+
+    def tick():
+        state[0] += step
+        return state[0]
+
+    return tick
+
+
+# -- schema validation -------------------------------------------------------
+
+def test_every_schema_has_the_documented_minimum_fields():
+    assert EVENT_SCHEMAS["assign"] == {"task_id", "site", "worker"}
+    assert EVENT_SCHEMAS["lease-expire"] == {"task_id", "lease_id"}
+    assert EVENT_SCHEMAS["requeue"] == {"task_id", "reason"}
+
+
+def test_validate_rejects_unknown_type_and_missing_fields():
+    with pytest.raises(EventSchemaError):
+        validate_event({"event": "nonsense"})
+    with pytest.raises(EventSchemaError):
+        validate_event({"event": "assign", "task_id": 1, "site": 0})
+    record = {"event": "assign", "task_id": 1, "site": 0, "worker": "w",
+              "extra": "fields are fine"}
+    assert validate_event(record) is record
+
+
+def test_emit_stamps_ts_and_seq_and_validates():
+    log = EventLog(clock=fake_clock())
+    first = log.emit("submit", job_id=0, tasks=3)
+    second = log.emit("assign", task_id=0, site=1, worker="w0")
+    assert (first["ts"], first["seq"]) == (1000.0, 0)
+    assert (second["ts"], second["seq"]) == (1001.0, 1)
+    with pytest.raises(EventSchemaError):
+        log.emit("assign", task_id=0)  # rejected before buffering
+    assert log.emitted == 2
+
+
+def test_ring_buffer_keeps_only_the_newest():
+    log = EventLog(ring_size=3, clock=fake_clock())
+    for task_id in range(5):
+        log.emit("requeue", task_id=task_id, reason="test")
+    assert log.emitted == 5
+    assert [record["task_id"] for record in log.tail()] == [2, 3, 4]
+    assert [record["task_id"] for record in log.tail(2)] == [3, 4]
+
+
+# -- file sink + round-trip --------------------------------------------------
+
+def test_jsonl_round_trip_through_the_file_sink(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with EventLog(path=path, clock=fake_clock()) as log:
+        log.emit("submit", job_id=0, tasks=2, task_ids=[0, 1])
+        log.emit("assign", task_id=0, site=2, worker="w1", lease_id=9)
+        log.emit("complete", task_id=0, worker="w1")
+    records = read_events(path)
+    assert [record["event"] for record in records] == \
+        ["submit", "assign", "complete"]
+    assert records[1]["lease_id"] == 9  # extra fields survive
+    # Compact one-object-per-line encoding.
+    lines = (tmp_path / "events.jsonl").read_text().splitlines()
+    assert len(lines) == 3
+    assert all(json.loads(line) for line in lines)
+
+
+def test_read_rejects_corrupt_lines(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"event": "assign", "task_id": 1}\n')
+    with pytest.raises(EventSchemaError):
+        read_events(str(path))
+    path.write_text("not json\n")
+    with pytest.raises(EventSchemaError):
+        read_events(str(path))
+
+
+def test_rotating_sink_shifts_backups(tmp_path):
+    path = str(tmp_path / "log.jsonl")
+    sink = RotatingJsonlSink(path, max_bytes=40, backups=2)
+    for index in range(12):
+        sink.write(f'{{"line": {index}}}\n')
+    sink.close()
+    assert (tmp_path / "log.jsonl").exists()
+    assert (tmp_path / "log.jsonl.1").exists()
+    assert (tmp_path / "log.jsonl.2").exists()
+    assert not (tmp_path / "log.jsonl.3").exists()
+    # No line is ever split across files, and .1 is newer than .2.
+    newest = (tmp_path / "log.jsonl.1").read_text().splitlines()
+    oldest = (tmp_path / "log.jsonl.2").read_text().splitlines()
+    assert all(json.loads(line) for line in newest + oldest)
+    assert (json.loads(oldest[-1])["line"]
+            < json.loads(newest[0])["line"])
+
+
+# -- timeline reconstruction -------------------------------------------------
+
+def test_timelines_reconstruct_assign_complete_pairs():
+    log = EventLog(clock=fake_clock())
+    log.emit("submit", job_id=0, tasks=2, task_ids=[0, 1])
+    log.emit("assign", task_id=0, site=1, worker="w0")
+    log.emit("assign", task_id=1, site=2, worker="w1")
+    log.emit("complete", task_id=1, worker="w1")
+    log.emit("complete", task_id=0, worker="w0")
+    timelines = task_timelines(log.tail())
+    assert set(timelines) == {0, 1}
+    zero = timelines[0]
+    assert zero.completed and zero.retries == 0
+    assert zero.job_id == 0
+    assert zero.submitted_at == 1000.0
+    assert zero.queue_wait == pytest.approx(1.0)
+    assert zero.turnaround == pytest.approx(4.0)
+    assert zero.attempts[0].worker == "w0"
+    assert zero.attempts[0].site == 1
+    assert zero.attempts[0].duration == pytest.approx(3.0)
+
+
+def test_timelines_track_reassignment_after_lease_expiry():
+    log = EventLog(clock=fake_clock())
+    log.emit("submit", job_id=0, tasks=1, task_ids=[7])
+    log.emit("assign", task_id=7, site=0, worker="w0", lease_id=1)
+    log.emit("lease-expire", task_id=7, lease_id=1, worker="w0")
+    log.emit("requeue", task_id=7, reason="lease-expired")
+    log.emit("assign", task_id=7, site=1, worker="w1", lease_id=2)
+    log.emit("complete", task_id=7, worker="w1")
+    line = task_timelines(log.tail())[7]
+    assert line.retries == 1
+    assert [attempt.outcome for attempt in line.attempts] == \
+        ["lease-expired", "completed"]
+    assert line.attempts[0].worker == "w0"
+    assert line.attempts[1].worker == "w1"
+    assert line.completed_at == 1005.0
+
+
+def test_timelines_handle_disconnect_requeue_and_open_attempts():
+    log = EventLog(clock=fake_clock())
+    log.emit("assign", task_id=3, site=0, worker="w0")
+    log.emit("requeue", task_id=3, reason="disconnect", worker="w0")
+    log.emit("assign", task_id=3, site=0, worker="w1")
+    line = task_timelines(log.tail())[3]
+    assert line.attempts[0].outcome == "disconnect"
+    assert line.attempts[1].outcome is None  # log ended mid-flight
+    assert line.attempts[1].duration is None
+    assert not line.completed
+    assert line.turnaround is None  # no submit record for this task
+
+
+def test_load_timelines_reads_a_file(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with EventLog(path=path, clock=fake_clock()) as log:
+        log.emit("submit", job_id=4, tasks=1, task_ids=[0])
+        log.emit("assign", task_id=0, site=0, worker="w0")
+        log.emit("complete", task_id=0, worker="w0")
+    timelines = load_timelines(path)
+    assert timelines[0].completed
+    assert timelines[0].job_id == 4

@@ -1,0 +1,318 @@
+"""End-to-end observability: HTTP scrape endpoint, ``repro top``,
+event logs from a real load run — all over localhost sockets.
+
+The scrape responses are validated with the strict parser from
+:mod:`repro.obs.prometheus` (the same one the CI smoke job uses), not
+by substring grepping.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.analysis.eventlog import load_timelines
+from repro.exp import ExperimentConfig
+from repro.exp.runner import build_job
+from repro.obs import CONTENT_TYPE, DecisionTracer, ObsHttpServer, parse
+from repro.obs.top import render_top, run_top
+from repro.serve.loadgen import run_load
+from repro.serve.server import SchedulerServer
+from repro.serve.service import SchedulerService
+
+TIMEOUT = 60
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=TIMEOUT))
+
+
+def coadd_job(num_tasks=60, seed=0):
+    return build_job(ExperimentConfig(num_tasks=num_tasks,
+                                      capacity_files=500, seed=seed))
+
+
+def http_get(url, timeout=10.0):
+    """Blocking GET returning (status, content_type, body_text)."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return (response.status,
+                    response.headers.get("Content-Type"),
+                    response.read().decode("utf-8"))
+    except urllib.error.HTTPError as error:
+        return (error.code, error.headers.get("Content-Type"),
+                error.read().decode("utf-8"))
+
+
+async def obs_stack(metric="combined", n=2, seed=42):
+    """A scheduler server plus its observability endpoint."""
+    tracer = DecisionTracer()
+    service = SchedulerService(metric=metric, n=n, seed=seed,
+                               tracer=tracer)
+    server = SchedulerServer(service)
+    await server.start()
+
+    def stats_json():
+        snapshot = service.stats_snapshot()
+        snapshot["jobs"] = service.jobs_overview()
+        return snapshot
+
+    obs = ObsHttpServer(
+        registry=service.stats.registry,
+        json_routes={"/stats.json": stats_json,
+                     "/trace.json": lambda: {"spans": tracer.spans()}},
+        health=lambda: {"status": "ok",
+                        "queue_depth": service.queue_depth})
+    await obs.start()
+    return service, server, obs, tracer
+
+
+def test_scrape_endpoint_under_live_load():
+    """Scrapes issued *while* a worker fleet hammers the scheduler
+    parse cleanly every time and converge with the STATS snapshot."""
+
+    async def scenario():
+        service, server, obs, tracer = await obs_stack()
+        job = coadd_job(80)
+        scrape_results = []
+        done = asyncio.Event()
+
+        async def scrape_loop():
+            while not done.is_set():
+                status, ctype, body = await asyncio.to_thread(
+                    http_get, obs.url + "/metrics")
+                scrape_results.append((status, ctype, parse(body)))
+                await asyncio.sleep(0.01)
+
+        scraper = asyncio.ensure_future(scrape_loop())
+        try:
+            report = await run_load(server.host, server.port, job,
+                                    workers=6, sites=3, drain=False)
+        finally:
+            done.set()
+            await scraper
+        # Every mid-flight scrape was well-formed.
+        assert len(scrape_results) >= 1
+        for status, ctype, families in scrape_results:
+            assert status == 200
+            assert ctype == CONTENT_TYPE
+            assert "repro_assignments_total" in families
+        # The final scrape agrees with the final STATS reply.
+        _status, _ctype, body = await asyncio.to_thread(
+            http_get, obs.url + "/metrics")
+        families = parse(body)
+        assert families["repro_completions_total"].value() == \
+            report["stats"]["completions"] == len(job)
+        assert families["repro_queue_depth"].value() == 0.0
+        assert families["repro_decision_latency_seconds"].value(
+            suffix="_count") == report["stats"]["assignments"]
+        assert tracer.recorded == report["stats"]["assignments"]
+        await obs.stop()
+        await server.stop()
+
+    run(scenario())
+
+
+def test_healthz_stats_json_trace_json_and_errors():
+    async def scenario():
+        service, server, obs, _tracer = await obs_stack()
+        service.submit_job([{"files": [1, 2]}, {"files": [3]}])
+
+        status, ctype, body = await asyncio.to_thread(
+            http_get, obs.url + "/healthz")
+        assert status == 200 and ctype == "application/json"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 2
+
+        status, _ctype, body = await asyncio.to_thread(
+            http_get, obs.url + "/stats.json")
+        snapshot = json.loads(body)
+        assert status == 200
+        assert snapshot["tasks_submitted"] == 2
+        assert snapshot["jobs"][0]["tasks"] == 2
+
+        status, _ctype, body = await asyncio.to_thread(
+            http_get, obs.url + "/trace.json")
+        assert status == 200 and json.loads(body) == {"spans": []}
+
+        status, _ctype, body = await asyncio.to_thread(
+            http_get, obs.url + "/nope")
+        assert status == 404
+        assert "/metrics" in body  # the 404 lists real routes
+
+        await obs.stop()
+        await server.stop()
+
+    run(scenario())
+
+
+def test_post_is_rejected_and_head_has_no_body():
+    async def scenario():
+        obs = ObsHttpServer(json_routes={"/x.json": lambda: {"a": 1}})
+        await obs.start()
+
+        reader, writer = await asyncio.open_connection(
+            obs.host, obs.port)
+        writer.write(b"POST /healthz HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        status_line = await reader.readline()
+        assert b"405" in status_line
+        writer.close()
+        await writer.wait_closed()
+
+        reader, writer = await asyncio.open_connection(
+            obs.host, obs.port)
+        writer.write(b"HEAD /healthz HTTP/1.1\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+        head, _sep, body = raw.partition(b"\r\n\r\n")
+        assert b"200" in head.split(b"\r\n")[0]
+        assert body == b""  # headers only
+        writer.close()
+        await writer.wait_closed()
+        await obs.stop()
+
+    run(scenario())
+
+
+def test_handler_exception_returns_500_not_a_dead_connection():
+    async def scenario():
+        def boom():
+            raise RuntimeError("kaput")
+
+        obs = ObsHttpServer(json_routes={"/boom.json": boom})
+        await obs.start()
+        status, _ctype, body = await asyncio.to_thread(
+            http_get, obs.url + "/boom.json")
+        assert status == 500
+        assert "RuntimeError" in body
+        await obs.stop()
+
+    run(scenario())
+
+
+def test_repro_top_renders_against_a_live_server(capsys):
+    async def scenario():
+        service, server, obs, _tracer = await obs_stack()
+        job = coadd_job(40)
+        await run_load(server.host, server.port, job, workers=4,
+                       sites=2, drain=False)
+        url = obs.url + "/stats.json"
+        code = await asyncio.to_thread(
+            run_top, url, 0.0, 1, False)
+        await obs.stop()
+        await server.stop()
+        return code
+
+    assert run(scenario()) == 0
+    shown = capsys.readouterr().out
+    assert "repro top — serving" in shown
+    assert "40 submitted, 40 done" in shown.replace("tasks     : ", "")
+    assert "overlap hit rate" in shown
+    assert "job   progress" in shown
+    assert "[####################] 40/40 done" in shown
+
+
+def test_repro_top_exits_nonzero_when_server_is_gone():
+    messages = []
+    code = run_top("http://127.0.0.1:9/stats.json", iterations=3,
+                   out=messages.append)
+    assert code == 1
+    assert len(messages) == 1 and "cannot fetch" in messages[0]
+
+
+def test_render_top_handles_sparse_snapshots():
+    text = render_top({"draining": True})
+    assert "DRAINING" in text
+    assert "site" not in text  # no site table without site data
+
+
+def test_load_event_log_reconstructs_every_task_timeline(tmp_path):
+    """Acceptance path: ``repro load --event-log`` JSONL feeds
+    ``repro.analysis`` timeline reconstruction."""
+    path = str(tmp_path / "load-events.jsonl")
+
+    async def scenario():
+        service = SchedulerService(metric="combined", n=2, seed=3)
+        server = SchedulerServer(service)
+        await server.start()
+        job = coadd_job(50, seed=1)
+        report = await run_load(server.host, server.port, job,
+                                workers=5, sites=5, drain=False,
+                                event_log=path)
+        await server.stop()
+        return report
+
+    report = run(scenario())
+    assert report["event_log"] == path
+    timelines = load_timelines(path)
+    assert len(timelines) == report["tasks_submitted"] == 50
+    for line in timelines.values():
+        assert line.completed
+        assert line.retries == 0
+        assert line.submitted_at is not None
+        assert line.turnaround >= 0.0
+        assert line.attempts[0].worker.startswith("w")
+    workers_seen = {line.attempts[0].worker
+                    for line in timelines.values()}
+    assert workers_seen <= {f"w{index}" for index in range(5)}
+
+
+def test_server_event_log_and_client_log_agree(tmp_path):
+    """Server-side and client-side event logs of one run tell the
+    same completion story."""
+    from repro.obs.events import EventLog
+
+    server_log = str(tmp_path / "server.jsonl")
+    client_log = str(tmp_path / "client.jsonl")
+
+    async def scenario():
+        events = EventLog(path=server_log)
+        service = SchedulerService(metric="combined", n=2, seed=3,
+                                   events=events)
+        server = SchedulerServer(service)
+        await server.start()
+        job = coadd_job(30, seed=2)
+        await run_load(server.host, server.port, job, workers=3,
+                       sites=3, drain=False, event_log=client_log)
+        await server.stop()
+        events.close()
+
+    run(scenario())
+    server_lines = load_timelines(server_log)
+    client_lines = load_timelines(client_log)
+    assert set(server_lines) == set(client_lines)
+    for task_id, server_line in server_lines.items():
+        assert server_line.completed
+        assert client_lines[task_id].completed
+        assert (server_line.attempts[-1].worker
+                .startswith(client_lines[task_id].attempts[-1].worker))
+
+
+def test_stats_interval_ticker_logs_one_json_line(caplog):
+    import logging
+
+    async def scenario():
+        service = SchedulerService()
+        server = SchedulerServer(service, stats_interval=0.05)
+        await server.start()
+        await asyncio.sleep(0.18)
+        await server.stop()
+
+    with caplog.at_level(logging.INFO, logger="repro.serve.stats"):
+        run(scenario())
+    lines = [record.getMessage() for record in caplog.records
+             if record.name == "repro.serve.stats"]
+    assert len(lines) >= 2  # at least two ticks in 0.18 s
+    for line in lines:
+        snapshot = json.loads(line)  # one valid JSON object per line
+        assert "assignments" in snapshot and "uptime_s" in snapshot
+
+
+def test_stats_interval_must_be_positive():
+    service = SchedulerService()
+    with pytest.raises(ValueError):
+        SchedulerServer(service, stats_interval=0.0)
