@@ -7,7 +7,6 @@ both ways on a warmed-up grid state, demonstrating why the incremental
 index matters at trace scale — while tests guarantee both agree.
 """
 
-import random
 
 import pytest
 

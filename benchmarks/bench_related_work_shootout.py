@@ -8,7 +8,6 @@ beats the data-blind anchors; MaxMin (weak locality) trails the
 locality-aware MCT members.
 """
 
-from repro.exp.runner import build_job, run_averaged
 from repro.exp.sweep import run_sweep
 from repro.exp.report import format_sweep_table
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Iterator, List, Type, Union
+from typing import Iterator, Union
 
 from . import trace as trace_module
 from .trace import TraceBus, TraceRecord

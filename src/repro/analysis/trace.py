@@ -12,7 +12,7 @@ experiment sweeps can run with counters only.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple, Type, TypeVar
+from typing import Callable, Dict, List, Type, TypeVar
 
 
 @dataclass(frozen=True)

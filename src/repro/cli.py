@@ -26,7 +26,8 @@ Examples
     python -m repro figures --name fig4 --scale small
     python -m repro serve --port 7077 --metric combined --n 2 \
         --metrics-port 9090 --event-log events.jsonl
-    python -m repro load --port 7077 --tasks 500 --sites 4 --workers 2
+    python -m repro load --port 7077 --tasks 500 --sites 4 --workers 2 \
+        --batch 8 --aggregate-deltas
     python -m repro top --port 9090 --once
 """
 
@@ -302,13 +303,23 @@ def _cmd_load(args: argparse.Namespace) -> int:
         flops_per_sec=args.flops_per_sec,
         seconds_per_file=args.seconds_per_file,
         drain=not args.no_drain,
-        event_log=args.event_log))
+        event_log=args.event_log,
+        batch=args.batch,
+        aggregate_deltas=args.aggregate_deltas,
+        delta_flush_interval=args.delta_flush_interval))
     print(f"job id           : {report['job_id']} "
           f"(done={report['job_status']['done']})")
     print(f"tasks submitted  : {report['tasks_submitted']}")
     print(f"tasks completed  : {report['tasks_done']} "
-          f"by {workers} workers over {config.num_sites} sites")
+          f"by {workers} workers over {config.num_sites} sites "
+          f"(batch={args.batch})")
     print(f"files fetched    : {report['files_fetched']}")
+    if args.aggregate_deltas:
+        aggregation = report["delta_aggregation"]
+        print(f"delta dedup      : "
+              f"{aggregation['duplicates_suppressed']} duplicate "
+              f"op(s) suppressed across "
+              f"{len(aggregation['sites'])} site aggregator(s)")
     if args.event_log:
         print(f"event log        : {args.event_log}")
     print("server stats:")
@@ -428,6 +439,20 @@ def build_parser() -> argparse.ArgumentParser:
                              default=0.0,
                              help="simulated fetch delay per missing "
                                   "file")
+    load_parser.add_argument("--batch", type=int, default=1,
+                             help="prefetch depth: each REQUEST_TASK "
+                                  "asks for up to this many tasks "
+                                  "(TASK_BATCH) and pipelines the "
+                                  "completions (default 1 = plain v2 "
+                                  "pulls)")
+    load_parser.add_argument("--aggregate-deltas", action="store_true",
+                             help="coalesce FILE_DELTAs from workers "
+                                  "sharing a site through one "
+                                  "site-local aggregator")
+    load_parser.add_argument("--delta-flush-interval", type=float,
+                             default=0.02,
+                             help="aggregator flush interval in "
+                                  "seconds (with --aggregate-deltas)")
     load_parser.add_argument("--no-drain", action="store_true",
                              help="leave the server running afterwards")
     load_parser.add_argument("--event-log", default=None,

@@ -10,7 +10,7 @@ replication), and the ``job_done`` event the runner waits on.
 from __future__ import annotations
 
 import typing
-from typing import Dict, Optional, Set
+from typing import Optional, Set
 
 from ..analysis.trace import TaskAssigned
 from ..grid.job import Job, Task

@@ -293,6 +293,39 @@ class PolicyEngine:
                                               chosen_id))
         return self._pending[chosen_id]
 
+    def choose_many(self, site_id: int, k: int,
+                    eligible=None) -> List[Task]:
+        """Draw up to ``k`` tasks by iterated ChooseTask(n) sampling
+        *without replacement*.
+
+        Each draw runs the full CalculateWeight + ChooseTask(n)
+        decision and then **retires** the winner (unlike
+        :meth:`choose`), so the next draw's weights are recomputed
+        against the site's storage with the already-drawn tasks gone —
+        batch members never double-count the same cached files.  Stops
+        early when the (eligible) pending set runs dry, so the result
+        holds between 0 and ``k`` tasks.
+
+        ``k == 1`` is decision-for-decision identical to one
+        :meth:`choose` call followed by :meth:`remove_task` — same
+        winner, same RNG consumption — which is what keeps the batched
+        protocol path bit-compatible with single-task assignment.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        drawn: List[Task] = []
+        while len(drawn) < k and self._has_candidate(eligible):
+            task = self.choose(site_id, eligible=eligible)
+            self.remove_task(task)
+            drawn.append(task)
+        return drawn
+
+    def _has_candidate(self, eligible=None) -> bool:
+        """Whether another draw can succeed (pending ∩ eligible)."""
+        if eligible is None:
+            return bool(self._pending)
+        return any(task_id in self._pending for task_id in eligible)
+
     def _build_span(self, site_id: int, overlaps: Dict[int, int],
                     best: List[Tuple[float, int]],
                     chosen_id: int) -> dict:

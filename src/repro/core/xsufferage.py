@@ -36,7 +36,6 @@ from ..sim.events import Event
 from .base import BaseScheduler
 
 if typing.TYPE_CHECKING:  # pragma: no cover
-    from ..grid.cluster import Grid
     from ..grid.worker import Worker
 
 

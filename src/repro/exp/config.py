@@ -16,8 +16,8 @@ config is a complete, hashable description of a run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..grid.files import MB
 from ..net.tiers import TiersParams

@@ -8,7 +8,7 @@ EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from ..analysis.metrics import SiteServiceSummary
 from .runner import AveragedResult

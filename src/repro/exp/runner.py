@@ -9,7 +9,7 @@ are averaged over the 5 runs").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.trace import TraceBus
 from ..core.registry import create_scheduler

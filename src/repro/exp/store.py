@@ -13,7 +13,7 @@ import dataclasses
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 from .config import ExperimentConfig
 from .runner import ExperimentResult

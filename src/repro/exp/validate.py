@@ -18,7 +18,7 @@ with the offending record attached).
 from __future__ import annotations
 
 import typing
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Set
 
 from ..analysis.trace import (FileTransferred, TaskCompleted, TaskStarted,

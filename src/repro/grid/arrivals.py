@@ -20,7 +20,7 @@ from __future__ import annotations
 import random
 import typing
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from .job import Job
 

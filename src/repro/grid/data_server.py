@@ -13,7 +13,7 @@ Table 3: queue waiting time, transfer time, and transfer count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from ..analysis.trace import BatchServed, FileTransferred, TraceBus
 from ..sim.engine import Environment

@@ -9,7 +9,7 @@ the flow model captures.
 
 from __future__ import annotations
 
-from ..net.flow import FlowNetwork, TransferStats
+from ..net.flow import FlowNetwork
 from ..sim.engine import Environment
 from ..sim.events import Event
 from .files import FileCatalog, FileId

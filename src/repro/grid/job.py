@@ -9,8 +9,8 @@ communicate with each other).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, Sequence, Tuple
 
 from .files import FileCatalog, FileId
 

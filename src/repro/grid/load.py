@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 import typing
-from typing import Dict, List
+from typing import Dict
 
 if typing.TYPE_CHECKING:  # pragma: no cover
     from .cluster import Grid

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import abc
 import typing
-from typing import Optional
 
 from ..sim.events import Event
 from .job import Task

@@ -19,7 +19,7 @@ incremental overlap index is driven entirely by these callbacks.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from .files import FileId
 

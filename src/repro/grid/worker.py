@@ -20,7 +20,6 @@ import typing
 from ..analysis.trace import (TaskCancelled, TaskCompleted, TaskStarted,
                               TraceBus)
 from ..sim.errors import Interrupt
-from ..sim.events import Event
 from .job import Task
 
 if typing.TYPE_CHECKING:  # pragma: no cover

@@ -16,7 +16,7 @@ The model captures the two effects the paper leans on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Dict, List
 
 from ..sim.engine import Environment
 from ..sim.events import Event

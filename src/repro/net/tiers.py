@@ -22,7 +22,7 @@ networks, like Tiers' randomized link parameters.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from .topology import Topology

@@ -22,7 +22,8 @@ streams.
 CLI entry points: ``python -m repro serve`` and ``python -m repro load``.
 """
 
-from .client import JobHandle, SchedulerClient, WorkerClient
+from .client import (DeltaAggregator, JobHandle, SchedulerClient,
+                     WorkerClient)
 from .loadgen import run_load, serve_and_load
 from .server import SchedulerServer
 from .service import (Assignment, CompletionResult, SchedulerService,
@@ -31,6 +32,7 @@ from .service import (Assignment, CompletionResult, SchedulerService,
 __all__ = [
     "Assignment",
     "CompletionResult",
+    "DeltaAggregator",
     "JobHandle",
     "SchedulerClient",
     "SchedulerServer",

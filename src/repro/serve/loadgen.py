@@ -12,6 +12,13 @@ and optionally drains the server.
 
 ``serve_and_load`` bundles server + load into one event loop for
 tests, benchmarks and single-command demos.
+
+Throughput levers (both default off so the plain v2 path stays the
+baseline): ``batch=k`` gives every worker a prefetch depth of k
+(``TASK_BATCH`` pulls with pipelined completions), and
+``aggregate_deltas=True`` routes cache deltas through one site-local
+:class:`~repro.serve.client.DeltaAggregator` per site instead of one
+``FILE_DELTA`` round trip per task per worker.
 """
 
 from __future__ import annotations
@@ -22,7 +29,8 @@ from typing import Dict, Optional
 
 from ..grid.job import Job
 from ..obs.events import EventLog
-from .client import SUBMIT_CHUNK, JobHandle, SchedulerClient, WorkerClient
+from .client import (SUBMIT_CHUNK, DeltaAggregator, JobHandle,
+                     SchedulerClient, WorkerClient)
 from .server import SchedulerServer
 from .service import SchedulerService
 
@@ -36,7 +44,10 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
                    seconds_per_file: float = 0.0,
                    drain: bool = True,
                    scope_to_job: bool = True,
-                   event_log: Optional[str] = None) -> Dict:
+                   event_log: Optional[str] = None,
+                   batch: int = 1,
+                   aggregate_deltas: bool = False,
+                   delta_flush_interval: float = 0.02) -> Dict:
     """Submit ``job``, run the worker fleet, return a load report.
 
     ``event_log`` writes the client-side view of the run — submit,
@@ -46,40 +57,65 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
     """
     if workers < 1 or sites < 1:
         raise ValueError("need at least one worker and one site")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
     events = EventLog(path=event_log) if event_log else None
-    with contextlib.ExitStack() as stack:
+    async with contextlib.AsyncExitStack() as stack:
         if events is not None:
             stack.enter_context(events)
-        async with SchedulerClient(host, port, name="loadgen") as control:
-            handle = await control.submit(job)
-            if events is not None:
-                events.emit("submit", job_id=handle.job_id,
-                            tasks=len(handle.task_ids),
-                            task_ids=handle.task_ids)
-            fleet = [
-                WorkerClient(host, port, worker=f"w{index}",
-                             site=index % sites,
-                             capacity_files=capacity_files,
-                             flops_per_sec=flops_per_sec,
-                             seconds_per_file=seconds_per_file,
-                             job_id=(handle.job_id if scope_to_job
-                                     else None),
-                             events=events)
-                for index in range(workers)
-            ]
-            summaries = await asyncio.gather(
-                *(worker.run() for worker in fleet))
-            job_status = await handle.status()
-            stats = await control.stats()
-            if drain:
-                await control.drain()
+        control = await stack.enter_async_context(
+            SchedulerClient(host, port, name="loadgen"))
+        handle = await control.submit(job)
+        if events is not None:
+            events.emit("submit", job_id=handle.job_id,
+                        tasks=len(handle.task_ids),
+                        task_ids=handle.task_ids)
+        aggregators: Dict[int, DeltaAggregator] = {}
+        if aggregate_deltas:
+            for site in sorted({index % sites
+                                for index in range(workers)}):
+                aggregators[site] = await stack.enter_async_context(
+                    DeltaAggregator(host, port, site,
+                                    flush_interval=delta_flush_interval,
+                                    events=events))
+        fleet = [
+            WorkerClient(host, port, worker=f"w{index}",
+                         site=index % sites,
+                         capacity_files=capacity_files,
+                         flops_per_sec=flops_per_sec,
+                         seconds_per_file=seconds_per_file,
+                         job_id=(handle.job_id if scope_to_job
+                                 else None),
+                         events=events,
+                         batch=batch,
+                         delta_sink=aggregators.get(index % sites))
+            for index in range(workers)
+        ]
+        summaries = await asyncio.gather(
+            *(worker.run() for worker in fleet))
+        # The fleet is done; push any still-buffered deltas so the
+        # final stats reflect everything the workers reported.
+        for aggregator in aggregators.values():
+            await aggregator.flush()
+        job_status = await handle.status()
+        stats = await control.stats()
+        if drain:
+            await control.drain()
     return {
         "job_id": handle.job_id,
         "tasks_submitted": len(handle.task_ids),
+        "batch": batch,
         "tasks_done": sum(s["tasks_done"] for s in summaries),
         "files_fetched": sum(s["files_fetched"] for s in summaries),
         "job_status": job_status,
         "workers": summaries,
+        "delta_aggregation": {
+            "enabled": aggregate_deltas,
+            "sites": [agg.summary() for agg in aggregators.values()],
+            "duplicates_suppressed": sum(
+                agg.duplicates_suppressed
+                for agg in aggregators.values()),
+        },
         "stats": stats,
         "event_log": event_log,
     }
@@ -91,7 +127,10 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
                          flops_per_sec: float = 0.0,
                          seconds_per_file: float = 0.0,
                          lease_ttl: Optional[float] = None,
-                         event_log: Optional[str] = None) -> Dict:
+                         event_log: Optional[str] = None,
+                         batch: int = 1,
+                         aggregate_deltas: bool = False,
+                         delta_flush_interval: float = 0.02) -> Dict:
     """In-process server + load run; returns the load report."""
     kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
     service = SchedulerService(metric=metric, n=n, seed=seed, **kwargs)
@@ -103,7 +142,9 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
             server.host, server.port, job, workers=workers, sites=sites,
             capacity_files=capacity_files, flops_per_sec=flops_per_sec,
             seconds_per_file=seconds_per_file, drain=True,
-            event_log=event_log)
+            event_log=event_log, batch=batch,
+            aggregate_deltas=aggregate_deltas,
+            delta_flush_interval=delta_flush_interval)
         await serve_task
     finally:
         if not serve_task.done():

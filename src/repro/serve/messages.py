@@ -32,7 +32,7 @@ __all__ = [
     "Hello", "RequestTask", "TaskDone", "Heartbeat", "FileDelta",
     "JobSubmit", "JobStatusRequest", "StatsRequest", "Drain",
     # server -> client
-    "Welcome", "TaskAssign", "NoTask", "Ack", "HeartbeatAck",
+    "Welcome", "TaskAssign", "TaskBatch", "NoTask", "Ack", "HeartbeatAck",
     "JobAccepted", "JobStatusReply", "StatsReply", "Error",
     # codec entry points
     "decode_client", "decode_server",
@@ -87,14 +87,34 @@ class Message:
 
     TYPE: ClassVar[str] = ""
 
+    @classmethod
+    def _field_specs(cls):
+        """``(name, required)`` per dataclass field, cached per class.
+
+        ``dataclasses.fields()`` rebuilds its tuple on every call,
+        which dominates codec time at wire rates.  The cache must live
+        in ``cls.__dict__`` (not be inherited), and it cannot be
+        precomputed in ``__init_subclass__`` because that hook fires
+        before the ``@dataclass`` decorator runs.
+        """
+        specs = cls.__dict__.get("_FIELD_SPECS")
+        if specs is None:
+            specs = tuple(
+                (spec.name,
+                 spec.default is dataclasses.MISSING
+                 and spec.default_factory is dataclasses.MISSING)
+                for spec in dataclasses.fields(cls))
+            cls._FIELD_SPECS = specs
+        return specs
+
     def to_dict(self) -> Dict[str, Any]:
         """The wire dict; ``None``-valued optional fields are omitted."""
         payload: Dict[str, Any] = {"type": self.TYPE}
-        for spec in dataclasses.fields(self):
-            value = getattr(self, spec.name)
+        for name, _required in self._field_specs():
+            value = getattr(self, name)
             if value is None:
                 continue
-            payload[spec.name] = value
+            payload[name] = value
         return payload
 
     def encode(self) -> bytes:
@@ -104,13 +124,12 @@ class Message:
     def from_dict(cls, payload: Dict[str, Any]) -> "Message":
         """Build from a wire dict, ignoring unknown fields."""
         kwargs = {}
-        for spec in dataclasses.fields(cls):
-            if spec.name in payload:
-                kwargs[spec.name] = payload[spec.name]
-            elif (spec.default is dataclasses.MISSING
-                  and spec.default_factory is dataclasses.MISSING):
+        for name, required in cls._field_specs():
+            if name in payload:
+                kwargs[name] = payload[name]
+            elif required:
                 raise ProtocolError(
-                    f"{cls.TYPE} missing required field {spec.name!r}")
+                    f"{cls.TYPE} missing required field {name!r}")
         message = cls(**kwargs)
         message.validate()
         return message
@@ -184,13 +203,22 @@ class Hello(ClientMessage):
 
 @dataclass(frozen=True)
 class RequestTask(ClientMessage):
-    """Pull the next task; ``job_id`` scopes the pull to one job."""
+    """Pull the next task(s); ``job_id`` scopes the pull to one job.
+
+    ``max_tasks`` asks for up to k leased tasks in one ``TASK_BATCH``
+    reply.  The field is v2-compatible in both directions: absent
+    means 1 (and a plain ``TASK`` reply), and a server that predates
+    it ignores the unknown field and degrades to single-task.
+    """
     TYPE = wire.REQUEST_TASK
     job_id: Optional[int] = None
+    max_tasks: Optional[int] = None
 
     def validate(self) -> None:
         if self.job_id is not None:
             _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+        if self.max_tasks is not None:
+            _need_int(self.TYPE, "max_tasks", self.max_tasks, minimum=1)
 
 
 @dataclass(frozen=True)
@@ -306,6 +334,56 @@ class TaskAssign(ServerMessage):
         _need_int(self.TYPE, "lease_id", self.lease_id, minimum=0)
         _need_number(self.TYPE, "lease_ttl", self.lease_ttl)
         _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+
+
+#: The per-task keys of one ``TASK_BATCH`` entry (``lease_ttl`` is
+#: batch-level: every lease in a batch is granted with the same TTL).
+_BATCH_ENTRY_INT_KEYS = ("task_id", "lease_id", "job_id")
+
+
+@dataclass(frozen=True)
+class TaskBatch(ServerMessage):
+    """Up to ``max_tasks`` leased assignments in one reply.
+
+    Entries stay JSON-native dicts on the dataclass (so
+    ``decode(encode())`` round-trips exactly); :meth:`assignments`
+    lifts them into per-task :class:`TaskAssign` values, which is what
+    clients iterate — every task in a batch carries its own lease and
+    job id, exactly as if it had arrived in its own ``TASK``.
+    """
+    TYPE = wire.TASK_BATCH
+    tasks: List[dict]
+    lease_ttl: float
+
+    def validate(self) -> None:
+        if not isinstance(self.tasks, list) or not self.tasks:
+            raise ProtocolError(
+                f"{self.TYPE}.tasks must be a non-empty list")
+        _need_number(self.TYPE, "lease_ttl", self.lease_ttl)
+        for entry in self.tasks:
+            if not isinstance(entry, dict):
+                raise ProtocolError(
+                    f"{self.TYPE}.tasks entries must be objects")
+            for key in _BATCH_ENTRY_INT_KEYS:
+                if key not in entry:
+                    raise ProtocolError(
+                        f"{self.TYPE} entry missing {key!r}")
+                _need_int(self.TYPE, f"tasks[].{key}", entry[key],
+                          minimum=0)
+            _need_int_list(self.TYPE, "tasks[].files",
+                           entry.get("files"))
+            _need_number(self.TYPE, "tasks[].flops",
+                         entry.get("flops"))
+
+    def assignments(self) -> List["TaskAssign"]:
+        """The batch as per-task ``TASK`` messages (validated)."""
+        return [TaskAssign(task_id=entry["task_id"],
+                           files=entry["files"],
+                           flops=entry["flops"],
+                           lease_id=entry["lease_id"],
+                           lease_ttl=self.lease_ttl,
+                           job_id=entry["job_id"])
+                for entry in self.tasks]
 
 
 @dataclass(frozen=True)

@@ -28,8 +28,10 @@ Client -> server
 ----------------
 ``HELLO``         ``{worker, site, protocol}`` — register; must precede
                   the rest.
-``REQUEST_TASK``  ``{job_id?}`` — pull the next task for the client's
-                  site, optionally scoped to one job.
+``REQUEST_TASK``  ``{job_id?, max_tasks?}`` — pull the next task(s) for
+                  the client's site, optionally scoped to one job.
+                  ``max_tasks`` (v2-compatible: absent means 1) asks
+                  for up to k leased tasks in one ``TASK_BATCH`` reply.
 ``TASK_DONE``     ``{task_id, lease_id}`` — a task finished; the lease
                   must still be valid or the completion is rejected.
 ``HEARTBEAT``     ``{lease_ids?}`` — renew leases (all held if omitted).
@@ -46,8 +48,14 @@ Server -> client
                    lease TTL and suggested heartbeat interval.
 ``TASK``           ``{task_id, files, flops, lease_id, lease_ttl,
                    job_id}`` — a leased assignment.
+``TASK_BATCH``     ``{tasks: [{task_id, files, flops, lease_id,
+                   job_id}, ...], lease_ttl}`` — up to ``max_tasks``
+                   leased assignments, one lease per task; only ever
+                   sent in reply to a ``REQUEST_TASK`` that carried
+                   ``max_tasks``.
 ``NO_TASK``        ``{reason}`` — one of :data:`NO_TASK_REASONS`;
-                   disconnect.
+                   disconnect.  Batched requests get the same closed
+                   enum.
 ``ACK``            ``{accepted, reason?}`` — success/rejection for
                    ``TASK_DONE``/``FILE_DELTA``/``DRAIN``.
 ``HEARTBEAT_ACK``  ``{renewed, expired}`` — lease renewal outcome.
@@ -84,6 +92,7 @@ DRAIN = "DRAIN"
 # server -> client
 WELCOME = "WELCOME"
 TASK = "TASK"
+TASK_BATCH = "TASK_BATCH"
 NO_TASK = "NO_TASK"
 ACK = "ACK"
 HEARTBEAT_ACK = "HEARTBEAT_ACK"
@@ -107,12 +116,16 @@ class ProtocolError(ValueError):
     """A message violated the wire format."""
 
 
+#: Shared encoder: ``json.dumps`` with non-default separators builds a
+#: fresh ``JSONEncoder`` per call, which shows up at wire rates.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), ensure_ascii=True)
+
+
 def encode(message: Dict[str, Any]) -> bytes:
     """One message -> one ``\\n``-terminated JSON line."""
     if "type" not in message:
         raise ProtocolError("message has no 'type'")
-    line = json.dumps(message, separators=(",", ":"),
-                      ensure_ascii=True).encode("ascii")
+    line = _ENCODER.encode(message).encode("ascii")
     if len(line) > MAX_MESSAGE_BYTES:
         raise ProtocolError(
             f"message of {len(line)} bytes exceeds {MAX_MESSAGE_BYTES}")
@@ -125,8 +138,10 @@ def decode(line: bytes) -> Dict[str, Any]:
         raise ProtocolError(
             f"line of {len(line)} bytes exceeds {MAX_MESSAGE_BYTES}")
     try:
-        message = json.loads(line)
-    except json.JSONDecodeError as exc:
+        # Explicit decode: skips json's pure-python encoding sniffing
+        # and turns undecodable bytes into a clean ProtocolError.
+        message = json.loads(line.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         raise ProtocolError(f"bad JSON: {exc}") from exc
     if not isinstance(message, dict):
         raise ProtocolError(

@@ -230,12 +230,29 @@ class SchedulerServer:
                 if not future.done():
                     future.set_result(outcome)
 
-            service.request_task(worker_key, site_id, deliver,
-                                 job_id=message.job_id)
+            if message.max_tasks is None:
+                # Plain v2 single-task pull: unchanged TASK reply.
+                service.request_task(worker_key, site_id, deliver,
+                                     job_id=message.job_id)
+            else:
+                service.request_tasks(worker_key, site_id,
+                                      message.max_tasks, deliver,
+                                      job_id=message.job_id)
             outcome = await future
             if isinstance(outcome, str):  # a NO_TASK reason
+                # Batched or not, the refusal carries the same closed
+                # reason enum.
                 return (messages.NoTask(reason=outcome),
                         site_id, worker_key)
+            if isinstance(outcome, list):  # batched pull
+                return (messages.TaskBatch(
+                    tasks=[{"task_id": granted.task.task_id,
+                            "files": sorted(granted.task.files),
+                            "flops": granted.task.flops,
+                            "lease_id": granted.lease_id,
+                            "job_id": granted.job_id}
+                           for granted in outcome],
+                    lease_ttl=service.lease_ttl), site_id, worker_key)
             return (messages.TaskAssign(
                 task_id=outcome.task.task_id,
                 files=sorted(outcome.task.files),

@@ -77,8 +77,9 @@ class CompletionResult:
     reason: Optional[str] = None
 
 
-#: ``deliver`` receives an Assignment, or a NO_TASK reason string.
-Deliver = Callable[[Union[Assignment, str]], None]
+#: ``deliver`` receives an Assignment (single pull), a non-empty list
+#: of Assignments (batched pull), or a NO_TASK reason string.
+Deliver = Callable[[Union[Assignment, List[Assignment], str]], None]
 
 
 class _Lease:
@@ -119,14 +120,21 @@ class _JobState:
 
 
 class _ParkedRequest:
-    __slots__ = ("worker", "site_id", "job_id", "deliver")
+    __slots__ = ("worker", "site_id", "job_id", "deliver", "max_tasks",
+                 "batched")
 
     def __init__(self, worker: str, site_id: int,
-                 job_id: Optional[int], deliver: Deliver):
+                 job_id: Optional[int], deliver: Deliver,
+                 max_tasks: int = 1, batched: bool = False):
         self.worker = worker
         self.site_id = site_id
         self.job_id = job_id
         self.deliver = deliver
+        #: Up to how many tasks one answer may grant.
+        self.max_tasks = max_tasks
+        #: Whether ``deliver`` expects a list (``TASK_BATCH`` shape)
+        #: instead of a bare :class:`Assignment`.
+        self.batched = batched
 
 
 class _TaskTable:
@@ -318,10 +326,37 @@ class SchedulerService:
         task will ever come — disconnect".  ``job_id`` scopes the pull
         to one job's tasks (and its completion answers ``job-done``).
         """
+        self._request(worker, site_id, deliver, job_id=job_id,
+                      max_tasks=1, batched=False)
+
+    def request_tasks(self, worker: str, site_id: int, max_tasks: int,
+                      deliver: Deliver,
+                      job_id: Optional[int] = None) -> None:
+        """Batched pull: answer with up to ``max_tasks`` leased tasks.
+
+        ``deliver`` receives a non-empty ``List[Assignment]`` (the
+        ``TASK_BATCH`` shape — between 1 and ``max_tasks`` tasks, each
+        under its own lease) or a ``NO_TASK`` reason string; a pull
+        that cannot be answered yet parks exactly like a single-task
+        one.  Tasks are drawn by iterated sampling without
+        replacement (see :meth:`PolicyEngine.choose_many`), so
+        ``max_tasks == 1`` is decision-for-decision identical to
+        :meth:`request_task`.
+        """
+        if not protocol.is_int(max_tasks) or max_tasks < 1:
+            raise ServiceError(
+                f"max_tasks must be an int >= 1, got {max_tasks!r}")
+        self._request(worker, site_id, deliver, job_id=job_id,
+                      max_tasks=max_tasks, batched=True)
+
+    def _request(self, worker: str, site_id: int, deliver: Deliver,
+                 job_id: Optional[int], max_tasks: int,
+                 batched: bool) -> None:
         self.ensure_site(site_id)
         if job_id is not None and job_id not in self._jobs:
             raise ServiceError(f"unknown job id {job_id!r}")
-        entry = _ParkedRequest(worker, site_id, job_id, deliver)
+        entry = _ParkedRequest(worker, site_id, job_id, deliver,
+                               max_tasks=max_tasks, batched=batched)
         if not self._try_answer(entry):
             # Park until the situation changes (work arrives, a lease
             # expires, the job/server finishes, or a drain starts).
@@ -336,21 +371,41 @@ class SchedulerService:
             elif self._draining:
                 entry.deliver(protocol.REASON_DRAINING)
             elif job.pending:
-                entry.deliver(self._assign(entry.worker, entry.site_id,
-                                           job))
+                self._deliver_assignments(entry, job)
             else:
                 return False  # all of the job's tasks are outstanding
             return True
         if self._draining:
             entry.deliver(protocol.REASON_DRAINING)
         elif self.engine.has_pending:
-            entry.deliver(self._assign(entry.worker, entry.site_id,
-                                       None))
+            self._deliver_assignments(entry, None)
         elif self._next_task_id > 0 and self.is_idle:
             entry.deliver(protocol.REASON_IDLE)
         else:
             return False  # no job yet, or work outstanding: park
         return True
+
+    def _deliver_assignments(self, entry: _ParkedRequest,
+                             job: Optional[_JobState]) -> None:
+        """Grant up to ``entry.max_tasks`` tasks and deliver them.
+
+        Each grant goes through :meth:`_assign` — one full decision
+        (weights recomputed), one lease, one stats/event record — so
+        the draw sequence is exactly ``PolicyEngine.choose_many``'s
+        iterated sampling without replacement, with the service's
+        bookkeeping interleaved per task.
+        """
+        assignments = [self._assign(entry.worker, entry.site_id, job)]
+        while (len(assignments) < entry.max_tasks
+               and (job.pending if job is not None
+                    else self.engine.has_pending)):
+            assignments.append(
+                self._assign(entry.worker, entry.site_id, job))
+        if entry.batched:
+            self.stats.record_batch(len(assignments))
+            entry.deliver(assignments)
+        else:
+            entry.deliver(assignments[0])
 
     def _assign(self, worker: str, site_id: int,
                 job: Optional[_JobState]) -> Assignment:
@@ -492,15 +547,20 @@ class SchedulerService:
         sharing a site) are idempotent no-ops.
         """
         self.ensure_site(site_id)
-        for fid in removed:
-            self.engine.file_removed(site_id, fid)
-        for fid in added:
-            self.engine.file_added(site_id, fid)
+        duplicate_removes = sum(
+            0 if self.engine.file_removed(site_id, fid) else 1
+            for fid in removed)
+        duplicate_adds = sum(
+            0 if self.engine.file_added(site_id, fid) else 1
+            for fid in added)
         for fid in referenced:
             self.engine.file_referenced(site_id, fid)
-        self.stats.record_delta(len(added), len(removed), len(referenced))
+        self.stats.record_delta(len(added), len(removed), len(referenced),
+                                duplicate_adds=duplicate_adds,
+                                duplicate_removes=duplicate_removes)
         self._emit("delta", site=site_id, added=len(added),
-                   removed=len(removed), referenced=len(referenced))
+                   removed=len(removed), referenced=len(referenced),
+                   duplicates=duplicate_adds + duplicate_removes)
 
     # -- lifecycle -------------------------------------------------------
     def disconnect(self, worker: str) -> int:

@@ -54,6 +54,16 @@ _COUNTERS = {
                       "File-delta evictions reported by workers"),
     "files_referenced": ("repro_files_referenced_total",
                          "File references reported by workers"),
+    "batch_requests": ("repro_batch_requests_total",
+                       "REQUEST_TASK pulls that carried max_tasks"),
+    "batched_assignments": ("repro_batched_assignments_total",
+                            "Tasks handed out inside TASK_BATCH replies"),
+    "delta_duplicate_adds": ("repro_delta_duplicate_adds_total",
+                             "FILE_DELTA adds that were already "
+                             "resident (redundant wire traffic)"),
+    "delta_duplicate_removes": ("repro_delta_duplicate_removes_total",
+                                "FILE_DELTA removes that were already "
+                                "gone (redundant wire traffic)"),
 }
 
 #: ``bind_live`` keyword -> (gauge name, help).  Callback gauges over
@@ -146,6 +156,14 @@ class ServeStats:
             "overlap_hits / assignments per site",
             labelnames=("site",))
         self._sites: Dict[int, _SiteCounters] = {}
+        #: Batch-size histogram: granted batch size -> request count.
+        #: (Small closed domain — sizes are 1..k — so exact counts per
+        #: size beat log-spaced latency buckets.)
+        self._batch_size_counter = reg.counter(
+            "repro_assignment_batch_size_total",
+            "REQUEST_TASK batch pulls by granted batch size",
+            labelnames=("size",))
+        self._batch_sizes: Dict[int, int] = {}
 
     # -- recording -------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
@@ -173,11 +191,21 @@ class ServeStats:
         site.rate_gauge.set(site.hit_counter.value
                             / site.assignment_counter.value)
 
-    def record_delta(self, added: int, removed: int,
-                     referenced: int) -> None:
+    def record_batch(self, granted: int) -> None:
+        """One answered batched pull that granted ``granted`` tasks."""
+        self._counters["batch_requests"].inc()
+        self._counters["batched_assignments"].inc(granted)
+        self._batch_size_counter.labels(size=str(granted)).inc()
+        self._batch_sizes[granted] = self._batch_sizes.get(granted, 0) + 1
+
+    def record_delta(self, added: int, removed: int, referenced: int,
+                     duplicate_adds: int = 0,
+                     duplicate_removes: int = 0) -> None:
         self._counters["files_added"].inc(added)
         self._counters["files_removed"].inc(removed)
         self._counters["files_referenced"].inc(referenced)
+        self._counters["delta_duplicate_adds"].inc(duplicate_adds)
+        self._counters["delta_duplicate_removes"].inc(duplicate_removes)
 
     def bind_live(self, **callbacks: Callable[[], float]) -> None:
         """Register live callback gauges (queue depth, leases, ...).
@@ -246,6 +274,16 @@ class ServeStats:
                 "added": self.files_added,
                 "removed": self.files_removed,
                 "referenced": self.files_referenced,
+            },
+            "delta_dedup": {
+                "duplicate_adds": self.delta_duplicate_adds,
+                "duplicate_removes": self.delta_duplicate_removes,
+            },
+            "batches": {
+                "requests": self.batch_requests,
+                "tasks": self.batched_assignments,
+                "sizes": {str(size): count for size, count
+                          in sorted(self._batch_sizes.items())},
             },
             "sites": sites,
         }

@@ -57,10 +57,8 @@ def _stripe(tasks: Sequence[Task], stripes: int) -> List[Task]:
     block = max(1, -(-len(tasks) // stripes))
     blocks = [list(tasks[i:i + block]) for i in range(0, len(tasks), block)]
     out: List[Task] = []
-    position = 0
     while any(blocks):
         for chunk in blocks:
             if chunk:
                 out.append(chunk.pop(0))
-        position += 1
     return out

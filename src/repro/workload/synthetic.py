@@ -16,7 +16,7 @@ examples, and sensitivity studies:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List
 
 from ..grid.files import FileCatalog, MB
 from ..grid.job import Job, Task

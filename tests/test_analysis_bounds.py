@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.analysis.bounds import MakespanBounds, compute_bounds, efficiency
+from repro.analysis.bounds import compute_bounds, efficiency
 from repro.exp import ExperimentConfig, run_experiment
 from repro.exp.runner import build_job
 

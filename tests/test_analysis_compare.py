@@ -2,9 +2,11 @@
 
 import pytest
 
-from repro.analysis.compare import (RankedAlgorithm, SampleSummary,
-                                    format_ranking, rank_algorithms,
-                                    significantly_less, summarize, welch_t)
+from repro.analysis.compare import (format_ranking,
+    rank_algorithms,
+    significantly_less,
+    summarize,
+    welch_t)
 
 
 def test_summarize_basic():

@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.metrics import load_imbalance, site_task_counts
 from repro.analysis.trace import TaskAssigned, TaskCompleted, TraceBus
 from repro.exp import ExperimentConfig, run_experiment
-from repro.exp.runner import build_job
 
 
 def test_load_imbalance_even():

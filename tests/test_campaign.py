@@ -3,11 +3,10 @@
 import pytest
 
 from repro.exp import ExperimentConfig
-from repro.exp.campaign import CampaignResult, run_campaign
+from repro.exp.campaign import run_campaign
 from repro.grid.files import FileCatalog
 from repro.grid.job import Job, Task
-from repro.workload.campaign import (Campaign, CampaignJob, coadd_campaign,
-                                     concat_jobs)
+from repro.workload.campaign import coadd_campaign, concat_jobs
 from repro.workload.coadd import CoaddParams
 
 

@@ -1,7 +1,6 @@
 """White-box tests of scheduler internals: storage affinity's initial
 distribution, XSufferage's estimators, worker-centric candidate heaps."""
 
-import random
 
 import pytest
 

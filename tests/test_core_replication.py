@@ -1,6 +1,5 @@
 """DataReplicator: popularity-threshold proactive pushes."""
 
-import random
 
 import pytest
 

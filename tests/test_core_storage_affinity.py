@@ -1,6 +1,5 @@
 """StorageAffinityScheduler: distribution, queues, replication, cancel."""
 
-import random
 
 import pytest
 

@@ -81,7 +81,7 @@ def test_replica_completion_flagged_only_when_expected(env, tiny_job):
 
 def test_strict_mode_raises_immediately(env, tiny_job):
     grid = make_grid(env, tiny_job)
-    validator = GridValidator(grid, strict=True)
+    GridValidator(grid, strict=True)
     with pytest.raises(InvariantViolation):
         grid.trace.emit(TaskStarted(time=0.0, task_id=0, worker="w",
                                     site=0))

@@ -8,7 +8,6 @@ from repro.grid.file_server import FileServer
 from repro.grid.files import FileCatalog
 from repro.grid.storage import SiteStorage
 from repro.net import FlowNetwork, Topology
-from repro.sim import Environment
 
 
 def make_server(env, capacity=100, num_files=50, file_size=10.0,
@@ -81,7 +80,7 @@ def test_touch_records_references(env):
 
 def test_cancel_queued_request(env):
     server, storage, _, _ = make_server(env)
-    first = server.submit([1], "w1")
+    server.submit([1], "w1")
     second = server.submit([2], "w2")
     server.cancel(second)
     assert second.done.triggered
@@ -129,7 +128,7 @@ def test_cancel_is_idempotent(env):
 
 def test_stats_accumulate(env):
     server, _, _, _ = make_server(env)
-    first = server.submit([1, 2], "w")
+    server.submit([1, 2], "w")
     second = server.submit([3], "w")
     env.run_until_event(second.done)
     stats = server.stats

@@ -8,7 +8,6 @@ from repro.grid.file_server import FileServer
 from repro.grid.files import FileCatalog
 from repro.grid.storage import SiteStorage
 from repro.net import FlowNetwork, Topology
-from repro.sim import Environment
 
 
 def make_server(env, parallelism, capacity=100, bandwidth=10.0,

@@ -6,7 +6,6 @@ from repro.grid.file_server import FileServer
 from repro.grid.files import FileCatalog
 from repro.grid.scheduler_api import GridScheduler
 from repro.net import FlowNetwork, Topology
-from repro.sim import Environment
 
 
 def make_file_server(env, num_files=10, size=100.0):

@@ -1,7 +1,6 @@
 """Edge cases across smaller surfaces: report formatting, worker
 accounting, figures scaling helpers, config catalog helpers."""
 
-import pytest
 
 from repro.exp import ExperimentConfig
 from repro.exp.figures import BENCH, PAPER, SMALL, _workers_capacity

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net import FlowNetwork, Topology
-from repro.sim import Environment
 
 
 def finish_times(env, net, transfers):

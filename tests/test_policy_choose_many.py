@@ -1,0 +1,164 @@
+"""``PolicyEngine.choose_many``: iterated ChooseTask(n) sampling
+*without replacement*.
+
+Contracts pinned here:
+
+* a ``choose_many(site, k)`` draw sequence is bit-identical to k
+  manual ``choose`` + ``remove_task`` iterations on a twin engine
+  (same metric, n, seed) — including RNG consumption, so everything
+  the engine does *afterwards* also stays identical;
+* ``k == 1`` is decision-for-decision identical to one ``choose``
+  call followed by ``remove_task`` (the protocol-v2 single-task
+  assignment path);
+* no task is ever drawn twice and every drawn task is retired from
+  the pending set;
+* ``eligible`` scoping restricts the draws exactly as it does for
+  ``choose``;
+* a short pending set yields a short batch, never an error.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policy_engine import PolicyEngine
+from repro.grid.job import Task
+
+
+def build_engine(task_files, resident, metric, n, seed, sites=(0, 1)):
+    tasks = {task_id: Task(task_id, frozenset(files))
+             for task_id, files in enumerate(task_files)}
+    engine = PolicyEngine(tasks, metric=metric, n=n,
+                          rng=random.Random(seed))
+    for site in sites:
+        engine.attach_site(site)
+    for task in tasks.values():
+        engine.add_task(task)
+    for site, fid in resident:
+        engine.file_added(site, fid)
+    return engine
+
+
+@st.composite
+def engine_params(draw):
+    num_files = draw(st.integers(3, 20))
+    num_tasks = draw(st.integers(1, 10))
+    task_files = [
+        draw(st.sets(st.integers(0, num_files - 1), min_size=1,
+                     max_size=min(6, num_files)))
+        for _ in range(num_tasks)
+    ]
+    resident = draw(st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, num_files - 1)),
+        max_size=15))
+    metric = draw(st.sampled_from(
+        ["overlap", "rest", "combined", "combined-literal"]))
+    n = draw(st.sampled_from([1, 2, 3]))
+    seed = draw(st.integers(0, 2**16))
+    k = draw(st.integers(1, num_tasks + 2))
+    site = draw(st.integers(0, 1))
+    return task_files, resident, metric, n, seed, k, site
+
+
+@given(engine_params())
+@settings(max_examples=60, deadline=None)
+def test_choose_many_equals_iterated_choose(params):
+    task_files, resident, metric, n, seed, k, site = params
+    engine = build_engine(task_files, resident, metric, n, seed)
+    twin = build_engine(task_files, resident, metric, n, seed)
+
+    drawn = engine.choose_many(site, k)
+    expected = []
+    while len(expected) < k and twin.has_pending:
+        task = twin.choose(site)
+        twin.remove_task(task)
+        expected.append(task)
+    assert [t.task_id for t in drawn] == [t.task_id for t in expected]
+    assert engine.decisions == twin.decisions
+
+    # RNG and index state must match afterwards too: draining the
+    # rest one at a time gives identical tails.
+    while engine.has_pending:
+        tail = engine.choose(site)
+        engine.remove_task(tail)
+        twin_tail = twin.choose(site)
+        twin.remove_task(twin_tail)
+        assert tail.task_id == twin_tail.task_id
+    assert not twin.has_pending
+
+
+@given(engine_params())
+@settings(max_examples=60, deadline=None)
+def test_choose_many_is_without_replacement(params):
+    task_files, resident, metric, n, seed, k, site = params
+    engine = build_engine(task_files, resident, metric, n, seed)
+    before = len(task_files)
+
+    drawn = [task.task_id for task in engine.choose_many(site, k)]
+    assert len(drawn) == len(set(drawn)), "a task was drawn twice"
+    assert len(drawn) == min(k, before)
+    # Every drawn task is retired: a full drain never sees it again.
+    remainder = []
+    while engine.has_pending:
+        task = engine.choose(site)
+        engine.remove_task(task)
+        remainder.append(task.task_id)
+    assert not set(drawn) & set(remainder)
+    assert sorted(drawn + remainder) == list(range(before))
+
+
+@given(engine_params())
+@settings(max_examples=40, deadline=None)
+def test_k1_is_identical_to_choose_then_remove(params):
+    task_files, resident, metric, n, seed, _, site = params
+    engine = build_engine(task_files, resident, metric, n, seed)
+    twin = build_engine(task_files, resident, metric, n, seed)
+
+    # Drain both engines fully: one via k=1 batches, one via the
+    # plain single-task path.  The sequences must be bit-identical.
+    batched, plain = [], []
+    while engine.has_pending:
+        batch = engine.choose_many(site, 1)
+        assert len(batch) == 1
+        batched.append(batch[0].task_id)
+    while twin.has_pending:
+        task = twin.choose(site)
+        twin.remove_task(task)
+        plain.append(task.task_id)
+    assert batched == plain
+    assert engine.decisions == twin.decisions
+
+
+def test_choose_many_respects_eligible_scope():
+    engine = build_engine([{1}, {2, 3}, {4}, {5, 6}], [], "rest", 1, 0)
+    drawn = engine.choose_many(0, 4, eligible={1, 3})
+    assert sorted(task.task_id for task in drawn) == [1, 3]
+    # The ineligible tasks are still pending for everyone else.
+    rest = engine.choose_many(0, 4)
+    assert sorted(task.task_id for task in rest) == [0, 2]
+
+
+def test_choose_many_short_pending_yields_short_batch():
+    engine = build_engine([{1}, {2}], [], "rest", 1, 0)
+    assert len(engine.choose_many(0, 8)) == 2
+    assert engine.choose_many(0, 3) == []
+
+
+def test_choose_many_rejects_bad_k():
+    engine = build_engine([{1}], [], "rest", 1, 0)
+    with pytest.raises(ValueError):
+        engine.choose_many(0, 0)
+    with pytest.raises(ValueError):
+        engine.choose_many(0, -2)
+
+
+def test_choose_many_is_deterministic_per_seed():
+    draws = []
+    for _ in range(2):
+        engine = build_engine(
+            [{1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}],
+            [(0, 2), (0, 4)], "combined", 2, 1234)
+        draws.append([t.task_id for t in engine.choose_many(0, 5)])
+    assert draws[0] == draws[1]

@@ -131,7 +131,6 @@ def test_flows_all_complete_and_conserve_bytes(plan):
     assert net.bytes_transferred == pytest.approx(
         sum(size for size, _d in flows))
     total_bytes = sum(size for size, _d in flows)
-    last_start = max(delay for _s, delay in flows)
     # no flow can finish before its own serial minimum, and the whole
     # batch cannot beat the aggregate bandwidth bound
     for (size, delay), result in zip(flows, sorted(

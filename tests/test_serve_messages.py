@@ -13,6 +13,8 @@ CLIENT_SAMPLES = [
                    protocol=protocol.PROTOCOL_VERSION),
     messages.RequestTask(),
     messages.RequestTask(job_id=4),
+    messages.RequestTask(max_tasks=8),
+    messages.RequestTask(job_id=4, max_tasks=2),
     messages.TaskDone(task_id=7, lease_id=12),
     messages.Heartbeat(),
     messages.Heartbeat(lease_ids=[1, 2, 3]),
@@ -30,6 +32,12 @@ SERVER_SAMPLES = [
                      lease_ttl=30.0, heartbeat_interval=10.0),
     messages.TaskAssign(task_id=5, files=[1, 9], flops=2.5,
                         lease_id=77, lease_ttl=30.0, job_id=1),
+    messages.TaskBatch(tasks=[
+        {"task_id": 5, "files": [1, 9], "flops": 2.5,
+         "lease_id": 77, "job_id": 1},
+        {"task_id": 6, "files": [2], "flops": 0.0,
+         "lease_id": 78, "job_id": 1},
+    ], lease_ttl=30.0),
     messages.NoTask(reason=protocol.REASON_JOB_DONE),
     messages.Ack(),
     messages.Ack(accepted=False, reason="stale-lease"),
@@ -58,7 +66,8 @@ def test_every_wire_type_is_covered():
     """The typed registries span the full protocol constant set."""
     assert set(messages.ClientMessage.REGISTRY) == protocol.CLIENT_TYPES
     assert set(messages.ServerMessage.REGISTRY) == {
-        protocol.WELCOME, protocol.TASK, protocol.NO_TASK,
+        protocol.WELCOME, protocol.TASK, protocol.TASK_BATCH,
+        protocol.NO_TASK,
         protocol.ACK, protocol.HEARTBEAT_ACK, protocol.JOB_ACCEPTED,
         protocol.JOB_STATUS, protocol.STATS, protocol.ERROR}
 

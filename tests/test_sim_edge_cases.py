@@ -1,6 +1,5 @@
 """Kernel edge cases: nested conditions, event bridging, store churn."""
 
-import pytest
 
 from repro.sim import (AllOf, AnyOf, Environment, Event, Interrupt,
                        PriorityStore, Resource, Store)

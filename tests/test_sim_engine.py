@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim import (EmptyScheduleError, Environment,
                        SchedulingInPastError)
-from repro.sim.events import Event, NORMAL, URGENT
+from repro.sim.events import Event, URGENT
 
 
 def test_initial_time_defaults_to_zero():

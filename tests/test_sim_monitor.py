@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.sim import Environment
 from repro.sim.monitor import StateMonitor, grid_probes
 
 

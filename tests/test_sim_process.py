@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Event, Interrupt
+from repro.sim import Interrupt
 
 
 def test_process_runs_to_completion(env):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, PriorityStore, Resource, Store
+from repro.sim import PriorityStore, Resource, Store
 
 
 def test_resource_grants_up_to_capacity(env):
@@ -16,7 +16,7 @@ def test_resource_grants_up_to_capacity(env):
 
 def test_resource_release_wakes_fifo(env):
     resource = Resource(env, capacity=1)
-    held = resource.request()
+    resource.request()
     waiting_a = resource.request()
     waiting_b = resource.request()
     resource.release()
