@@ -239,7 +239,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         service = SchedulerService(metric=args.metric, n=args.n,
                                    seed=args.seed,
                                    lease_ttl=args.lease_ttl,
-                                   events=events, tracer=tracer)
+                                   events=events, tracer=tracer,
+                                   fast_path=args.kernel == "fast")
         server = SchedulerServer(service, host=args.host,
                                  port=args.port,
                                  stats_interval=args.stats_interval)
@@ -406,6 +407,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--n", type=int, default=2,
                               help="ChooseTask(n) candidate-set size")
     serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--kernel", default="fast",
+                              choices=["fast", "reference"],
+                              help="decision kernel: the sublinear "
+                                   "fast path (default) or the "
+                                   "decision-identical reference scan "
+                                   "(latency ablation only)")
     serve_parser.add_argument("--lease-ttl", type=float, default=30.0,
                               help="seconds before an unrenewed task "
                                    "lease expires and the task is "

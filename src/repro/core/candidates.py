@@ -1,0 +1,147 @@
+"""Integer-keyed candidate buckets for sublinear ChooseTask(n).
+
+The ``overlap`` and ``rest`` metrics weigh a task by a *monotone*
+function of one small integer — the overlap cardinality ``|F_t|`` or
+the missing-file count ``|t| - |F_t|`` — so the top-n candidates at a
+site are exactly the first n task ids found by walking the buckets of
+that integer in weight order (best key first, ascending task id within
+a key, since equal keys mean bit-equal weights and the engine breaks
+ties by lowest id).
+
+:class:`CandidateBuckets` maintains key -> ordered-task-id buckets
+under the overlap index's O(1)-per-event update discipline:
+
+* ``add`` / ``move`` / ``remove`` cost O(log b) in the bucket size
+  (one heap push plus set/dict updates) — effectively constant;
+* ``top(n)`` walks the non-empty keys in sorted order and pops the n
+  smallest *live* ids using per-bucket lazy-deletion heaps, touching
+  O(n + stale entries + buckets visited) entries instead of every
+  candidate.  Stale heap entries (ids that moved or left) are dropped
+  permanently when encountered, so each costs O(log b) once, amortized
+  against the mutation that created it.
+
+The number of distinct keys is bounded by the largest per-task file
+count (single digits for the paper's workloads), never by the pending
+queue depth — which is what makes the decision kernel sublinear in T.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+
+class CandidateBuckets:
+    """Mutable key -> ordered set of task ids, with ranked retrieval."""
+
+    __slots__ = ("_key_of", "_live", "_heaps")
+
+    def __init__(self) -> None:
+        self._key_of: Dict[int, int] = {}       # task id -> current key
+        self._live: Dict[int, Set[int]] = {}    # key -> live task ids
+        self._heaps: Dict[int, List[int]] = {}  # key -> lazy min-heap
+
+    # -- mutation --------------------------------------------------------
+    def add(self, task_id: int, key: int) -> None:
+        """Track ``task_id`` under ``key``; it must not be tracked yet."""
+        if task_id in self._key_of:
+            raise ValueError(f"task {task_id} already bucketed "
+                             f"(key {self._key_of[task_id]})")
+        self._key_of[task_id] = key
+        live = self._live.get(key)
+        if live is None:
+            live = self._live[key] = set()
+            self._heaps[key] = []
+        live.add(task_id)
+        heapq.heappush(self._heaps[key], task_id)
+
+    def remove(self, task_id: int) -> None:
+        """Stop tracking ``task_id`` (its heap entry dies lazily)."""
+        key = self._key_of.pop(task_id)  # KeyError if not tracked
+        live = self._live[key]
+        live.discard(task_id)
+        if not live:
+            # Dropping the whole bucket also discards any stale heap
+            # entries in one go; a future add rebuilds it fresh.
+            del self._live[key]
+            del self._heaps[key]
+
+    def move(self, task_id: int, key: int) -> None:
+        """Re-bucket ``task_id`` under a new key (overlap changed)."""
+        self.remove(task_id)
+        self.add(task_id, key)
+
+    # -- queries ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._key_of)
+
+    def __contains__(self, task_id: int) -> bool:
+        return task_id in self._key_of
+
+    def key_of(self, task_id: int) -> Optional[int]:
+        return self._key_of.get(task_id)
+
+    def keys(self, reverse: bool = False) -> List[int]:
+        """Non-empty bucket keys, sorted (count, not queue-sized)."""
+        return sorted(self._live, reverse=reverse)
+
+    def smallest(self, key: int, count: int) -> List[int]:
+        """The ``count`` smallest live ids under ``key``, ascending.
+
+        Pops the bucket's lazy heap: stale entries (removed or moved
+        ids) and duplicates are dropped permanently, live ids that were
+        merely inspected are pushed back, so repeated retrievals stay
+        cheap and the heap never grows beyond total inserts.
+        """
+        live = self._live.get(key)
+        if not live or count <= 0:
+            return []
+        heap = self._heaps[key]
+        taken: List[int] = []
+        seen: Set[int] = set()
+        while heap and len(taken) < count:
+            task_id = heapq.heappop(heap)
+            if task_id in live and task_id not in seen:
+                taken.append(task_id)
+                seen.add(task_id)
+            # else: stale (moved/removed) or a duplicate entry from a
+            # remove-then-re-add cycle — drop it for good.
+        for task_id in taken:
+            heapq.heappush(heap, task_id)
+        return taken
+
+    def top(self, count: int, reverse: bool = False
+            ) -> List[Tuple[int, int]]:
+        """The best ``count`` candidates as ``(key, task_id)`` pairs.
+
+        ``reverse=False`` ranks the *smallest* key best (missing-count
+        buckets for ``rest``); ``reverse=True`` ranks the largest key
+        best (overlap-count buckets for ``overlap``).  Within a key,
+        ascending task id.  The result is sorted best-first.
+        """
+        out: List[Tuple[int, int]] = []
+        for key in sorted(self._live, reverse=reverse):
+            for task_id in self.smallest(key, count - len(out)):
+                out.append((key, task_id))
+            if len(out) >= count:
+                break
+        return out
+
+    # -- verification ----------------------------------------------------
+    def as_dict(self) -> Dict[int, int]:
+        """``{task_id: key}`` snapshot (invariant checks in tests)."""
+        return dict(self._key_of)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(self._key_of.items())
+
+    def check(self) -> None:
+        """Raise AssertionError if internal structures disagree."""
+        rebuilt: Dict[int, Set[int]] = {}
+        for task_id, key in self._key_of.items():
+            rebuilt.setdefault(key, set()).add(task_id)
+        assert rebuilt == self._live, (rebuilt, self._live)
+        assert set(self._heaps) == set(self._live)
+        for key, live in self._live.items():
+            assert live <= set(self._heaps[key]), (
+                f"live ids missing from heap for key {key}")

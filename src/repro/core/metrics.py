@@ -131,6 +131,70 @@ METRICS = {
     "combined-literal": combined_literal_metric,
 }
 
+
+# -- allocation-free fast-path scorers ---------------------------------------
+#
+# The TaskView dataclass is the right interface for correctness code,
+# but building one frozen dataclass per task scored dominates the
+# decision loop at large queue depths.  These scorers compute the same
+# weights from the raw integers/floats the overlap index already holds
+# — the arithmetic is expression-for-expression identical to the
+# TaskView metrics above, so the resulting floats are bit-equal (the
+# differential suite in tests/test_policy_fast_path.py pins this).
+
+def fast_overlap(num_files: int, overlap: int, refsum: float,
+                 total_refsum: float, total_rest: float) -> float:
+    """``overlap_metric`` without the TaskView."""
+    return float(overlap)
+
+
+def fast_rest(num_files: int, overlap: int, refsum: float,
+              total_refsum: float, total_rest: float) -> float:
+    """``rest_metric`` without the TaskView."""
+    missing = num_files - overlap
+    return 1.0 / max(missing, _REST_FLOOR)
+
+
+def fast_combined(num_files: int, overlap: int, refsum: float,
+                  total_refsum: float, total_rest: float) -> float:
+    """``combined_metric`` without the TaskView."""
+    missing = num_files - overlap
+    ref_term = refsum / total_refsum if total_refsum > 0 else 0.0
+    rest = 1.0 / max(missing, _REST_FLOOR)
+    rest_term = rest / total_rest if total_rest > 0 else 0.0
+    return ref_term + rest_term
+
+
+def fast_combined_literal(num_files: int, overlap: int, refsum: float,
+                          total_refsum: float,
+                          total_rest: float) -> float:
+    """``combined_literal_metric`` without the TaskView."""
+    missing = num_files - overlap
+    ref_term = refsum / total_refsum if total_refsum > 0 else 0.0
+    rest = 1.0 / max(missing, _REST_FLOOR)
+    return ref_term + total_rest / rest
+
+
+#: Metric name -> raw-argument scorer (fast path).  Signature:
+#: ``scorer(num_files, overlap, refsum, total_refsum, total_rest)``.
+FAST_SCORERS = {
+    "overlap": fast_overlap,
+    "rest": fast_rest,
+    "combined": fast_combined,
+    "combined-literal": fast_combined_literal,
+}
+
+#: Metrics whose weight is a monotone function of one small integer
+#: (the bucket key), so unscoped top-n retrieval can walk the
+#: candidate buckets instead of scoring every candidate:
+#:   * ``overlap`` — w = |F_t|, increasing in the overlap count;
+#:   * ``rest`` — w = 1/max(|t|-|F_t|, 1/2), strictly decreasing in
+#:     the missing count.
+#: ``combined``/``combined-literal`` mix in the global normalizers
+#: totalRef/totalRest, so no order-preserving per-task integer key
+#: exists and they stay on the scoring loop.
+BUCKETED_METRICS = frozenset({"overlap", "rest"})
+
 #: How zero-overlap tasks rank under each metric.  All zero-overlap
 #: tasks share ``refsum = 0`` and ``overlap = 0``, so their relative
 #: order depends only on |t|:

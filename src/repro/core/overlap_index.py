@@ -20,6 +20,13 @@ per request.
 recomputation (:meth:`naive_overlap`, :meth:`naive_refsum`) is kept for
 cross-checking in tests and the index-vs-rescan ablation benchmark.
 
+On top of the per-task counters each site keeps two
+:class:`~repro.core.candidates.CandidateBuckets` — overlap-count →
+task ids and missing-count → task ids — maintained in step with
+``overlap[t]``.  They give the policy engine's fast path ranked
+candidate retrieval without scanning (``overlap``/``rest`` weights are
+monotone in those integer keys); see ``docs/performance.md``.
+
 ``totalRest`` decomposes as::
 
     totalRest = Σ_{t pending} rest(|t| - ov_t)
@@ -39,6 +46,7 @@ from ..grid.job import Job, Task
 from ..grid.storage import SiteStorage
 from fractions import Fraction
 
+from .candidates import CandidateBuckets
 from .metrics import TaskView, rest_weight, rest_weight_exact
 
 
@@ -46,7 +54,7 @@ class _SiteState:
     """Per-site incremental counters."""
 
     __slots__ = ("storage", "overlap", "refsum", "total_refsum",
-                 "rest_correction")
+                 "rest_correction", "by_overlap", "by_missing")
 
     def __init__(self, storage: SiteStorage):
         self.storage = storage
@@ -56,6 +64,26 @@ class _SiteState:
         #: Exact rational: Sum over overlapped tasks of
         #: rest(missing) - rest(|t|).  See metrics.rest_weight_exact.
         self.rest_correction = Fraction(0)
+        #: Candidate buckets over the *nonzero-overlap* tasks (exactly
+        #: the key set of ``overlap``), keyed two ways for the two
+        #: bucketable metrics: overlap count (``overlap`` metric walks
+        #: them descending) and missing count (``rest`` walks them
+        #: ascending).  Zero-overlap tasks stay on the engine's shared
+        #: zero-candidate heap, as before.
+        self.by_overlap = CandidateBuckets()
+        self.by_missing = CandidateBuckets()
+
+    def bucket_add(self, tid: int, size: int, ov: int) -> None:
+        self.by_overlap.add(tid, ov)
+        self.by_missing.add(tid, size - ov)
+
+    def bucket_move(self, tid: int, size: int, ov: int) -> None:
+        self.by_overlap.move(tid, ov)
+        self.by_missing.move(tid, size - ov)
+
+    def bucket_remove(self, tid: int) -> None:
+        self.by_overlap.remove(tid)
+        self.by_missing.remove(tid)
 
 
 class OverlapIndex:
@@ -107,6 +135,7 @@ class OverlapIndex:
             ov = state.storage.overlap(task.files)
             if ov:
                 state.overlap[tid] = ov
+                state.bucket_add(tid, task.num_files, ov)
                 ref = sum(state.storage.reference_count(fid)
                           for fid in task.files if fid in state.storage)
                 state.refsum[tid] = ref
@@ -131,6 +160,7 @@ class OverlapIndex:
         for state in self._sites.values():
             ov = state.overlap.pop(tid, 0)
             if ov:
+                state.bucket_remove(tid)
                 state.total_refsum -= state.refsum.pop(tid, 0.0)
                 state.rest_correction -= (
                     rest_weight_exact(task.num_files - ov)
@@ -146,6 +176,10 @@ class OverlapIndex:
             size = self.job[tid].num_files
             old = state.overlap.get(tid, 0)
             state.overlap[tid] = old + 1
+            if old:
+                state.bucket_move(tid, size, old + 1)
+            else:
+                state.bucket_add(tid, size, 1)
             state.rest_correction += (rest_weight_exact(size - old - 1)
                                       - rest_weight_exact(size - old))
             if ref:
@@ -166,9 +200,11 @@ class OverlapIndex:
                                       - rest_weight_exact(size - old))
             if old == 1:
                 del state.overlap[tid]
+                state.bucket_remove(tid)
                 state.total_refsum -= state.refsum.pop(tid, 0.0)
             else:
                 state.overlap[tid] = old - 1
+                state.bucket_move(tid, size, old - 1)
                 if ref:
                     state.refsum[tid] -= ref
                     state.total_refsum -= ref
@@ -188,6 +224,21 @@ class OverlapIndex:
     def nonzero_overlaps(self, site_id: int) -> Dict[int, int]:
         """task id -> |F_t| for pending tasks with overlap > 0."""
         return self._sites[site_id].overlap
+
+    def candidates_by_overlap(self, site_id: int) -> CandidateBuckets:
+        """Nonzero-overlap candidates bucketed by overlap count |F_t|.
+
+        ``top(n, reverse=True)`` is the site's top-n under the
+        ``overlap`` metric among nonzero-overlap tasks, in O(n +
+        buckets touched) instead of a full candidate scan.
+        """
+        return self._sites[site_id].by_overlap
+
+    def candidates_by_missing(self, site_id: int) -> CandidateBuckets:
+        """Nonzero-overlap candidates bucketed by missing count
+        ``|t| - |F_t|``; ``top(n)`` is the ``rest`` metric's top-n
+        among nonzero-overlap tasks."""
+        return self._sites[site_id].by_missing
 
     def refsums(self, site_id: int) -> Dict[int, float]:
         """task id -> ref_t for pending tasks with overlap > 0.

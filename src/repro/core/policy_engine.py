@@ -27,11 +27,33 @@ from __future__ import annotations
 
 import heapq
 import random
+from bisect import insort
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..grid.job import Task
-from .metrics import METRICS, ZERO_OVERLAP_ORDER, TaskView
+from .metrics import (BUCKETED_METRICS, FAST_SCORERS, METRICS,
+                      ZERO_OVERLAP_ORDER, TaskView, rest_weight)
 from .overlap_index import OverlapIndex
+
+
+def _offer(ranked: List[Tuple[float, int]], neg_weight: float,
+           task_id: int, n: int) -> None:
+    """Offer one candidate into a bounded ranked list.
+
+    ``ranked`` is kept sorted ascending by ``(-weight, task_id)`` —
+    best candidate first — and never grows beyond ``n`` entries.  The
+    common case (candidate is no better than the current tail of a
+    full list) is a single tuple comparison; an accepted candidate
+    costs one ``bisect.insort`` into a list of at most ``n`` items,
+    not a re-sort.
+    """
+    if len(ranked) >= n:
+        tail = ranked[-1]
+        if neg_weight > tail[0] or (neg_weight == tail[0]
+                                    and task_id > tail[1]):
+            return
+        ranked.pop()
+    insort(ranked, (neg_weight, task_id))
 
 
 class SiteFileState:
@@ -130,7 +152,8 @@ class PolicyEngine:
     """
 
     def __init__(self, job, metric: str = "rest", n: int = 1,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[random.Random] = None,
+                 fast_path: bool = True):
         if metric not in METRICS:
             raise ValueError(f"unknown metric {metric!r}; "
                              f"choose from {sorted(METRICS)}")
@@ -140,13 +163,26 @@ class PolicyEngine:
         self.metric_name = metric
         self.n = n
         self._weight = METRICS[metric]
+        self._scorer = FAST_SCORERS[metric]
+        #: When True (the default), :meth:`choose` runs the sublinear
+        #: kernel: bucketed top-n retrieval for the ``overlap``/``rest``
+        #: metrics (unscoped pulls) and the allocation-free scoring
+        #: loop otherwise.  ``fast_path=False`` keeps the original
+        #: TaskView-per-task reference loop for differential testing
+        #: and the ablation benchmark.  Both paths are
+        #: decision-for-decision and RNG-identical.
+        self.fast_path = fast_path
         self._rng = rng or random.Random(0)
         self._pending: Dict[int, Task] = {}
         self._index = OverlapIndex(job, tasks=())
         self._zero_heap: List[Tuple] = []
         self._sites: Dict[int, SiteFileState] = {}
         #: Instrumentation: scheduling decisions made and tasks scored
-        #: (the paper's T·I term), for the complexity ablation.
+        #: (the paper's T·I term), for the complexity ablation.  The
+        #: bucketed fast path counts only the ≤ 2n candidates it
+        #: actually weighs — the whole point — so comparing
+        #: ``tasks_scored`` across ``fast_path`` settings *is* the
+        #: work-saved measurement.
         self.decisions = 0
         self.tasks_scored = 0
         #: Decision-trace hook: when set, :meth:`choose` calls it with
@@ -242,29 +278,49 @@ class PolicyEngine:
         bit-identical to the unscoped algorithm, which is what the
         replay-equivalence suite pins down.
 
+        Three kernels build the same ranked top-n list (higher weight
+        first, lower task id breaking ties; identical floats, so the
+        winner and the RNG consumption are bit-identical across all of
+        them — pinned by tests/test_policy_fast_path.py):
+
+        * **bucketed** (fast path, unscoped ``overlap``/``rest``) —
+          walk the overlap index's candidate buckets best-key-first,
+          O(n + buckets touched) instead of scanning every candidate;
+        * **scored** (fast path otherwise) — the scan, but through the
+          allocation-free raw-argument scorers instead of a TaskView
+          per task;
+        * **reference** (``fast_path=False``) — the original TaskView
+          loop, kept for differential testing and the ablation
+          benchmark.
+
         Does *not* retire the chosen task; callers decide whether the
         assignment sticks and then call :meth:`remove_task`.
         """
         self.decisions += 1
+        if not self.fast_path:
+            ranked = self._rank_reference(site_id, eligible)
+        elif eligible is None and self.metric_name in BUCKETED_METRICS:
+            ranked = self._rank_bucketed(site_id)
+        else:
+            ranked = self._rank_scored(site_id, eligible)
+        best = [(-neg_weight, task_id) for neg_weight, task_id in ranked]
+        chosen_id = self._sample(best)
+        if self.on_decision is not None:
+            overlaps = self._index.nonzero_overlaps(site_id)
+            self.on_decision(self._build_span(site_id, overlaps, best,
+                                              chosen_id))
+        return self._pending[chosen_id]
+
+    def _rank_reference(self, site_id: int,
+                        eligible) -> List[Tuple[float, int]]:
+        """The original scan: one TaskView per candidate scored."""
         index = self._index
         total_rest = index.total_rest(site_id)
         total_ref = index.total_refsum(site_id)
         overlaps = index.nonzero_overlaps(site_id)
         refsums = index.refsums(site_id)
-
-        # Rank: higher weight first, lower task id breaks ties.
-        best: List[Tuple[float, int]] = []  # (weight, task_id), len <= n
-
-        def offer(weight: float, task_id: int) -> None:
-            if len(best) < self.n:
-                best.append((weight, task_id))
-                best.sort(key=lambda pair: (-pair[0], pair[1]))
-                return
-            tail_weight, tail_id = best[-1]
-            if weight > tail_weight or (weight == tail_weight
-                                        and task_id < tail_id):
-                best[-1] = (weight, task_id)
-                best.sort(key=lambda pair: (-pair[0], pair[1]))
+        n = self.n
+        ranked: List[Tuple[float, int]] = []  # (-weight, id), len <= n
 
         for task_id, overlap in overlaps.items():
             if eligible is not None and task_id not in eligible:
@@ -276,7 +332,7 @@ class PolicyEngine:
                             overlap=overlap,
                             refsum=refsums.get(task_id, 0.0),
                             total_refsum=total_ref, total_rest=total_rest)
-            offer(self._weight(view), task_id)
+            _offer(ranked, -self._weight(view), task_id, n)
             self.tasks_scored += 1
 
         for task_id in self.zero_overlap_candidates(site_id, eligible):
@@ -284,14 +340,103 @@ class PolicyEngine:
             view = TaskView(task_id=task_id, num_files=task.num_files,
                             overlap=0, refsum=0.0,
                             total_refsum=total_ref, total_rest=total_rest)
-            offer(self._weight(view), task_id)
+            _offer(ranked, -self._weight(view), task_id, n)
             self.tasks_scored += 1
+        return ranked
 
-        chosen_id = self._sample(best)
-        if self.on_decision is not None:
-            self.on_decision(self._build_span(site_id, overlaps, best,
-                                              chosen_id))
-        return self._pending[chosen_id]
+    def _rank_bucketed(self, site_id: int) -> List[Tuple[float, int]]:
+        """Sublinear top-n for the monotone-integer metrics.
+
+        The nonzero-overlap top-n comes straight off the candidate
+        buckets (weight is a monotone function of the bucket key, and
+        equal keys give bit-equal weights, so bucket order == weight
+        order with the id tie-break); it is then merged with the up-to
+        ``n`` zero-overlap candidates from the shared heap.  Only the
+        ≤ 2n merged candidates are ever scored.
+        """
+        index = self._index
+        n = self.n
+        if self.metric_name == "overlap":
+            top = index.candidates_by_overlap(site_id).top(n, reverse=True)
+            # Bucket walk yields descending keys, ascending ids: that
+            # is exactly ascending (-weight, id) order already.
+            ranked = [(-float(key), task_id) for key, task_id in top]
+            for task_id in self.zero_overlap_candidates(site_id, None):
+                _offer(ranked, -0.0, task_id, n)
+        else:  # rest
+            top = index.candidates_by_missing(site_id).top(n)
+            ranked = [(-rest_weight(key), task_id) for key, task_id in top]
+            for task_id in self.zero_overlap_candidates(site_id, None):
+                weight = rest_weight(self._pending[task_id].num_files)
+                _offer(ranked, -weight, task_id, n)
+        self.tasks_scored += len(ranked)
+        return ranked
+
+    def _rank_scored(self, site_id: int,
+                     eligible) -> List[Tuple[float, int]]:
+        """Allocation-free scan: raw-argument scorers, no TaskView.
+
+        Used for the normalizer-coupled metrics (``combined``/
+        ``combined-literal``) and for every job-scoped pull.  A scoped
+        pull iterates whichever of the eligible set and the candidate
+        map is smaller — the candidate set is their intersection
+        either way.
+        """
+        index = self._index
+        total_rest = index.total_rest(site_id)
+        total_ref = index.total_refsum(site_id)
+        overlaps = index.nonzero_overlaps(site_id)
+        refsums = index.refsums(site_id)
+        scorer = self._scorer
+        pending = self._pending
+        n = self.n
+        ranked: List[Tuple[float, int]] = []
+        scored = 0
+
+        if eligible is None:
+            for task_id, overlap in overlaps.items():
+                task = pending.get(task_id)
+                if task is None:
+                    continue
+                weight = scorer(task.num_files, overlap,
+                                refsums.get(task_id, 0.0),
+                                total_ref, total_rest)
+                _offer(ranked, -weight, task_id, n)
+                scored += 1
+        elif (isinstance(eligible, (set, frozenset))
+              and len(eligible) < len(overlaps)):
+            for task_id in eligible:
+                overlap = overlaps.get(task_id)
+                if not overlap:
+                    continue
+                task = pending.get(task_id)
+                if task is None:
+                    continue
+                weight = scorer(task.num_files, overlap,
+                                refsums.get(task_id, 0.0),
+                                total_ref, total_rest)
+                _offer(ranked, -weight, task_id, n)
+                scored += 1
+        else:
+            for task_id, overlap in overlaps.items():
+                if task_id not in eligible:
+                    continue
+                task = pending.get(task_id)
+                if task is None:
+                    continue
+                weight = scorer(task.num_files, overlap,
+                                refsums.get(task_id, 0.0),
+                                total_ref, total_rest)
+                _offer(ranked, -weight, task_id, n)
+                scored += 1
+
+        for task_id in self.zero_overlap_candidates(site_id, eligible):
+            weight = scorer(pending[task_id].num_files, 0, 0.0,
+                            total_ref, total_rest)
+            _offer(ranked, -weight, task_id, n)
+            scored += 1
+        self.tasks_scored += scored
+        return ranked
 
     def choose_many(self, site_id: int, k: int,
                     eligible=None) -> List[Task]:
@@ -314,17 +459,26 @@ class PolicyEngine:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         drawn: List[Task] = []
-        while len(drawn) < k and self._has_candidate(eligible):
-            task = self.choose(site_id, eligible=eligible)
+        if eligible is None:
+            while len(drawn) < k and self._pending:
+                task = self.choose(site_id)
+                self.remove_task(task)
+                drawn.append(task)
+            return drawn
+        # Intersect the scope with the pending set once per batch and
+        # keep it live by removing each winner; re-scanning the whole
+        # eligible container before every draw made a k-task batch
+        # O(k·|eligible|).  ``choose(eligible=remaining)`` is
+        # bit-identical to passing the original container because the
+        # candidate set is (eligible ∩ pending) either way.
+        remaining = {task_id for task_id in eligible
+                     if task_id in self._pending}
+        while len(drawn) < k and remaining:
+            task = self.choose(site_id, eligible=remaining)
             self.remove_task(task)
+            remaining.discard(task.task_id)
             drawn.append(task)
         return drawn
-
-    def _has_candidate(self, eligible=None) -> bool:
-        """Whether another draw can succeed (pending ∩ eligible)."""
-        if eligible is None:
-            return bool(self._pending)
-        return any(task_id in self._pending for task_id in eligible)
 
     def _build_span(self, site_id: int, overlaps: Dict[int, int],
                     best: List[Tuple[float, int]],

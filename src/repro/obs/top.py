@@ -65,6 +65,12 @@ def render_top(snapshot: Dict) -> str:
         f"max {latency.get('max_us', 0.0):.0f} us   "
         f"({latency.get('count', 0)} decisions)",
     ]
+    for metric, hist in sorted(snapshot.get("scheduler_decision",
+                                            {}).items()):
+        lines.append(
+            f"  kernel [{metric}]: p50 {hist.get('p50_us', 0.0):.0f} us"
+            f"   p99 {hist.get('p99_us', 0.0):.0f} us   "
+            f"mean {hist.get('mean_us', 0.0):.1f} us")
     sites = snapshot.get("sites", {})
     if sites:
         lines.append("")

@@ -164,15 +164,20 @@ class SchedulerService:
                  lease_ttl: float = DEFAULT_LEASE_TTL,
                  clock: Callable[[], float] = time.monotonic,
                  events: Optional[EventLog] = None,
-                 tracer: Optional[DecisionTracer] = None):
+                 tracer: Optional[DecisionTracer] = None,
+                 fast_path: bool = True):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
         self.name = name
         self.lease_ttl = float(lease_ttl)
         self._clock = clock
         self._table = _TaskTable()
+        # ``fast_path=False`` pins the engine to the reference decision
+        # loop — decision-identical but linear in queue depth; only the
+        # latency ablation (``repro serve --kernel reference``) wants it.
         self.engine = PolicyEngine(self._table, metric=metric, n=n,
-                                   rng=random.Random(seed))
+                                   rng=random.Random(seed),
+                                   fast_path=fast_path)
         self.stats = ServeStats()
         self.events = events
         self.tracer = tracer
@@ -423,7 +428,8 @@ class SchedulerService:
         self._assigned[task.task_id] = lease
         self._leases[lease.lease_id] = lease
         self._by_worker.setdefault(worker, set()).add(task.task_id)
-        self.stats.record_assignment(site_id, latency, overlap > 0)
+        self.stats.record_assignment(site_id, latency, overlap > 0,
+                                     metric=self.engine.metric_name)
         self.stats.leases_granted += 1
         self._emit("assign", task_id=task.task_id, site=site_id,
                    worker=worker, job_id=owner_id,

@@ -137,6 +137,15 @@ class ServeStats:
         self.decision_latency = reg.histogram(
             "repro_decision_latency_seconds",
             "Scheduling decision latency (PolicyEngine.choose)")
+        #: The same decisions, labeled by scheduling metric, so the
+        #: decision kernel's latency profile is visible per policy in
+        #: ``/metrics`` and ``repro top`` (a daemon only runs one
+        #: metric, but dashboards aggregating several daemons need the
+        #: label to keep the series apart).
+        self.scheduler_decision = reg.histogram(
+            "repro_scheduler_decision_seconds",
+            "Decision-kernel latency by scheduling metric",
+            labelnames=("metric",))
         self._counters: Dict[str, Counter] = {
             attr: reg.counter(name, help_text)
             for attr, (name, help_text) in _COUNTERS.items()}
@@ -181,9 +190,13 @@ class ServeStats:
         return site
 
     def record_assignment(self, site_id: int, latency_s: float,
-                          overlap_hit: bool) -> None:
+                          overlap_hit: bool,
+                          metric: Optional[str] = None) -> None:
         self._counters["assignments"].inc()
         self.decision_latency.record(latency_s)
+        if metric is not None:
+            self.scheduler_decision.labels(metric=metric).record(
+                latency_s)
         site = self._site(site_id)
         site.assignment_counter.inc()
         if overlap_hit:
@@ -270,6 +283,9 @@ class ServeStats:
             "outstanding": outstanding,
             "parked_workers": parked_workers,
             "decision_latency": self.decision_latency.snapshot(),
+            "scheduler_decision": {
+                labels[0]: child.snapshot()
+                for labels, child in self.scheduler_decision.children()},
             "file_deltas": {
                 "added": self.files_added,
                 "removed": self.files_removed,

@@ -108,6 +108,12 @@ def test_scrape_endpoint_under_live_load():
         assert families["repro_queue_depth"].value() == 0.0
         assert families["repro_decision_latency_seconds"].value(
             suffix="_count") == report["stats"]["assignments"]
+        # The decision kernel's per-metric latency histogram is
+        # scraped too, labeled with the policy the daemon runs.
+        assert "repro_scheduler_decision_seconds" in families
+        assert families["repro_scheduler_decision_seconds"].value(
+            labels={"metric": "combined"}, suffix="_count",
+        ) == report["stats"]["assignments"]
         assert tracer.recorded == report["stats"]["assignments"]
         await obs.stop()
         await server.stop()

@@ -154,6 +154,58 @@ def test_choose_many_rejects_bad_k():
         engine.choose_many(0, -2)
 
 
+class _CountingScope(set):
+    """An eligible container that counts how often it is scanned."""
+
+    def __init__(self, ids):
+        super().__init__(ids)
+        self.iterations = 0
+        self.membership_checks = 0
+
+    def __iter__(self):
+        self.iterations += 1
+        return super().__iter__()
+
+    def __contains__(self, task_id):
+        self.membership_checks += 1
+        return super().__contains__(task_id)
+
+
+def test_choose_many_scans_a_large_eligible_set_once():
+    """Regression: a job-scoped batch pull must intersect the eligible
+    set with the pending set once per batch, not once per draw —
+    re-scanning made ``choose_many(k)`` quadratic in the scope size."""
+    size = 2000
+    engine = build_engine([{task_id} for task_id in range(size)], [],
+                          "rest", 1, 0)
+    scope = _CountingScope(range(size))
+    drawn = engine.choose_many(0, 64, eligible=scope)
+    assert len(drawn) == 64
+    # One pass to build the (eligible ∩ pending) working set; every
+    # subsequent draw works off that set, never the original scope.
+    assert scope.iterations == 1
+    assert scope.membership_checks == 0
+
+
+def test_choose_many_scoped_matches_per_draw_rescan():
+    """The batched working-set optimization changes no decision: it
+    must equal the old semantics (re-filter eligible every draw)."""
+    task_files = [{1, 2}, {2, 3}, {3}, {4, 5}, {5}, {6}]
+    eligible = {0, 2, 3, 5}
+    engine = build_engine(task_files, [(0, 2), (0, 5)], "combined", 2, 9)
+    twin = build_engine(task_files, [(0, 2), (0, 5)], "combined", 2, 9)
+    drawn = engine.choose_many(0, 3, eligible=set(eligible))
+    expected = []
+    while len(expected) < 3 and any(tid in twin.pending
+                                    for tid in eligible):
+        task = twin.choose(0, eligible=eligible)
+        twin.remove_task(task)
+        expected.append(task)
+    assert ([task.task_id for task in drawn]
+            == [task.task_id for task in expected])
+    assert engine._rng.getstate() == twin._rng.getstate()
+
+
 def test_choose_many_is_deterministic_per_seed():
     draws = []
     for _ in range(2):

@@ -1,0 +1,239 @@
+"""The sublinear decision kernel must be bit-identical to the
+reference scan.
+
+``PolicyEngine(fast_path=True)`` answers ``choose`` through candidate
+buckets (``overlap``/``rest``, unscoped) or the allocation-free
+scoring loop (``combined``/``combined-literal`` and every scoped
+pull); ``fast_path=False`` keeps the original TaskView-per-candidate
+loop.  This suite pins the tentpole invariant: for any delta stream,
+any metric, any n, scoped or not, both paths pick the *same task* and
+leave the RNG in the *same state* — so a fast-path deployment replays
+a reference-path history exactly.
+
+Also here: the candidate-bucket invariants.  After every mutation the
+buckets must agree with a naive recomputation from storage
+(``naive_overlap``), and ranked retrieval must equal brute-force
+sorting.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.candidates import CandidateBuckets
+from repro.core.policy_engine import PolicyEngine
+from repro.grid.job import Task
+
+METRIC_NAMES = ["overlap", "rest", "combined", "combined-literal"]
+
+
+def build_engine(task_files, metric, n, seed, fast_path,
+                 sites=(0, 1)):
+    tasks = {task_id: Task(task_id, frozenset(files))
+             for task_id, files in enumerate(task_files)}
+    engine = PolicyEngine(tasks, metric=metric, n=n,
+                          rng=random.Random(seed), fast_path=fast_path)
+    for site in sites:
+        engine.attach_site(site)
+    for task in tasks.values():
+        engine.add_task(task)
+    return engine, tasks
+
+
+@st.composite
+def delta_scenario(draw):
+    """A workload plus a random op stream over it.
+
+    Ops: file add / remove / reference at a site, a (possibly scoped)
+    draw, and a draw-then-retire.  The stream is applied identically
+    to a fast and a reference engine.
+    """
+    num_files = draw(st.integers(3, 24))
+    num_tasks = draw(st.integers(1, 12))
+    task_files = [
+        draw(st.sets(st.integers(0, num_files - 1), min_size=1,
+                     max_size=min(6, num_files)))
+        for _ in range(num_tasks)
+    ]
+    metric = draw(st.sampled_from(METRIC_NAMES))
+    n = draw(st.sampled_from([1, 2, 4]))
+    seed = draw(st.integers(0, 2**16))
+    ops = draw(st.lists(
+        st.tuples(
+            st.sampled_from(["add", "remove", "reference", "choose",
+                             "choose-scoped", "retire"]),
+            st.integers(0, 1),                 # site
+            st.integers(0, num_files - 1),     # file id (file ops)
+            st.integers(0, 2**16),             # scope-subset seed
+        ),
+        min_size=1, max_size=40))
+    return task_files, metric, n, seed, ops
+
+
+def apply_ops(fast, reference, ops):
+    """Drive both engines through the op stream, asserting each draw."""
+    for op, site, fid, scope_seed in ops:
+        if op == "add":
+            assert (fast.file_added(site, fid)
+                    == reference.file_added(site, fid))
+        elif op == "remove":
+            assert (fast.file_removed(site, fid)
+                    == reference.file_removed(site, fid))
+        elif op == "reference":
+            assert (fast.file_referenced(site, fid)
+                    == reference.file_referenced(site, fid))
+        elif not fast.has_pending:
+            continue
+        elif op == "choose":
+            assert (fast.choose(site).task_id
+                    == reference.choose(site).task_id)
+        elif op == "choose-scoped":
+            pending = sorted(fast.pending)
+            scope_rng = random.Random(scope_seed)
+            eligible = set(scope_rng.sample(
+                pending, scope_rng.randint(1, len(pending))))
+            assert (fast.choose(site, eligible=eligible).task_id
+                    == reference.choose(site,
+                                        eligible=eligible).task_id)
+        else:  # retire
+            chosen = fast.choose(site)
+            twin = reference.choose(site)
+            assert chosen.task_id == twin.task_id
+            fast.remove_task(chosen)
+            reference.remove_task(twin)
+
+
+@given(delta_scenario())
+@settings(max_examples=120, deadline=None)
+def test_fast_path_is_decision_and_rng_identical(scenario):
+    task_files, metric, n, seed, ops = scenario
+    fast, _ = build_engine(task_files, metric, n, seed, fast_path=True)
+    reference, _ = build_engine(task_files, metric, n, seed,
+                                fast_path=False)
+    apply_ops(fast, reference, ops)
+    assert fast.decisions == reference.decisions
+    assert fast._rng.getstate() == reference._rng.getstate()
+    # Drain what's left through both paths: the whole tail must agree.
+    while fast.has_pending:
+        chosen = fast.choose(0)
+        twin = reference.choose(0)
+        assert chosen.task_id == twin.task_id
+        fast.remove_task(chosen)
+        reference.remove_task(twin)
+    assert not reference.has_pending
+    assert fast._rng.getstate() == reference._rng.getstate()
+
+
+@given(delta_scenario())
+@settings(max_examples=60, deadline=None)
+def test_fast_path_batched_draws_are_identical(scenario):
+    """``choose_many`` (which feeds TASK_BATCH) agrees across paths,
+    scoped and unscoped."""
+    task_files, metric, n, seed, ops = scenario
+    fast, _ = build_engine(task_files, metric, n, seed, fast_path=True)
+    reference, _ = build_engine(task_files, metric, n, seed,
+                                fast_path=False)
+    for op, site, fid, scope_seed in ops:
+        if op == "add":
+            fast.file_added(site, fid)
+            reference.file_added(site, fid)
+        elif op == "reference":
+            fast.file_referenced(site, fid)
+            reference.file_referenced(site, fid)
+    k = max(1, len(task_files) // 2)
+    eligible = None
+    if ops[0][3] % 2 and fast.has_pending:
+        scope_rng = random.Random(ops[0][3])
+        pending = sorted(fast.pending)
+        eligible = set(scope_rng.sample(
+            pending, scope_rng.randint(1, len(pending))))
+    drawn = fast.choose_many(0, k, eligible=eligible)
+    expected = reference.choose_many(0, k, eligible=eligible)
+    assert ([task.task_id for task in drawn]
+            == [task.task_id for task in expected])
+    assert fast._rng.getstate() == reference._rng.getstate()
+
+
+# -- candidate-bucket invariants ---------------------------------------------
+
+def assert_bucket_invariants(engine, tasks, sites=(0, 1)):
+    """Buckets must mirror a naive storage rescan exactly."""
+    index = engine._index
+    for site in sites:
+        expected_overlap = {}
+        for tid in engine.pending:
+            ov = index.naive_overlap(site, tasks[tid])
+            if ov:
+                expected_overlap[tid] = ov
+        by_overlap = index.candidates_by_overlap(site)
+        by_missing = index.candidates_by_missing(site)
+        by_overlap.check()
+        by_missing.check()
+        assert by_overlap.as_dict() == expected_overlap
+        assert by_missing.as_dict() == {
+            tid: tasks[tid].num_files - ov
+            for tid, ov in expected_overlap.items()}
+        # The incremental totalRest still matches the rescan.
+        assert abs(index.total_rest(site)
+                   - index.naive_total_rest(site)) < 1e-9
+        # Ranked retrieval == brute force over the same candidates.
+        for count in (1, 2, 4):
+            brute = sorted(((-ov, tid)
+                            for tid, ov in expected_overlap.items()))
+            expected_top = [(-key, tid) for key, tid in brute[:count]]
+            assert by_overlap.top(count, reverse=True) == expected_top
+
+
+@given(delta_scenario())
+@settings(max_examples=80, deadline=None)
+def test_bucket_invariants_hold_after_every_mutation(scenario):
+    task_files, metric, n, seed, ops = scenario
+    engine, tasks = build_engine(task_files, metric, n, seed,
+                                 fast_path=True)
+    assert_bucket_invariants(engine, tasks)
+    for op, site, fid, _scope in ops:
+        if op == "add":
+            engine.file_added(site, fid)
+        elif op == "remove":
+            engine.file_removed(site, fid)
+        elif op == "reference":
+            engine.file_referenced(site, fid)
+        elif op == "retire" and engine.has_pending:
+            engine.remove_task(engine.choose(site))
+        else:
+            continue
+        assert_bucket_invariants(engine, tasks)
+    # Requeue everything retired: buckets fold re-added tasks back in.
+    for tid, task in tasks.items():
+        if not engine.is_pending(tid):
+            engine.add_task(task)
+            assert_bucket_invariants(engine, tasks)
+
+
+def test_candidate_buckets_lazy_heap_survives_churn():
+    """Move/remove/re-add cycles leave stale and duplicate heap
+    entries behind; retrieval must never surface them."""
+    buckets = CandidateBuckets()
+    for tid in range(6):
+        buckets.add(tid, 1)
+    buckets.move(3, 2)          # stale "3" left under key 1
+    buckets.remove(0)           # stale "0" left under key 1
+    buckets.add(0, 1)           # duplicate heap entry for a live id
+    assert buckets.top(10) == [(1, 0), (1, 1), (1, 2), (1, 4), (1, 5),
+                               (2, 3)]
+    # A second retrieval (stale entries now dropped) agrees.
+    assert buckets.top(3) == [(1, 0), (1, 1), (1, 2)]
+    assert buckets.key_of(3) == 2 and 3 in buckets
+    buckets.remove(3)           # key-2 bucket empties and is dropped
+    assert buckets.keys() == [1]
+    assert len(buckets) == 5
+    buckets.check()
+
+
+def test_fast_path_flag_is_public_and_defaults_on():
+    engine, _ = build_engine([{1}, {2}], "rest", 1, 0, fast_path=True)
+    assert engine.fast_path is True
+    reference, _ = build_engine([{1}, {2}], "rest", 1, 0,
+                                fast_path=False)
+    assert reference.fast_path is False
