@@ -1,0 +1,216 @@
+"""Cluster bench: shard-count scaling and the price of durability.
+
+Not a paper artifact — it characterizes the ``repro.cluster`` tier.
+Everything runs in-process over real localhost TCP with zero simulated
+work, so the measurement isolates the cluster path (router redirect,
+shard-local scheduling, WAL flushes):
+
+* **shard sweep** — the same light multi-job workload over 1, 2 and 4
+  shards (jobs spread round-robin, workers pull straight from the
+  shard owning their job after one REDIRECT).  Shards only pay the
+  router on the control plane, so assignment rate should hold or
+  improve as shards are added;
+* **durability overhead** — one shard serving the same job as a plain
+  in-memory scheduler vs. a WAL-ing, snapshotting ``open_shard``.
+  The WAL flushes on every emitted record by design; this row keeps
+  that cost visible (and bounded) instead of anecdotal.
+
+Standalone CLI (no pytest) for CI smoke use::
+
+    python benchmarks/bench_cluster_throughput.py --quick
+    python benchmarks/bench_cluster_throughput.py --quick --check
+"""
+
+import argparse
+import asyncio
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster import ClusterRouter, ShardAddress, open_shard
+from repro.cluster.loadgen import run_cluster_load
+from repro.grid.job import Task
+from repro.serve.server import SchedulerServer
+from repro.serve.service import SchedulerService
+
+SHARD_COUNTS = (1, 2, 4)
+RESULTS_DIR = Path(__file__).parent / "results"
+#: Sanity floor, not a target (CI machines are noisy and shared).
+MIN_RATE = 50.0
+#: The WAL may cost a lot relative to pure in-memory dispatch, but an
+#: order of magnitude means something is broken (sync writes on the
+#: hot path, a lost flush batch, ...).
+MAX_DURABILITY_SLOWDOWN = 10.0
+
+
+def light_tasks(num_tasks, files_per_task=3, num_files=300, start=0):
+    return [
+        Task(task_id=0,  # ids are reassigned by the service
+             files=frozenset({(start + index * files_per_task + offset)
+                              % num_files
+                              for offset in range(files_per_task)}),
+             flops=0.0)
+        for index in range(num_tasks)
+    ]
+
+
+async def _timed_cluster(num_tasks, shards, workers, state_root=None,
+                         snapshot_interval=0.5):
+    """One cluster run; returns (assignments/sec, report)."""
+    servers = []
+    durabilities = []
+    snapshot_tasks = []
+    for index in range(shards):
+        if state_root is not None:
+            durability = open_shard(
+                str(Path(state_root) / f"shard-{index}"),
+                metric="combined", n=2, seed=0, shard_index=index,
+                shard_count=shards,
+                snapshot_interval=snapshot_interval)
+            durabilities.append(durability)
+            service = durability.service
+        else:
+            service = SchedulerService(metric="combined", n=2, seed=0,
+                                       id_start=index,
+                                       id_stride=shards,
+                                       wal_events=True)
+        server = SchedulerServer(service)
+        await server.start()
+        servers.append(server)
+    router = ClusterRouter([ShardAddress(i, s.host, s.port)
+                            for i, s in enumerate(servers)])
+    await router.start()
+    loop = asyncio.get_running_loop()
+    snapshot_tasks = [loop.create_task(d.snapshot_loop())
+                      for d in durabilities]
+    try:
+        per_job = num_tasks // shards
+        jobs = [light_tasks(per_job, start=index * per_job * 3)
+                for index in range(shards)]
+        start = time.perf_counter()
+        report = await run_cluster_load(router.host, router.port, jobs,
+                                        workers=workers,
+                                        sites=min(workers, 4),
+                                        capacity_files=600)
+        wall = time.perf_counter() - start
+    finally:
+        for task in snapshot_tasks:
+            task.cancel()
+        for task in snapshot_tasks:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        await router.stop()
+        for server in servers:
+            await server.stop()
+        for durability in durabilities:
+            durability.close()
+    done = sum(job["status"]["completed"] for job in report["jobs"])
+    expected = sum(len(job) for job in jobs)
+    assert done == expected, f"lost tasks: {done}/{expected}"
+    return done / wall, report
+
+
+def run_cluster(num_tasks, shards, workers, state_root=None):
+    return asyncio.run(asyncio.wait_for(
+        _timed_cluster(num_tasks, shards, workers,
+                       state_root=state_root), timeout=300))
+
+
+def sweep_shards(num_tasks, workers=8):
+    """(shards, rate, router p99 merged) per shard count."""
+    rows = []
+    for shards in SHARD_COUNTS:
+        rate, report = run_cluster(num_tasks, shards, workers)
+        latency = report["stats"]["decision_latency"]
+        rows.append((shards, rate, latency["p99_us"]))
+    return rows
+
+
+def durability_overhead(num_tasks, workers=4, repeats=3):
+    """Best-of-N (plain_rate, durable_rate) on a one-shard cluster."""
+    plain = 0.0
+    durable = 0.0
+    for _ in range(repeats):
+        rate, _report = run_cluster(num_tasks, 1, workers)
+        plain = max(plain, rate)
+        with tempfile.TemporaryDirectory() as state_root:
+            rate, _report = run_cluster(num_tasks, 1, workers,
+                                        state_root=state_root)
+            durable = max(durable, rate)
+    return plain, durable
+
+
+def format_tables(num_tasks, shard_rows, plain, durable):
+    lines = [
+        f"cluster throughput ({num_tasks} light tasks, localhost "
+        f"TCP, router + shard processes in-process, zero simulated "
+        f"work)",
+        f"{'shards':>8} {'assign/s':>10} {'p99 us':>8}",
+    ]
+    for shards, rate, p99 in shard_rows:
+        lines.append(f"{shards:>8} {rate:>10.0f} {p99:>8.0f}")
+    lines.append("")
+    lines.append("durability overhead (1 shard, WAL flush per record "
+                 "+ periodic snapshots)")
+    lines.append(f"{'mode':>10} {'assign/s':>10} {'vs plain':>9}")
+    lines.append(f"{'in-memory':>10} {plain:>10.0f} {'1.00x':>9}")
+    lines.append(f"{'durable':>10} {durable:>10.0f} "
+                 f"{durable / plain:>8.2f}x")
+    return "\n".join(lines)
+
+
+def sanity_failures(shard_rows, plain, durable):
+    failures = []
+    for shards, rate, _p99 in shard_rows:
+        if rate < MIN_RATE:
+            failures.append(f"{shards} shard(s): {rate:.0f} assign/s "
+                            f"is below the {MIN_RATE:.0f}/s floor")
+    if durable * MAX_DURABILITY_SLOWDOWN < plain:
+        failures.append(
+            f"durable shard at {durable:.0f}/s is more than "
+            f"{MAX_DURABILITY_SLOWDOWN:.0f}x slower than in-memory "
+            f"({plain:.0f}/s)")
+    return failures
+
+
+def test_cluster_throughput(benchmark, scale, artifact):
+    num_tasks = max(120, scale.num_tasks // 8)
+
+    def sweep():
+        return (sweep_shards(num_tasks),
+                durability_overhead(num_tasks))
+
+    shard_rows, (plain, durable) = benchmark.pedantic(
+        sweep, rounds=1, iterations=1)
+    artifact("cluster_throughput",
+             format_tables(num_tasks, shard_rows, plain, durable))
+    assert sanity_failures(shard_rows, plain, durable) == []
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="cluster throughput bench (standalone)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small workload (CI smoke)")
+    parser.add_argument("--tasks", type=int, default=None,
+                        help="total tasks per run (overrides --quick)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when sanity floors are violated")
+    args = parser.parse_args(argv)
+    num_tasks = args.tasks or (120 if args.quick else 400)
+    shard_rows = sweep_shards(num_tasks)
+    plain, durable = durability_overhead(num_tasks)
+    print(format_tables(num_tasks, shard_rows, plain, durable))
+    if args.check:
+        failures = sanity_failures(shard_rows, plain, durable)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

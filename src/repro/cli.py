@@ -11,9 +11,14 @@ Commands
 ``reproduce`` regenerate every table and figure into one report.
 ``serve``     run the live scheduler daemon (JSON-lines over TCP),
               optionally with an HTTP metrics endpoint, a JSONL
-              event log, and periodic snapshot logging.
-``load``      replay a generated workload against a running daemon.
-``top``       live terminal view of a daemon's /stats.json.
+              event log, and — with ``--state-dir`` — WAL +
+              snapshot durability (one cluster shard).
+``cluster``   run the sharded tier: N durable shards, the redirect
+              router, and a supervisor restarting crashed shards.
+``load``      replay a generated workload against a running daemon
+              (``--cluster`` drives a router instead).
+``top``       live terminal view of one daemon's /stats.json, or of
+              several endpoints merged into a cluster view.
 
 Examples
 --------
@@ -222,6 +227,9 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
+    import json as json_module
+    import os
 
     from .obs.events import EventLog
     from .obs.http import ObsHttpServer
@@ -231,16 +239,43 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve.stats import format_stats
 
     _configure_logging(args)
+    if args.state_dir and args.event_log:
+        print("--event-log conflicts with --state-dir (the shard's "
+              "WAL owns the event log; it lives in the state "
+              "directory)", file=sys.stderr)
+        return 2
 
     async def main() -> None:
-        events = EventLog(path=args.event_log) if args.event_log \
-            else None
         tracer = DecisionTracer()
-        service = SchedulerService(metric=args.metric, n=args.n,
-                                   seed=args.seed,
-                                   lease_ttl=args.lease_ttl,
-                                   events=events, tracer=tracer,
-                                   fast_path=args.kernel == "fast")
+        events = None
+        durability = None
+        if args.state_dir:
+            from .cluster.shard import open_shard
+            durability = open_shard(
+                args.state_dir, metric=args.metric, n=args.n,
+                seed=args.seed, lease_ttl=args.lease_ttl,
+                shard_index=args.shard_index,
+                shard_count=args.shard_count,
+                snapshot_interval=args.snapshot_interval,
+                fast_path=args.kernel == "fast", tracer=tracer)
+            service = durability.service
+            report = durability.report
+            print(f"repro-serve shard {args.shard_index}/"
+                  f"{args.shard_count} recovered from "
+                  f"{args.state_dir}: snapshot_seq="
+                  f"{report['snapshot_seq']}, replayed "
+                  f"{report['replayed']} WAL record(s), WAL resumes "
+                  f"at seq {report['next_seq']}", file=sys.stderr)
+        else:
+            events = EventLog(path=args.event_log) if args.event_log \
+                else None
+            service = SchedulerService(metric=args.metric, n=args.n,
+                                       seed=args.seed,
+                                       lease_ttl=args.lease_ttl,
+                                       events=events, tracer=tracer,
+                                       fast_path=args.kernel == "fast",
+                                       id_start=args.shard_index,
+                                       id_stride=args.shard_count)
         server = SchedulerServer(service, host=args.host,
                                  port=args.port,
                                  stats_interval=args.stats_interval)
@@ -251,6 +286,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             def stats_json():
                 snapshot = service.stats_snapshot()
                 snapshot["jobs"] = service.jobs_overview()
+                if durability is not None:
+                    snapshot["shard"] = durability.describe()
                 return snapshot
 
             obs_server = ObsHttpServer(
@@ -265,18 +302,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "queue_depth": service.queue_depth,
                     "outstanding": service.outstanding})
             await obs_server.start()
+        if args.port_file:
+            # The supervisor (and colliding-port-free CI) handshake:
+            # report the *bound* ports, atomically.
+            ports = {"port": server.port,
+                     "metrics_port": (obs_server.port
+                                      if obs_server else None)}
+            tmp_path = args.port_file + ".tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json_module.dump(ports, handle)
+            os.replace(tmp_path, args.port_file)
         print(f"repro-serve listening on {server.host}:{server.port} "
               f"(protocol v2, metric={args.metric}, n={args.n}, "
               f"lease_ttl={args.lease_ttl:g}s)", file=sys.stderr)
         if obs_server is not None:
             print(f"metrics endpoint on {obs_server.url}/metrics",
                   file=sys.stderr)
+        snapshotter = None
+        if durability is not None:
+            snapshotter = asyncio.get_running_loop().create_task(
+                durability.snapshot_loop())
         try:
             await server.serve_until_drained()
         finally:
+            if snapshotter is not None:
+                snapshotter.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await snapshotter
             if obs_server is not None:
                 await obs_server.stop()
             await server.stop()
+            if durability is not None:
+                durability.close()  # final snapshot + WAL fsync
             if events is not None:
                 events.close()
         print("drained; final stats:", file=sys.stderr)
@@ -289,6 +346,44 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .cluster.supervisor import ClusterSupervisor
+
+    _configure_logging(args)
+
+    async def main() -> int:
+        supervisor = ClusterSupervisor(
+            shards=args.shards, state_root=args.state_root,
+            host=args.host, router_port=args.port,
+            metric=args.metric, n=args.n, seed=args.seed,
+            lease_ttl=args.lease_ttl,
+            snapshot_interval=args.snapshot_interval,
+            kernel=args.kernel, metrics_port=args.metrics_port)
+        await supervisor.start()
+        print(f"repro-cluster router on "
+              f"{supervisor.host}:{supervisor.router_port} over "
+              f"{args.shards} shard(s); topology in "
+              f"{supervisor.cluster_file}", file=sys.stderr)
+        if supervisor.metrics_port is not None:
+            print(f"aggregated stats on http://{supervisor.host}:"
+                  f"{supervisor.metrics_port}/stats.json",
+                  file=sys.stderr)
+        try:
+            await supervisor.wait()
+        finally:
+            await supervisor.stop()
+        print("cluster drained", file=sys.stderr)
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("interrupted", file=sys.stderr)
+        return 0
+
+
 def _cmd_load(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -298,6 +393,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
     config = _config_from(args)
     job = build_job(config)
     workers = config.num_sites * config.workers_per_site
+    if args.cluster:
+        return _run_cluster_load(args, config, job, workers)
     report = asyncio.run(run_load(
         args.host, args.port, job, workers=workers,
         sites=config.num_sites, capacity_files=config.capacity_files,
@@ -329,9 +426,67 @@ def _cmd_load(args: argparse.Namespace) -> int:
     return 0 if missing == 0 else 1
 
 
-def _cmd_top(args: argparse.Namespace) -> int:
-    from .obs.top import run_top
+def _run_cluster_load(args: argparse.Namespace, config, job,
+                      workers: int) -> int:
+    import asyncio
 
+    from .cluster.loadgen import run_cluster_load
+    from .serve.stats import format_stats
+
+    tasks = list(job)
+    num_jobs = max(1, min(args.jobs, len(tasks)))
+    # Contiguous split: several jobs land round-robin on the shards.
+    per_job = (len(tasks) + num_jobs - 1) // num_jobs
+    jobs = [tasks[start:start + per_job]
+            for start in range(0, len(tasks), per_job)]
+    report = asyncio.run(run_cluster_load(
+        args.host, args.port, jobs, workers=workers,
+        sites=config.num_sites, capacity_files=config.capacity_files,
+        flops_per_sec=args.flops_per_sec,
+        seconds_per_file=args.seconds_per_file,
+        drain=not args.no_drain,
+        event_log=args.event_log,
+        batch=args.batch))
+    print(f"cluster          : {report['shard_count']} shard(s), "
+          f"{len(report['jobs'])} job(s)")
+    for entry in report["jobs"]:
+        print(f"job {entry['job_id']:>4}         : "
+              f"{entry['status']['completed']}"
+              f"/{entry['tasks_submitted']} "
+              f"(done={entry['status']['done']})")
+    print(f"tasks submitted  : {report['tasks_submitted']}")
+    print(f"tasks completed  : {report['tasks_done']} "
+          f"by {workers} workers over {config.num_sites} sites "
+          f"(batch={args.batch})")
+    print(f"files fetched    : {report['files_fetched']}")
+    if report["reconnects"]:
+        print(f"reconnects       : {report['reconnects']} (workers "
+              f"resumed across shard restarts)")
+    if args.event_log:
+        print(f"event log        : {args.event_log}")
+    print("aggregated cluster stats:")
+    print(format_stats(report["stats"]))
+    # The shard-side per-job counters are authoritative: a worker may
+    # lose the ACK for a completion the WAL durably recorded, so the
+    # client-side tally can undercount across a crash.
+    completed = sum(entry["status"]["completed"]
+                    for entry in report["jobs"])
+    return 0 if completed == report["tasks_submitted"] else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.top import run_cluster_top, run_top
+
+    if args.endpoints:
+        urls = [f"http://{endpoint}/stats.json"
+                for endpoint in args.endpoints]
+        return run_cluster_top(urls, interval=args.interval,
+                               iterations=1 if args.once else None,
+                               clear=not args.once)
+    if args.port is None:
+        print("repro top: need --port or host:port endpoint(s)",
+              file=sys.stderr)
+        return 2
     url = f"http://{args.host}:{args.port}/stats.json"
     return run_top(url, interval=args.interval,
                    iterations=1 if args.once else None,
@@ -430,8 +585,59 @@ def build_parser() -> argparse.ArgumentParser:
                               help="log the full stats snapshot as one "
                                    "JSON line at INFO every this many "
                                    "seconds (default: off)")
+    serve_parser.add_argument("--state-dir", default=None,
+                              help="durable-shard mode: keep the WAL "
+                                   "and periodic snapshots in this "
+                                   "directory and recover from them "
+                                   "on startup (conflicts with "
+                                   "--event-log)")
+    serve_parser.add_argument("--snapshot-interval", type=float,
+                              default=5.0,
+                              help="seconds between state snapshots "
+                                   "(with --state-dir)")
+    serve_parser.add_argument("--shard-index", type=int, default=0,
+                              help="this shard's index in a cluster "
+                                   "(job/task ids ≡ index mod count)")
+    serve_parser.add_argument("--shard-count", type=int, default=1,
+                              help="total shards in the cluster")
+    serve_parser.add_argument("--port-file", default=None,
+                              help="write the bound ports as JSON "
+                                   "{port, metrics_port} to this path "
+                                   "once listening (for --port 0)")
     _add_verbosity_arguments(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
+
+    cluster_parser = sub.add_parser(
+        "cluster", help="run a sharded scheduler tier: N durable "
+                        "serve shards, a router, and a supervisor "
+                        "that restarts crashed shards")
+    cluster_parser.add_argument("--shards", type=int, default=2,
+                                help="number of scheduler shards")
+    cluster_parser.add_argument("--state-root", default="cluster-state",
+                                help="directory for per-shard state "
+                                     "dirs and cluster.json")
+    cluster_parser.add_argument("--host", default="127.0.0.1")
+    cluster_parser.add_argument("--port", type=int, default=0,
+                                help="router port (0 = ephemeral, "
+                                     "reported in cluster.json)")
+    cluster_parser.add_argument("--metric", default="combined",
+                                choices=["overlap", "rest", "combined",
+                                         "combined-literal"])
+    cluster_parser.add_argument("--n", type=int, default=2)
+    cluster_parser.add_argument("--seed", type=int, default=0)
+    cluster_parser.add_argument("--kernel", default="fast",
+                                choices=["fast", "reference"])
+    cluster_parser.add_argument("--lease-ttl", type=float,
+                                default=30.0)
+    cluster_parser.add_argument("--snapshot-interval", type=float,
+                                default=5.0)
+    cluster_parser.add_argument("--metrics-port", type=int,
+                                default=None,
+                                help="serve aggregated /stats.json, "
+                                     "/cluster.json and /healthz on "
+                                     "this port (0 = ephemeral)")
+    _add_verbosity_arguments(cluster_parser)
+    cluster_parser.set_defaults(func=_cmd_cluster)
 
     load_parser = sub.add_parser(
         "load", help="replay a workload against a running daemon "
@@ -465,13 +671,28 @@ def build_parser() -> argparse.ArgumentParser:
     load_parser.add_argument("--event-log", default=None,
                              help="write the client-side JSONL event "
                                   "stream (submit/assign/complete) here")
+    load_parser.add_argument("--cluster", action="store_true",
+                             help="--host/--port point at a cluster "
+                                  "router: follow REDIRECTs, pull "
+                                  "straight from the owning shards, "
+                                  "resume across shard restarts")
+    load_parser.add_argument("--jobs", type=int, default=1,
+                             help="with --cluster: split the workload "
+                                  "into this many jobs (spread over "
+                                  "the shards)")
     load_parser.set_defaults(func=_cmd_load)
 
     top_parser = sub.add_parser(
-        "top", help="live terminal view of a daemon started with "
-                    "--metrics-port")
+        "top", help="live terminal view of one daemon's (or a whole "
+                    "cluster's) /stats.json")
+    top_parser.add_argument("endpoints", nargs="*", metavar="HOST:PORT",
+                            help="stats endpoints to merge (several "
+                                 "shard --metrics-ports, or one "
+                                 "cluster --metrics-port serving the "
+                                 "aggregate); omit to use "
+                                 "--host/--port")
     top_parser.add_argument("--host", default="127.0.0.1")
-    top_parser.add_argument("--port", type=int, required=True,
+    top_parser.add_argument("--port", type=int, default=None,
                             help="the daemon's --metrics-port")
     top_parser.add_argument("--interval", type=float, default=2.0)
     top_parser.add_argument("--once", action="store_true",

@@ -1,0 +1,40 @@
+"""``repro.cluster``: a sharded, fault-tolerant scheduler tier.
+
+N :class:`~repro.serve.service.SchedulerService` shard replicas
+partition work by job (``job_id % N`` names the owning shard — shard
+ids are allocated with that invariant, see the service's
+``id_start``/``id_stride``), fronted by a lightweight asyncio
+:class:`~repro.cluster.router.ClusterRouter` that forwards control
+traffic to the owning shard, answers cluster-aware ``HELLO`` s with a
+``REDIRECT`` shard map, and aggregates ``STATS`` across shards.
+
+Each shard is durable: its schema-checked JSONL event log doubles as
+a write-ahead log, periodic checksummed snapshots capture the full
+scheduler state (:mod:`repro.cluster.snapshot`), and crash recovery
+is *load latest snapshot + tail-replay of the WAL*
+(:mod:`repro.cluster.shard`).  A supervisor
+(:mod:`repro.cluster.supervisor`, ``repro cluster --shards N``)
+spawns, monitors and restarts shard processes; workers mid-lease
+against a dead shard re-resolve it through the router and resume,
+with exactly-once completion preserved by the lease machinery.
+
+See ``docs/cluster.md`` for topology, wire flow, the snapshot format
+and the recovery procedure.
+"""
+
+from .client import ClusterClient, ClusterWorkerClient
+from .loadgen import run_cluster_load
+from .router import ClusterRouter, ShardAddress
+from .shard import ShardDurability, open_shard
+from .snapshot import (SnapshotError, list_snapshots,
+                       load_latest_snapshot, write_snapshot)
+from .stats import aggregate_stats
+from .supervisor import ClusterSupervisor
+
+__all__ = [
+    "ClusterClient", "ClusterRouter", "ClusterSupervisor",
+    "ClusterWorkerClient", "ShardAddress", "ShardDurability",
+    "SnapshotError", "aggregate_stats", "list_snapshots",
+    "load_latest_snapshot", "open_shard", "run_cluster_load",
+    "write_snapshot",
+]

@@ -1,0 +1,206 @@
+"""Cluster-aware clients: redirect-following control and workers.
+
+:class:`ClusterClient` is :class:`~repro.serve.client.SchedulerClient`
+taught to introduce itself with ``accept_redirect``: pointed at a
+router it receives the shard map and keeps the connection for control
+traffic (the router forwards submits and statuses to the owning
+shard); pointed at a plain scheduler it gets a normal ``WELCOME`` and
+degrades to exactly the single-server client.
+
+:class:`ClusterWorkerClient` wraps the pull-loop
+:class:`~repro.serve.client.WorkerClient` with shard resolution and
+crash resumption: it asks the router for the shard map, connects
+straight to the shard owning its job, and when that shard dies
+mid-lease (connection drops, connects start failing) it re-resolves
+through the router — picking up the restarted shard's new port — and
+resumes pulling.  One :class:`~repro.serve.client.SiteCacheMirror` is
+shared across every reconnect, so the worker's residency picture (and
+therefore the ``FILE_DELTA`` stream the recovered shard sees) stays
+continuous.  Exactly-once completion needs nothing new here: a
+completion acked before the crash is in the shard's WAL and survives
+recovery; one acked by nobody is requeued by the lease machinery and
+the resumed worker (or a peer) re-earns it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Dict, List, Optional
+
+from ..obs.events import EventLog
+from ..serve import messages, protocol
+from ..serve.client import (SchedulerClient, SiteCacheMirror,
+                            WorkerClient, _Connection)
+
+__all__ = ["ClusterClient", "ClusterWorkerClient"]
+
+log = logging.getLogger("repro.cluster.client")
+
+#: Worker summary counters folded across reconnect incarnations.
+_FOLD_COUNTERS = ("tasks_done", "files_fetched", "heartbeats_sent",
+                  "rejected_completions", "batches_pulled")
+
+
+async def _redirect_hello(conn: _Connection, worker: str, site: int,
+                          ) -> messages.ServerMessage:
+    """HELLO with ``accept_redirect``; returns REDIRECT or WELCOME."""
+    reply = await conn.call(messages.Hello(
+        worker=worker, site=site,
+        protocol=protocol.PROTOCOL_VERSION, accept_redirect=True))
+    if not isinstance(reply, (messages.Redirect, messages.Welcome)):
+        raise RuntimeError(f"expected REDIRECT or WELCOME, got {reply}")
+    return reply
+
+
+class ClusterClient(SchedulerClient):
+    """Control client that follows the cluster handshake.
+
+    Works against a router (``redirect`` holds the shard map; submits
+    and statuses are forwarded shard-side) *and* against a plain
+    scheduler (``redirect`` stays None).  ``submit``/``stats``/
+    ``drain``/:class:`~repro.serve.client.JobHandle` are inherited
+    unchanged — the wire shapes are identical either way.
+    """
+
+    def __init__(self, host: str, port: int,
+                 name: str = "cluster-control", site: int = 0):
+        super().__init__(host, port, name=name, site=site)
+        self.redirect: Optional[messages.Redirect] = None
+
+    async def __aenter__(self) -> "ClusterClient":
+        await self._conn.open()
+        reply = await _redirect_hello(self._conn, self.name, self.site)
+        if isinstance(reply, messages.Redirect):
+            self.redirect = reply
+        else:
+            self.welcome = reply
+        return self
+
+    @property
+    def shard_count(self) -> int:
+        return 1 if self.redirect is None else self.redirect.shard_count
+
+    def shard_map(self) -> List[Dict]:
+        if self.redirect is None:
+            return [{"shard": 0, "host": self._conn.host,
+                     "port": self._conn.port}]
+        return list(self.redirect.shards)
+
+
+class ClusterWorkerClient:
+    """A pull-loop worker that survives the death of its shard.
+
+    ``job_id`` is mandatory: the job names the owning shard
+    (``job_id % shard_count``), and scoping guarantees the worker
+    stops on ``NO_TASK(job-done)`` rather than idling against a shard
+    that still serves other tenants.
+    """
+
+    def __init__(self, router_host: str, router_port: int,
+                 worker: str = "w0", site: int = 0,
+                 capacity_files: int = 1000,
+                 flops_per_sec: float = 0.0,
+                 seconds_per_file: float = 0.0,
+                 job_id: Optional[int] = None,
+                 events: Optional[EventLog] = None, batch: int = 1,
+                 resume_window: float = 30.0,
+                 retry_interval: float = 0.2):
+        if job_id is None:
+            raise ValueError("cluster workers must scope to a job_id "
+                             "(it names the owning shard)")
+        self.router_host = router_host
+        self.router_port = router_port
+        self.worker = worker
+        self.site = site
+        self.flops_per_sec = flops_per_sec
+        self.seconds_per_file = seconds_per_file
+        self.job_id = job_id
+        self.events = events
+        self.batch = batch
+        #: How long connects may keep failing with no task completed
+        #: before the outage is reported instead of ridden out; the
+        #: supervisor restarts a crashed shard well inside this.
+        self.resume_window = resume_window
+        self.retry_interval = retry_interval
+        #: One residency mirror across every reconnect incarnation.
+        self.cache = SiteCacheMirror(capacity_files)
+        self.reconnects = 0
+        self.shard: Optional[int] = None
+
+    async def _resolve(self) -> Dict:
+        """The owning shard's current ``{shard, host, port}`` entry."""
+        conn = _Connection(self.router_host, self.router_port)
+        await conn.open()
+        try:
+            reply = await _redirect_hello(
+                conn, f"{self.worker}-resolve", self.site)
+        finally:
+            await conn.close()
+        if isinstance(reply, messages.Welcome):
+            # A plain scheduler: no shards to pick between.
+            self.shard = 0
+            return {"shard": 0, "host": self.router_host,
+                    "port": self.router_port}
+        self.shard = self.job_id % reply.shard_count
+        for entry in reply.shards:
+            if entry["shard"] == self.shard:
+                return entry
+        raise RuntimeError(
+            f"router shard map has no shard {self.shard}: "
+            f"{reply.shards}")
+
+    def _make_inner(self, entry: Dict) -> WorkerClient:
+        inner = WorkerClient(
+            entry["host"], entry["port"], worker=self.worker,
+            site=self.site, capacity_files=self.cache.capacity_files,
+            flops_per_sec=self.flops_per_sec,
+            seconds_per_file=self.seconds_per_file,
+            job_id=self.job_id, events=self.events, batch=self.batch)
+        inner.cache = self.cache  # continuity across reconnects
+        return inner
+
+    async def run(self) -> Dict:
+        """Pull until ``NO_TASK``, resuming across shard restarts."""
+        totals = {key: 0 for key in _FOLD_COUNTERS}
+        loop = asyncio.get_running_loop()
+        outage_started: Optional[float] = None
+        inner: Optional[WorkerClient] = None
+        while True:
+            try:
+                entry = await self._resolve()
+                inner = self._make_inner(entry)
+                summary = await inner.run()
+            except (ConnectionError, OSError) as exc:
+                made_progress = False
+                if inner is not None:
+                    made_progress = any(
+                        getattr(inner, key) for key in _FOLD_COUNTERS)
+                    self._fold(totals, inner)
+                    inner = None
+                now = loop.time()
+                if made_progress or outage_started is None:
+                    outage_started = now
+                elif now - outage_started > self.resume_window:
+                    raise ConnectionError(
+                        f"worker {self.worker}: shard {self.shard} "
+                        f"unreachable for {self.resume_window:.1f}s"
+                    ) from exc
+                self.reconnects += 1
+                log.info("worker %s: shard %s connection lost (%s); "
+                         "re-resolving via router", self.worker,
+                         self.shard, exc)
+                await asyncio.sleep(self.retry_interval)
+                continue
+            self._fold(totals, inner)
+            totals.update(worker=self.worker, site=self.site,
+                          job_id=self.job_id, batch=self.batch,
+                          shard=self.shard,
+                          reconnects=self.reconnects,
+                          stop_reason=summary["stop_reason"])
+            return totals
+
+    @staticmethod
+    def _fold(totals: Dict, inner: WorkerClient) -> None:
+        for key in _FOLD_COUNTERS:
+            totals[key] += getattr(inner, key)

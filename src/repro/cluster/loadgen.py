@@ -1,0 +1,98 @@
+"""Cluster load generator: multi-job load through the router.
+
+The cluster twin of :func:`repro.serve.loadgen.run_load`: jobs are
+submitted through a :class:`~repro.cluster.client.ClusterClient` (the
+router places each new job on a shard and forwards the chunked
+submits), the worker fleet is
+:class:`~repro.cluster.client.ClusterWorkerClient` pull loops — each
+scoped to one job, resolving its owning shard via ``REDIRECT`` and
+resuming across shard restarts — and the final report carries the
+router's *aggregated* stats plus per-worker reconnect counts, so a
+run that rode out a shard crash says so.
+
+Several jobs spread over the shards is the interesting cluster case,
+hence ``jobs`` is a sequence; workers are assigned to jobs
+round-robin.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from typing import Dict, Optional, Sequence
+
+from ..grid.job import Job
+from ..obs.events import EventLog
+from .client import ClusterClient, ClusterWorkerClient
+
+__all__ = ["run_cluster_load"]
+
+
+async def run_cluster_load(host: str, port: int,
+                           jobs: Sequence[Job], workers: int = 8,
+                           sites: int = 4, capacity_files: int = 600,
+                           flops_per_sec: float = 0.0,
+                           seconds_per_file: float = 0.0,
+                           drain: bool = True,
+                           event_log: Optional[str] = None,
+                           batch: int = 1,
+                           resume_window: float = 30.0) -> Dict:
+    """Submit ``jobs`` via the router, run the fleet, report.
+
+    ``event_log`` captures the client-side view (submit, assign,
+    delta, complete per worker) exactly like the single-server load
+    generator — :func:`repro.analysis.eventlog.load_timelines` reads
+    it unchanged, which is how the recovery tests prove exactly-once
+    completion across a shard kill.
+    """
+    if not jobs:
+        raise ValueError("need at least one job")
+    if workers < 1 or sites < 1:
+        raise ValueError("need at least one worker and one site")
+    events = EventLog(path=event_log) if event_log else None
+    async with contextlib.AsyncExitStack() as stack:
+        if events is not None:
+            stack.enter_context(events)
+        control = await stack.enter_async_context(
+            ClusterClient(host, port, name="cluster-loadgen"))
+        handles = []
+        for job in jobs:
+            handle = await control.submit(job)
+            handles.append(handle)
+            if events is not None:
+                events.emit("submit", job_id=handle.job_id,
+                            tasks=len(handle.task_ids),
+                            task_ids=handle.task_ids)
+        fleet = [
+            ClusterWorkerClient(
+                host, port, worker=f"w{index}", site=index % sites,
+                capacity_files=capacity_files,
+                flops_per_sec=flops_per_sec,
+                seconds_per_file=seconds_per_file,
+                job_id=handles[index % len(handles)].job_id,
+                events=events, batch=batch,
+                resume_window=resume_window)
+            for index in range(workers)
+        ]
+        summaries = await asyncio.gather(
+            *(worker.run() for worker in fleet))
+        job_statuses = [await handle.status() for handle in handles]
+        stats = await control.stats()
+        if drain:
+            await control.drain()
+    return {
+        "shard_count": control.shard_count,
+        "jobs": [{"job_id": handle.job_id,
+                  "tasks_submitted": len(handle.task_ids),
+                  "status": status}
+                 for handle, status in zip(handles, job_statuses)],
+        "tasks_submitted": sum(len(handle.task_ids)
+                               for handle in handles),
+        "tasks_done": sum(s["tasks_done"] for s in summaries),
+        "files_fetched": sum(s["files_fetched"] for s in summaries),
+        "reconnects": sum(s["reconnects"] for s in summaries),
+        "batch": batch,
+        "workers": summaries,
+        "stats": stats,
+        "event_log": event_log,
+    }

@@ -1,0 +1,327 @@
+"""The cluster front door: redirect workers, forward control traffic.
+
+:class:`ClusterRouter` is a deliberately thin asyncio TCP server that
+speaks the same protocol-v2 wire format as a scheduler shard but holds
+**no scheduling state**.  Its whole job:
+
+* ``HELLO`` carrying ``accept_redirect`` → a ``REDIRECT`` with the
+  shard map, and the connection stays open for control traffic.  A
+  plain v2 ``HELLO`` (an old client) gets a clean ``ERROR`` — workers
+  are never silently misrouted to a scheduler that does not own their
+  job.
+* ``JOB_SUBMIT`` → forwarded to the owning shard (``job_id %
+  shard_count``; a brand-new job is placed round-robin and from then
+  on its id names its shard, because shards allocate ids with
+  ``id_start=shard, id_stride=count``).
+* ``JOB_STATUS`` → forwarded to ``job_id % shard_count``.
+* ``STATS`` → fanned out to every shard, merged by
+  :func:`~repro.cluster.stats.aggregate_stats`.
+* ``DRAIN`` → broadcast.
+* Data-plane messages (``REQUEST_TASK``, ``TASK_DONE``, ``HEARTBEAT``,
+  ``FILE_DELTA``) → ``ERROR`` pointing at the redirect flow.
+
+Upstream connections are lazy, one per shard, serialized by a lock
+(the router's control traffic is low-rate; strict request/response
+per upstream keeps correlation trivial).  A failed call retries
+inside ``retry_window`` seconds — exactly the window in which the
+supervisor restarts a crashed shard and calls :meth:`update_shard`
+with its new port — so control traffic rides out a shard restart
+instead of failing fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..serve import messages, protocol
+from .stats import aggregate_stats
+
+__all__ = ["ClusterRouter", "ShardAddress"]
+
+log = logging.getLogger("repro.cluster.router")
+
+#: Message types the router refuses: the data plane belongs to shards.
+_DATA_PLANE = (messages.RequestTask, messages.TaskDone,
+               messages.Heartbeat, messages.FileDelta)
+
+
+@dataclass(frozen=True)
+class ShardAddress:
+    """Where one shard listens."""
+    shard: int
+    host: str
+    port: int
+
+    def entry(self) -> Dict:
+        """The ``REDIRECT.shards`` wire entry."""
+        return {"shard": self.shard, "host": self.host,
+                "port": self.port}
+
+
+class _Upstream:
+    """One lazily-connected, lock-serialized stream to one shard.
+
+    :meth:`call` returns the shard's reply *verbatim* (including
+    ``ERROR`` — the router forwards shard refusals, it does not raise
+    on them).  Connection failures reconnect-and-retry against the
+    *current* address until ``retry_window`` runs out, so a shard
+    restart (new PID, new ephemeral port installed via
+    :meth:`replace`) looks like one slow call, not an outage.
+    """
+
+    def __init__(self, address: ShardAddress, retry_window: float,
+                 retry_interval: float = 0.1):
+        self.address = address
+        self.retry_window = retry_window
+        self.retry_interval = retry_interval
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        #: Bumped by :meth:`replace`; a mismatch tells the call loop
+        #: its open connection predates the current address.
+        self._generation = 0
+        self._conn_generation = 0
+        self._lock = asyncio.Lock()
+
+    def replace(self, address: ShardAddress) -> None:
+        """Point at a restarted shard; the next call reconnects."""
+        self.address = address
+        self._generation += 1
+
+    async def _ensure_open(self) -> None:
+        if (self._writer is not None
+                and self._conn_generation != self._generation):
+            await self._close()
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.address.host, self.address.port,
+                limit=protocol.MAX_MESSAGE_BYTES + 1024)
+            self._conn_generation = self._generation
+
+    async def _close(self) -> None:
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            with contextlib.suppress(ConnectionError, OSError):
+                await writer.wait_closed()
+
+    async def call(self, message: messages.ClientMessage,
+                   ) -> messages.ServerMessage:
+        async with self._lock:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.retry_window
+            while True:
+                try:
+                    await self._ensure_open()
+                    self._writer.write(message.encode())
+                    await self._writer.drain()
+                    line = await self._reader.readline()
+                    if not line:
+                        raise ConnectionError(
+                            f"shard {self.address.shard} closed the "
+                            f"connection")
+                    return messages.decode_server(line)
+                except (ConnectionError, OSError) as exc:
+                    await self._close()
+                    if loop.time() >= deadline:
+                        raise ConnectionError(
+                            f"shard {self.address.shard} unreachable "
+                            f"for {self.retry_window:.1f}s: {exc}"
+                        ) from exc
+                    await asyncio.sleep(self.retry_interval)
+
+    async def close(self) -> None:
+        async with self._lock:
+            await self._close()
+
+
+class ClusterRouter:
+    """Stateless protocol-v2 front end over a fixed shard map."""
+
+    def __init__(self, shards: List[ShardAddress],
+                 host: str = "127.0.0.1", port: int = 0,
+                 name: str = "cluster-router",
+                 retry_window: float = 15.0):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        indices = sorted(address.shard for address in shards)
+        if indices != list(range(len(shards))):
+            raise ValueError(f"shard indices must be 0..{len(shards) - 1},"
+                             f" got {indices}")
+        self.shard_count = len(shards)
+        self.host = host
+        self.port = port
+        self.name = name
+        self._upstreams: Dict[int, _Upstream] = {
+            address.shard: _Upstream(address, retry_window)
+            for address in shards}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handler_tasks: set = set()
+        self._connections: set = set()
+        self._next_new_job_shard = 0
+        self.redirects_sent = 0
+        self.rejected_hellos = 0
+        self.forwarded = 0
+
+    # -- shard map ---------------------------------------------------
+    def shard_map(self) -> List[Dict]:
+        """Wire-ready ``REDIRECT.shards`` entries, by shard index."""
+        return [self._upstreams[index].address.entry()
+                for index in range(self.shard_count)]
+
+    def update_shard(self, address: ShardAddress) -> None:
+        """Install a restarted shard's new address (supervisor hook)."""
+        if address.shard not in self._upstreams:
+            raise ValueError(f"unknown shard {address.shard}")
+        log.info("shard %d moved to %s:%d", address.shard,
+                 address.host, address.port)
+        self._upstreams[address.shard].replace(address)
+
+    def shard_for_job(self, job_id: int) -> int:
+        return job_id % self.shard_count
+
+    # -- lifecycle ---------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_MESSAGE_BYTES + 1024)
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info("router listening on %s:%d (%d shard(s))",
+                 self.host, self.port, self.shard_count)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for writer in list(self._connections):
+            writer.close()
+        if self._handler_tasks:
+            # Closed transports EOF the read loops; let them finish so
+            # loop teardown never has to cancel a live handler.
+            await asyncio.wait(self._handler_tasks, timeout=5)
+        for upstream in self._upstreams.values():
+            await upstream.close()
+
+    # -- client side -------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._handler_tasks.add(asyncio.current_task())
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                try:
+                    message = messages.decode_client(line)
+                except protocol.ProtocolError as exc:
+                    writer.write(messages.Error(str(exc)).encode())
+                    await writer.drain()
+                    continue
+                reply, close = await self._dispatch(message)
+                writer.write(reply.encode())
+                await writer.drain()
+                if close:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._handler_tasks.discard(asyncio.current_task())
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(ConnectionResetError,
+                                     BrokenPipeError):
+                await writer.wait_closed()
+
+    async def _forward(self, shard: int,
+                       message: messages.ClientMessage,
+                       ) -> messages.ServerMessage:
+        try:
+            reply = await self._upstreams[shard].call(message)
+        except ConnectionError as exc:
+            return messages.Error(str(exc))
+        self.forwarded += 1
+        return reply
+
+    async def _dispatch(self, message: messages.ClientMessage,
+                        ) -> Tuple[messages.ServerMessage, bool]:
+        if isinstance(message, messages.Hello):
+            if message.protocol != protocol.PROTOCOL_VERSION:
+                return (messages.Error(
+                    f"unsupported protocol version {message.protocol};"
+                    f" this router speaks "
+                    f"{protocol.PROTOCOL_VERSION}"), True)
+            if not message.accept_redirect:
+                # An old (or shard-oblivious) client: refuse cleanly
+                # instead of pretending to be a scheduler it can pull
+                # tasks from.
+                self.rejected_hellos += 1
+                return (messages.Error(
+                    "this address is a cluster router, not a "
+                    "scheduler shard; send HELLO with "
+                    "accept_redirect=true and connect to the shard "
+                    "owning your job (job_id % shard_count)"), True)
+            self.redirects_sent += 1
+            return (messages.Redirect(
+                shards=self.shard_map(),
+                shard_count=self.shard_count), False)
+
+        if isinstance(message, _DATA_PLANE):
+            return (messages.Error(
+                f"{message.TYPE} is data-plane traffic; the router "
+                f"only routes control messages — connect to the "
+                f"owning shard from the REDIRECT shard map"), False)
+
+        if isinstance(message, messages.JobSubmit):
+            if message.job_id is not None:
+                shard = self.shard_for_job(message.job_id)
+            else:
+                shard = self._next_new_job_shard
+                self._next_new_job_shard = (
+                    (shard + 1) % self.shard_count)
+            return (await self._forward(shard, message), False)
+
+        if isinstance(message, messages.JobStatusRequest):
+            shard = self.shard_for_job(message.job_id)
+            return (await self._forward(shard, message), False)
+
+        if isinstance(message, messages.StatsRequest):
+            return (messages.StatsReply(
+                stats=await self.aggregated_stats()), False)
+
+        if isinstance(message, messages.Drain):
+            replies = await asyncio.gather(
+                *(self._forward(shard, messages.Drain())
+                  for shard in range(self.shard_count)))
+            failed = [reply.error for reply in replies
+                      if isinstance(reply, messages.Error)]
+            if failed:
+                return (messages.Error(
+                    f"drain incomplete: {'; '.join(failed)}"), False)
+            return (messages.Ack(draining=True), False)
+
+        return (messages.Error(
+            f"unhandled message type {message.TYPE!r}"), False)
+
+    async def aggregated_stats(self) -> Dict:
+        """Every shard's STATS merged into one cluster snapshot."""
+        async def fetch(shard: int) -> Optional[Dict]:
+            try:
+                reply = await self._upstreams[shard].call(
+                    messages.StatsRequest())
+            except ConnectionError:
+                return None
+            if isinstance(reply, messages.StatsReply):
+                return reply.stats
+            return None
+
+        snapshots = await asyncio.gather(
+            *(fetch(shard) for shard in range(self.shard_count)))
+        return aggregate_stats(
+            list(enumerate(snapshots)), shard_count=self.shard_count)

@@ -1,0 +1,206 @@
+"""One durable scheduler shard: WAL + snapshots + crash recovery.
+
+A shard is a plain :class:`~repro.serve.service.SchedulerService`
+constructed with ``wal_events=True`` and the cluster id strides, whose
+event log lives in the shard's *state directory* and doubles as a
+write-ahead log.  :func:`open_shard` is the whole lifecycle::
+
+    durability = open_shard("state/shard-0", metric="combined", n=2,
+                            shard_index=0, shard_count=2)
+    # durability.service is recovered: snapshot + WAL tail replayed
+    # durability.report says what recovery did
+    task = loop.create_task(durability.snapshot_loop())
+
+Recovery is **snapshot + tail-replay, never a cold start**: the
+newest verified snapshot restores the bulk of the state
+(:meth:`SchedulerService.import_state`), then every WAL record with
+``seq >= snapshot.wal_seq`` is folded in through
+:meth:`SchedulerService.replay_record`.  The new incarnation's event
+log continues the WAL sequence (``seq_start``), so the log stays one
+monotone history across restarts and the *next* recovery can do the
+same dance.
+
+Durability contract: WAL records are flushed to the OS before the
+mutation they describe is acked on the wire (``auto_flush``), which
+survives ``kill -9``; snapshot writes fsync both the WAL (the
+barrier) and the snapshot file, which survives machine crashes up to
+the last barrier.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..obs.events import EventLog, iter_events
+from ..obs.trace import DecisionTracer
+from ..serve.service import SchedulerService
+from .snapshot import (list_snapshots, load_latest_snapshot,
+                       write_snapshot)
+
+__all__ = ["ShardDurability", "open_shard", "recover_service",
+           "wal_files"]
+
+log = logging.getLogger("repro.cluster.shard")
+
+#: WAL file name inside a shard's state directory.
+WAL_NAME = "wal.jsonl"
+#: WAL rotation: generous, so the replayable tail always covers the
+#: gap back to the newest snapshot by a wide margin.
+WAL_MAX_BYTES = 256 << 20
+WAL_BACKUPS = 8
+
+
+def wal_path(state_dir: str) -> str:
+    return os.path.join(state_dir, WAL_NAME)
+
+
+def wal_files(state_dir: str) -> List[str]:
+    """The WAL's files oldest-first (``.N`` … ``.1``, then current)."""
+    base = wal_path(state_dir)
+    paths = [f"{base}.{index}"
+             for index in range(WAL_BACKUPS, 0, -1)]
+    paths.append(base)
+    return [path for path in paths if os.path.exists(path)]
+
+
+def recover_service(service: SchedulerService,
+                    state_dir: str) -> Dict:
+    """Snapshot + tail-replay recovery into a fresh ``service``.
+
+    Returns the recovery report: ``snapshot_seq`` (None = no usable
+    snapshot, full-log replay), ``replayed`` (records folded in),
+    ``skipped`` (records already covered by the snapshot) and
+    ``next_seq`` (where the new incarnation's WAL continues).
+    """
+    snapshot_seq: Optional[int] = None
+    start_seq = 0
+    latest = load_latest_snapshot(state_dir)
+    if latest is not None:
+        snapshot_seq, payload = latest
+        service.import_state(payload)
+        start_seq = snapshot_seq
+    replayed = 0
+    skipped = 0
+    next_seq = start_seq
+    for path in wal_files(state_dir):
+        for record in iter_events(path):
+            seq = record["seq"]
+            next_seq = max(next_seq, seq + 1)
+            if seq < start_seq:
+                skipped += 1
+                continue
+            if service.replay_record(record):
+                replayed += 1
+    report = {"snapshot_seq": snapshot_seq, "replayed": replayed,
+              "skipped": skipped, "next_seq": next_seq}
+    log.info("shard recovery: snapshot_seq=%s, replayed=%d wal "
+             "record(s), wal continues at seq %d",
+             snapshot_seq, replayed, next_seq)
+    return report
+
+
+class ShardDurability:
+    """Snapshot cadence + WAL ownership for one recovered service."""
+
+    def __init__(self, service: SchedulerService, events: EventLog,
+                 state_dir: str, report: Dict,
+                 shard_index: int = 0, shard_count: int = 1,
+                 snapshot_interval: float = 5.0, keep: int = 3):
+        if snapshot_interval <= 0:
+            raise ValueError(f"snapshot_interval must be > 0, "
+                             f"got {snapshot_interval}")
+        self.service = service
+        self.events = events
+        self.state_dir = state_dir
+        self.report = report
+        self.shard_index = shard_index
+        self.shard_count = shard_count
+        self.snapshot_interval = snapshot_interval
+        self.keep = keep
+        self.snapshots_written = 0
+        self._last_snapshot_seq = report["next_seq"] \
+            if report["snapshot_seq"] is not None else None
+        # Per-shard identity on the metrics endpoint: scrapes from a
+        # fleet of shards stay distinguishable after aggregation.
+        family = service.stats.registry.gauge(
+            "repro_shard", "Shard identity (value is always 1).",
+            labelnames=("index", "count"))
+        family.labels(index=str(shard_index),
+                      count=str(shard_count)).set(1)
+
+    def maybe_snapshot(self, force: bool = False) -> Optional[str]:
+        """Write a snapshot unless nothing changed since the last one.
+
+        The barrier order is fixed: fsync the WAL first, then write
+        the snapshot naming the synced sequence — a snapshot must
+        never claim coverage the log cannot back.
+        """
+        wal_seq = self.events.next_seq
+        if not force and wal_seq == self._last_snapshot_seq:
+            return None
+        self.events.sync()
+        path = write_snapshot(self.state_dir,
+                              self.service.export_state(),
+                              wal_seq, keep=self.keep)
+        self._last_snapshot_seq = wal_seq
+        self.snapshots_written += 1
+        log.debug("snapshot written: %s", path)
+        return path
+
+    async def snapshot_loop(self) -> None:
+        """Periodic :meth:`maybe_snapshot`; run as an asyncio task."""
+        while True:
+            await asyncio.sleep(self.snapshot_interval)
+            self.maybe_snapshot()
+
+    def describe(self) -> Dict:
+        """Shard block for ``/stats.json`` (identity + recovery)."""
+        return {"index": self.shard_index, "count": self.shard_count,
+                "state_dir": self.state_dir,
+                "recovery": self.report,
+                "snapshots_written": self.snapshots_written,
+                "snapshots_on_disk": len(
+                    list_snapshots(self.state_dir)),
+                "wal_next_seq": self.events.next_seq}
+
+    def close(self) -> None:
+        """Final snapshot + WAL close (clean shutdown path)."""
+        self.maybe_snapshot()
+        self.events.close()
+
+
+def open_shard(state_dir: str, metric: str = "combined", n: int = 2,
+               seed: int = 0, lease_ttl: float = 30.0,
+               shard_index: int = 0, shard_count: int = 1,
+               snapshot_interval: float = 5.0, keep: int = 3,
+               fast_path: bool = True,
+               clock: Callable[[], float] = time.monotonic,
+               tracer: Optional[DecisionTracer] = None,
+               name: Optional[str] = None) -> ShardDurability:
+    """Build + recover one durable shard from its state directory.
+
+    The service is constructed silent (no event log), recovered from
+    the newest snapshot plus the WAL tail, and only then handed the
+    live WAL — replay must never re-emit the records it is folding.
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    service = SchedulerService(
+        metric=metric, n=n, seed=seed,
+        name=name or f"shard-{shard_index}",
+        lease_ttl=lease_ttl, clock=clock, tracer=tracer,
+        fast_path=fast_path, id_start=shard_index,
+        id_stride=shard_count, wal_events=True)
+    report = recover_service(service, state_dir)
+    events = EventLog(path=wal_path(state_dir),
+                      seq_start=report["next_seq"], auto_flush=True,
+                      max_bytes=WAL_MAX_BYTES, backups=WAL_BACKUPS)
+    service.events = events
+    return ShardDurability(service, events, state_dir, report,
+                           shard_index=shard_index,
+                           shard_count=shard_count,
+                           snapshot_interval=snapshot_interval,
+                           keep=keep)

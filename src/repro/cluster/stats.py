@@ -1,0 +1,127 @@
+"""Cluster-wide STATS aggregation.
+
+:func:`aggregate_stats` merges per-shard ``stats_snapshot()`` dicts
+into one cluster view with the *same top-level shape* as a single
+shard's snapshot — ``repro top``, the Prometheus text renderer's JSON
+sibling and every existing consumer read the totals unchanged — plus
+two cluster-only keys:
+
+* ``"cluster"``: ``{shard_count, shards_reporting}``.
+* ``"shards"``: the raw per-shard snapshots keyed by shard index
+  (``{"error": ...}`` for a shard that could not be reached), so a
+  per-shard breakdown is one lookup away from the aggregate.
+
+Counters and gauges sum; ``uptime_s`` is the oldest shard's;
+per-site counters sum across shards that touched the same site id.
+Latency percentiles cannot be merged exactly from summaries, so the
+aggregate reports the count-weighted mean of the shard percentiles —
+an approximation, labeled as such below, good enough for dashboards
+(``count``, ``mean_us`` and ``max_us`` merge exactly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["aggregate_stats"]
+
+#: Top-level scalar fields that sum across shards.
+_SUM_FIELDS = ("jobs_submitted", "jobs_completed", "jobs_active",
+               "tasks_submitted", "assignments", "assignments_per_sec",
+               "completions", "duplicate_completions",
+               "stale_completions", "requeues", "queue_depth",
+               "peak_queue_depth", "outstanding", "parked_workers")
+
+_LEASE_FIELDS = ("active", "granted", "renewals", "expiries")
+_DELTA_FIELDS = ("added", "removed", "referenced")
+_DEDUP_FIELDS = ("duplicate_adds", "duplicate_removes")
+
+
+def _merge_latency(summaries: List[Dict]) -> Dict[str, float]:
+    """Merge histogram summaries: exact where possible, count-weighted
+    for percentiles (bucket counts are not on the wire)."""
+    total = sum(s.get("count", 0) for s in summaries)
+    merged: Dict[str, float] = {"count": total, "mean_us": 0.0,
+                                "p50_us": 0.0, "p90_us": 0.0,
+                                "p99_us": 0.0, "max_us": 0.0}
+    if not total:
+        return merged
+    for summary in summaries:
+        weight = summary.get("count", 0) / total
+        for key in ("mean_us", "p50_us", "p90_us", "p99_us"):
+            merged[key] += weight * summary.get(key, 0.0)
+        merged["max_us"] = max(merged["max_us"],
+                               summary.get("max_us", 0.0))
+    return merged
+
+
+def aggregate_stats(per_shard: List[Tuple[int, Optional[Dict]]],
+                    shard_count: Optional[int] = None) -> Dict:
+    """Merge ``(shard_index, snapshot-or-None)`` pairs (None = shard
+    unreachable) into one cluster-wide snapshot."""
+    reporting = [(index, snap) for index, snap in per_shard
+                 if snap is not None]
+    snaps = [snap for _index, snap in reporting]
+    merged: Dict = {
+        "uptime_s": max((s.get("uptime_s", 0.0) for s in snaps),
+                        default=0.0)}
+    for field in _SUM_FIELDS:
+        merged[field] = sum(s.get(field, 0) for s in snaps)
+    merged["leases"] = {
+        field: sum(s.get("leases", {}).get(field, 0) for s in snaps)
+        for field in _LEASE_FIELDS}
+    merged["file_deltas"] = {
+        field: sum(s.get("file_deltas", {}).get(field, 0)
+                   for s in snaps)
+        for field in _DELTA_FIELDS}
+    merged["delta_dedup"] = {
+        field: sum(s.get("delta_dedup", {}).get(field, 0)
+                   for s in snaps)
+        for field in _DEDUP_FIELDS}
+    sizes: Dict[str, int] = {}
+    for snap in snaps:
+        for size, count in snap.get("batches", {}).get("sizes",
+                                                       {}).items():
+            sizes[size] = sizes.get(size, 0) + count
+    merged["batches"] = {
+        "requests": sum(s.get("batches", {}).get("requests", 0)
+                        for s in snaps),
+        "tasks": sum(s.get("batches", {}).get("tasks", 0)
+                     for s in snaps),
+        "sizes": dict(sorted(sizes.items(), key=lambda kv: int(kv[0]))),
+    }
+    sites: Dict[str, Dict] = {}
+    for snap in snaps:
+        for site_id, site in snap.get("sites", {}).items():
+            into = sites.setdefault(site_id, {"assignments": 0,
+                                              "overlap_hits": 0})
+            into["assignments"] += site.get("assignments", 0)
+            into["overlap_hits"] += site.get("overlap_hits", 0)
+    for site in sites.values():
+        site["overlap_hit_rate"] = (site["overlap_hits"]
+                                    / site["assignments"]
+                                    if site["assignments"] else 0.0)
+    merged["sites"] = dict(sorted(sites.items(),
+                                  key=lambda kv: int(kv[0])))
+    merged["decision_latency"] = _merge_latency(
+        [s.get("decision_latency", {}) for s in snaps])
+    by_metric: Dict[str, List[Dict]] = {}
+    for snap in snaps:
+        for metric, summary in snap.get("scheduler_decision",
+                                        {}).items():
+            by_metric.setdefault(metric, []).append(summary)
+    merged["scheduler_decision"] = {
+        metric: _merge_latency(summaries)
+        for metric, summaries in sorted(by_metric.items())}
+    merged["draining"] = all(s.get("draining", False) for s in snaps) \
+        if snaps else False
+    merged["cluster"] = {
+        "shard_count": (shard_count if shard_count is not None
+                        else len(per_shard)),
+        "shards_reporting": len(reporting),
+    }
+    merged["shards"] = {
+        str(index): (snap if snap is not None
+                     else {"error": "shard unreachable"})
+        for index, snap in per_shard}
+    return merged

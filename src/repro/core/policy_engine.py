@@ -133,6 +133,33 @@ class SiteFileState:
             listener(fid)
         return self._references[fid]
 
+    # -- snapshot surface (repro.cluster durability) ---------------------
+    def export(self) -> Dict[str, list]:
+        """JSON-native dump of residency + reference counters."""
+        return {"resident": sorted(self._resident),
+                "references": sorted(
+                    [fid, count]
+                    for fid, count in self._references.items())}
+
+    @classmethod
+    def restore(cls, resident: Iterable[int],
+                references: Iterable[Tuple[int, int]]) -> "SiteFileState":
+        """Rebuild a mirror from :meth:`export` output.
+
+        The dicts are prefilled directly — no listeners exist yet, so
+        nothing fires.  Attach the restored state *afterwards*
+        (``PolicyEngine.attach_site(site_id, state=...)``): the
+        index's ``watch_site`` folds the already-resident files
+        through its insert hook, reading the restored reference
+        counts, which reproduces every per-site refsum exactly.
+        """
+        state = cls()
+        for fid in resident:
+            state._resident[fid] = None
+        for fid, count in references:
+            state._references[fid] = count
+        return state
+
 
 class PolicyEngine:
     """Pending set + overlap index + CalculateWeight + ChooseTask(n).
@@ -199,12 +226,27 @@ class PolicyEngine:
         """Track a simulator :class:`SiteStorage` (callback-driven)."""
         self._index.watch_site(site_id, storage)
 
-    def attach_site(self, site_id: int) -> SiteFileState:
-        """Track a delta-driven site; returns its mutable mirror."""
-        state = SiteFileState()
+    def attach_site(self, site_id: int,
+                    state: Optional[SiteFileState] = None,
+                    ) -> SiteFileState:
+        """Track a delta-driven site; returns its mutable mirror.
+
+        ``state`` lets crash recovery attach a pre-built
+        :meth:`SiteFileState.restore` mirror; ``watch_site`` then
+        folds its already-resident files into the index, so the
+        restored site scores exactly like the original.
+        """
+        if state is None:
+            state = SiteFileState()
         self._index.watch_site(site_id, state)
         self._sites[site_id] = state
         return state
+
+    @property
+    def rng(self) -> random.Random:
+        """The ChooseTask(n) stream (snapshot/restore via
+        ``getstate``/``setstate``; consumed only by sampling)."""
+        return self._rng
 
     @property
     def site_ids(self) -> Tuple[int, ...]:

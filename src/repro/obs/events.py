@@ -16,16 +16,30 @@ Schemas are *minimum* field sets: emitters may attach extra fields
 the client-side load generator does not have them), but a record
 missing a required field, or of an unknown type, is rejected at emit
 and at read time — a corrupt log fails loudly, not in the plots.
+
+The log doubles as the **write-ahead log** of a durable scheduler
+shard (:mod:`repro.cluster`): ``auto_flush=True`` pushes every record
+to the OS before the caller acks anything over the wire (the page
+cache survives a ``kill -9``), :meth:`EventLog.sync` fsyncs at
+snapshot barriers, rotation fsyncs the outgoing file, and
+``seq_start`` lets a recovered shard continue the sequence where the
+previous incarnation stopped.  The reader distinguishes *truncation*
+from *corruption*: a final line the crash cut short (no trailing
+newline, unparseable) is warned about and skipped; a complete line of
+bad JSON anywhere still raises.
 """
 
 from __future__ import annotations
 
 import io
 import json
+import logging
 import os
 import time
 from collections import deque
 from typing import Deque, Dict, Iterator, List, Optional, Set
+
+log = logging.getLogger("repro.obs.events")
 
 __all__ = ["EVENT_SCHEMAS", "EventLog", "EventSchemaError",
            "RotatingJsonlSink", "read_events", "iter_events",
@@ -89,6 +103,10 @@ class RotatingJsonlSink:
         self._size += len(line)
 
     def _rotate(self) -> None:
+        # The outgoing file is about to become a read-only backup a
+        # crash-recovery replay may depend on: make it durable first.
+        self._file.flush()
+        os.fsync(self._file.fileno())
         self._file.close()
         if self.backups == 0:
             os.remove(self.path)
@@ -108,6 +126,12 @@ class RotatingJsonlSink:
         if self._file is not None:
             self._file.flush()
 
+    def sync(self) -> None:
+        """Flush and fsync: a durability barrier (snapshots use it)."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
     def close(self) -> None:
         if self._file is not None:
             self._file.close()
@@ -120,14 +144,23 @@ class EventLog:
     ``emit("assign", task_id=3, site=0, worker="w1", ...)`` validates,
     stamps ``ts`` (wall clock) and ``seq``, keeps the record in the
     ring, and appends one JSON line to the sink when a path was given.
+
+    WAL duty (``repro.cluster`` shards): ``seq_start`` continues the
+    sequence of a previous incarnation after crash recovery, and
+    ``auto_flush=True`` flushes the sink on every emit, so a record is
+    in the OS page cache — which survives the *process* dying, if not
+    the machine — before the mutation it describes is acked.
     """
 
     def __init__(self, path: Optional[str] = None, ring_size: int = 2048,
                  clock=time.time, max_bytes: int = 16 << 20,
-                 backups: int = 3):
+                 backups: int = 3, seq_start: int = 0,
+                 auto_flush: bool = False):
         self._clock = clock
         self._ring: Deque[Dict] = deque(maxlen=ring_size)
-        self._seq = 0
+        self._seq = seq_start
+        self._seq_start = seq_start
+        self._auto_flush = auto_flush
         self._sink = (RotatingJsonlSink(path, max_bytes=max_bytes,
                                         backups=backups)
                       if path else None)
@@ -142,11 +175,18 @@ class EventLog:
         if self._sink is not None:
             self._sink.write(json.dumps(
                 record, separators=(",", ":"), sort_keys=True) + "\n")
+            if self._auto_flush:
+                self._sink.flush()
         return record
 
     @property
     def emitted(self) -> int:
-        """Total records emitted (ring may hold fewer)."""
+        """Records emitted by *this* log (ring may hold fewer)."""
+        return self._seq - self._seq_start
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next emitted record will carry."""
         return self._seq
 
     def tail(self, count: Optional[int] = None) -> List[Dict]:
@@ -158,6 +198,11 @@ class EventLog:
     def flush(self) -> None:
         if self._sink is not None:
             self._sink.flush()
+
+    def sync(self) -> None:
+        """Flush + fsync the sink (the snapshot durability barrier)."""
+        if self._sink is not None:
+            self._sink.sync()
 
     def close(self) -> None:
         if self._sink is not None:
@@ -172,7 +217,15 @@ class EventLog:
 
 
 def iter_events(path: str) -> Iterator[Dict]:
-    """Stream validated records from one JSONL file."""
+    """Stream validated records from one JSONL file.
+
+    A final line the writer's crash cut short — identified by the
+    missing trailing newline (only the last line of a file can lack
+    one) — is logged as a warning and skipped: replaying a WAL after
+    ``kill -9`` must not die on the half-written record that the kill
+    itself produced.  A *complete* (newline-terminated) line of bad
+    JSON is corruption, not truncation, and still raises.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, 1):
             if not line.strip():
@@ -180,6 +233,12 @@ def iter_events(path: str) -> Iterator[Dict]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if not line.endswith("\n"):
+                    log.warning(
+                        "%s:%d: dropping truncated final line "
+                        "(%d bytes): %s", path, line_number, len(line),
+                        exc)
+                    return
                 raise EventSchemaError(
                     f"{path}:{line_number}: bad JSON: {exc}") from exc
             yield validate_event(record)

@@ -17,9 +17,10 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
-__all__ = ["fetch_json", "render_top", "run_top"]
+__all__ = ["fetch_json", "render_cluster_top", "render_top",
+           "run_cluster_top", "run_top"]
 
 _CLEAR = "\x1b[2J\x1b[H"
 
@@ -95,6 +96,96 @@ def render_top(snapshot: Dict) -> str:
                 f" {job.get('job_id', '?'):>3}  [{_bar(done / total)}] "
                 f"{done}/{job.get('tasks', 0)} {flag}")
     return "\n".join(lines)
+
+
+def _shard_row(label: str, snapshot: Optional[Dict]) -> str:
+    if snapshot is None or "error" in (snapshot or {}):
+        reason = (snapshot or {}).get("error", "unreachable")
+        return f" {label:<28} {reason}"
+    latency = snapshot.get("decision_latency", {})
+    return (f" {label:<28} "
+            f"{snapshot.get('assignments', 0):>7} "
+            f"{snapshot.get('completions', 0):>7} "
+            f"{snapshot.get('queue_depth', 0):>6} "
+            f"{snapshot.get('outstanding', 0):>6} "
+            f"{latency.get('p99_us', 0.0):>9.0f}")
+
+
+def render_cluster_top(per_endpoint: List[Tuple[str, Optional[Dict]]],
+                       ) -> str:
+    """Multi-endpoint view: per-shard rows plus the aggregate.
+
+    ``per_endpoint`` pairs a label (usually ``host:port``) with that
+    endpoint's ``/stats.json`` payload, or None when the fetch
+    failed.  A single endpoint whose payload already carries a
+    ``shards`` breakdown (a cluster router's aggregated stats) is
+    unpacked into per-shard rows instead of being treated as one
+    shard.
+    """
+    from ..cluster.stats import aggregate_stats
+
+    if (len(per_endpoint) == 1 and per_endpoint[0][1] is not None
+            and "shards" in per_endpoint[0][1]):
+        merged = per_endpoint[0][1]
+        rows = [(f"shard {index}", snap) for index, snap
+                in sorted(merged["shards"].items(),
+                          key=lambda kv: int(kv[0]))]
+    else:
+        merged = aggregate_stats(
+            [(index, snap) for index, (_label, snap)
+             in enumerate(per_endpoint)])
+        rows = [(label, snap) for label, snap in per_endpoint]
+    cluster = merged.get("cluster", {})
+    lines = [
+        f"repro top — cluster: "
+        f"{cluster.get('shards_reporting', 0)}"
+        f"/{cluster.get('shard_count', len(rows))} shard(s) reporting",
+        "",
+        f" {'shard':<28} {'assign':>7} {'done':>7} {'queue':>6} "
+        f"{'run':>6} {'p99(us)':>9}",
+    ]
+    lines.extend(_shard_row(label, snap) for label, snap in rows)
+    lines.append("")
+    lines.append(render_top(merged))
+    return "\n".join(lines)
+
+
+def run_cluster_top(urls: List[str], interval: float = 2.0,
+                    iterations: Optional[int] = None,
+                    clear: bool = True,
+                    out: Callable[[str], None] = print,
+                    fetch: Callable[[str], Dict] = fetch_json,
+                    sleep: Callable[[float], None] = time.sleep) -> int:
+    """Poll several ``/stats.json`` endpoints, render the merged view.
+
+    Exit code 1 only when *no* endpoint answers on the very first
+    poll; a subset of dead shards still renders (marked unreachable).
+    """
+    shown = 0
+    while iterations is None or shown < iterations:
+        per_endpoint: List[Tuple[str, Optional[Dict]]] = []
+        for url in urls:
+            label = url.split("//", 1)[-1].rsplit("/", 1)[0]
+            try:
+                per_endpoint.append((label, fetch(url)))
+            except (urllib.error.URLError, ConnectionError,
+                    OSError) as exc:
+                per_endpoint.append((label, None))
+                out(f"repro top: cannot fetch {url}: {exc}")
+        if all(snap is None for _label, snap in per_endpoint):
+            if shown == 0:
+                return 1
+            return 0
+        text = render_cluster_top(per_endpoint)
+        out(_CLEAR + text if clear else text)
+        shown += 1
+        if iterations is not None and shown >= iterations:
+            break
+        try:
+            sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            break
+    return 0
 
 
 def run_top(url: str, interval: float = 2.0,

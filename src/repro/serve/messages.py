@@ -33,7 +33,7 @@ __all__ = [
     "JobSubmit", "JobStatusRequest", "StatsRequest", "Drain",
     # server -> client
     "Welcome", "TaskAssign", "TaskBatch", "NoTask", "Ack", "HeartbeatAck",
-    "JobAccepted", "JobStatusReply", "StatsReply", "Error",
+    "JobAccepted", "JobStatusReply", "StatsReply", "Redirect", "Error",
     # codec entry points
     "decode_client", "decode_server",
     "client_from_dict", "server_from_dict",
@@ -189,16 +189,28 @@ def decode_server(line: bytes) -> "ServerMessage":
 
 @dataclass(frozen=True)
 class Hello(ClientMessage):
-    """Register a connection (worker or control); starts negotiation."""
+    """Register a connection (worker or control); starts negotiation.
+
+    ``accept_redirect`` marks a cluster-aware client: a router may
+    answer with ``REDIRECT`` (the shard map) instead of ``WELCOME``.
+    The field is v2-compatible in both directions — a plain shard or
+    standalone server ignores it and answers ``WELCOME`` as always,
+    and old clients that never send it get a clean ``ERROR`` from a
+    router rather than a message they cannot parse.
+    """
     TYPE = wire.HELLO
     worker: str
     site: int
     protocol: int = 1  # v1 clients never sent the field
+    accept_redirect: Optional[bool] = None
 
     def validate(self) -> None:
         _need_str(self.TYPE, "worker", self.worker)
         _need_int(self.TYPE, "site", self.site, minimum=0)
         _need_int(self.TYPE, "protocol", self.protocol, minimum=1)
+        if self.accept_redirect is not None:
+            _need_bool(self.TYPE, "accept_redirect",
+                       self.accept_redirect)
 
 
 @dataclass(frozen=True)
@@ -467,6 +479,46 @@ class StatsReply(ServerMessage):
     def validate(self) -> None:
         if not isinstance(self.stats, dict):
             raise ProtocolError(f"{self.TYPE}.stats must be an object")
+
+
+#: Required keys of one ``REDIRECT.shards`` entry.
+_SHARD_ENTRY_KEYS = ("shard", "host", "port")
+
+
+@dataclass(frozen=True)
+class Redirect(ServerMessage):
+    """A cluster router's shard map, answering a cluster-aware HELLO.
+
+    ``partition`` names the routing rule; the only rule today is
+    ``job-mod`` (the shard owning job ``j`` is ``shards[j %
+    shard_count]``).  Workers connect to their job's shard for the
+    data plane; the router connection stays usable for control
+    traffic.
+    """
+    TYPE = wire.REDIRECT
+    shards: List[dict]
+    shard_count: int
+    partition: str = "job-mod"
+
+    def validate(self) -> None:
+        if not isinstance(self.shards, list) or not self.shards:
+            raise ProtocolError(
+                f"{self.TYPE}.shards must be a non-empty list")
+        _need_int(self.TYPE, "shard_count", self.shard_count, minimum=1)
+        _need_str(self.TYPE, "partition", self.partition)
+        for entry in self.shards:
+            if not isinstance(entry, dict):
+                raise ProtocolError(
+                    f"{self.TYPE}.shards entries must be objects")
+            for key in _SHARD_ENTRY_KEYS:
+                if key not in entry:
+                    raise ProtocolError(
+                        f"{self.TYPE} shard entry missing {key!r}")
+            _need_int(self.TYPE, "shards[].shard", entry["shard"],
+                      minimum=0)
+            _need_str(self.TYPE, "shards[].host", entry["host"])
+            _need_int(self.TYPE, "shards[].port", entry["port"],
+                      minimum=1)
 
 
 @dataclass(frozen=True)

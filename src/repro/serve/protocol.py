@@ -63,6 +63,18 @@ Server -> client
 ``JOB_STATUS``     ``{job_id, tasks, completed, pending, outstanding,
                    done}`` — the per-job snapshot.
 ``STATS``          ``{stats}`` — the snapshot.
+``REDIRECT``       ``{shards, partition, shard_count}`` — cluster
+                   router's answer to a ``HELLO`` that carried
+                   ``accept_redirect``: the shard map (one
+                   ``{shard, host, port}`` entry per shard) plus the
+                   partition rule (``job-mod``: ``job_id %
+                   shard_count`` names the owning shard).  The
+                   connection stays open for control traffic (submit,
+                   status, stats, drain); data-plane messages must go
+                   to the shard.  A ``HELLO`` *without*
+                   ``accept_redirect`` at a router gets a clean
+                   ``ERROR`` — old clients are never silently
+                   misrouted.
 ``ERROR``          ``{error}`` — the request was rejected.
 """
 
@@ -97,6 +109,7 @@ NO_TASK = "NO_TASK"
 ACK = "ACK"
 HEARTBEAT_ACK = "HEARTBEAT_ACK"
 JOB_ACCEPTED = "JOB_ACCEPTED"
+REDIRECT = "REDIRECT"
 ERROR = "ERROR"
 
 CLIENT_TYPES = frozenset({HELLO, REQUEST_TASK, TASK_DONE, HEARTBEAT,

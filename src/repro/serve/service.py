@@ -43,7 +43,7 @@ from dataclasses import dataclass
 from typing import (Callable, Deque, Dict, List, Optional, Set, Tuple,
                     Union)
 
-from ..core.policy_engine import PolicyEngine
+from ..core.policy_engine import PolicyEngine, SiteFileState
 from ..grid.job import Task
 from ..obs.events import EventLog
 from ..obs.trace import DecisionTracer
@@ -165,9 +165,15 @@ class SchedulerService:
                  clock: Callable[[], float] = time.monotonic,
                  events: Optional[EventLog] = None,
                  tracer: Optional[DecisionTracer] = None,
-                 fast_path: bool = True):
+                 fast_path: bool = True,
+                 id_start: int = 0, id_stride: int = 1,
+                 wal_events: bool = False):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+        if id_stride < 1 or not (0 <= id_start < id_stride):
+            raise ValueError(
+                f"need 0 <= id_start < id_stride, got "
+                f"{id_start}/{id_stride}")
         self.name = name
         self.lease_ttl = float(lease_ttl)
         self._clock = clock
@@ -200,8 +206,22 @@ class SchedulerService:
         self._jobs: Dict[int, _JobState] = {}
         self._task_job: Dict[int, int] = {}        # task_id -> job_id
         self._parked: Deque[_ParkedRequest] = deque()
-        self._next_task_id = 0
-        self._next_job_id = 0
+        #: Shard-aware id allocation: shard ``i`` of ``N`` constructs
+        #: with ``id_start=i, id_stride=N`` so every job/task id it
+        #: assigns satisfies ``id % N == i`` — the cluster router can
+        #: route any id to its owning shard arithmetically, and a
+        #: 1-shard cluster (start 0, stride 1) allocates exactly the
+        #: ids a standalone server would.
+        self._id_start = id_start
+        self._id_stride = id_stride
+        #: WAL mode: emitted events carry enough extra fields
+        #: (``submit.specs``, per-id delta lists) that
+        #: :meth:`replay_record` can rebuild the full scheduler state
+        #: from the log alone.  Off by default so non-WAL event logs
+        #: stay byte-stable.
+        self.wal_events = wal_events
+        self._next_task_id = id_start
+        self._next_job_id = id_start
         self._next_lease_id = 1
         self._draining = False
         #: Called (once) when a drain completes: draining and no
@@ -288,10 +308,10 @@ class SchedulerService:
                 raise ServiceError("'flops' must be a number >= 0")
             tasks.append(Task(task_id=self._next_task_id,
                               files=frozenset(files), flops=float(flops)))
-            self._next_task_id += 1
+            self._next_task_id += self._id_stride
         if job_id is None:
             job_id = self._next_job_id
-            self._next_job_id += 1
+            self._next_job_id += self._id_stride
             self._jobs[job_id] = _JobState(job_id)
             self.stats.jobs_submitted += 1
         job = self._jobs[job_id]
@@ -303,8 +323,13 @@ class SchedulerService:
             self._task_job[task.task_id] = job_id
         self.stats.tasks_submitted += len(tasks)
         self.stats.record_queue_depth(self.queue_depth)
+        extra = {}
+        if self.wal_events:
+            # Enough to re-create the tasks on replay.
+            extra["specs"] = [{"files": sorted(task.files),
+                               "flops": task.flops} for task in tasks]
         self._emit("submit", job_id=job_id, tasks=len(tasks),
-                   task_ids=[task.task_id for task in tasks])
+                   task_ids=[task.task_id for task in tasks], **extra)
         self._service_parked()
         return {"job_id": job_id,
                 "task_ids": [task.task_id for task in tasks]}
@@ -384,7 +409,7 @@ class SchedulerService:
             entry.deliver(protocol.REASON_DRAINING)
         elif self.engine.has_pending:
             self._deliver_assignments(entry, None)
-        elif self._next_task_id > 0 and self.is_idle:
+        elif self._jobs and self.is_idle:
             entry.deliver(protocol.REASON_IDLE)
         else:
             return False  # no job yet, or work outstanding: park
@@ -458,8 +483,7 @@ class SchedulerService:
         task already completed) is rejected without touching the
         completion counters — the zombie-worker double-complete guard.
         """
-        if not protocol.is_int(task_id) or not (
-                0 <= task_id < self._next_task_id):
+        if not protocol.is_int(task_id) or task_id not in self._task_job:
             raise ServiceError(f"unknown task id {task_id!r}")
         lease = self._assigned.get(task_id)
         if lease is None or lease.lease_id != lease_id:
@@ -564,9 +588,16 @@ class SchedulerService:
         self.stats.record_delta(len(added), len(removed), len(referenced),
                                 duplicate_adds=duplicate_adds,
                                 duplicate_removes=duplicate_removes)
+        extra = {}
+        if self.wal_events:
+            # Full id lists so replay can re-apply the delta exactly.
+            extra.update(added_ids=list(added),
+                         removed_ids=list(removed),
+                         referenced_ids=list(referenced))
         self._emit("delta", site=site_id, added=len(added),
                    removed=len(removed), referenced=len(referenced),
-                   duplicates=duplicate_adds + duplicate_removes)
+                   duplicates=duplicate_adds + duplicate_removes,
+                   **extra)
 
     # -- lifecycle -------------------------------------------------------
     def disconnect(self, worker: str) -> int:
@@ -623,3 +654,244 @@ class SchedulerService:
         """Per-job progress rows (what ``repro top`` renders as bars)."""
         return [self.job_status(job_id)
                 for job_id in sorted(self._jobs)]
+
+    # -- durability (repro.cluster snapshot + WAL replay) ----------------
+    #: Bump when :meth:`export_state`'s shape changes incompatibly.
+    STATE_VERSION = 1
+
+    def export_state(self) -> Dict:
+        """Everything a restarted shard needs, as JSON-native data.
+
+        Captures the task table, per-job progress, outstanding leases,
+        per-site file state and the engine's RNG stream.  Lease
+        *deadlines* are deliberately not exported: a restore re-arms
+        every outstanding lease with a fresh TTL (monotonic clocks do
+        not survive a process), which can only delay a requeue, never
+        lose or duplicate a completion.  Stats counters restart at
+        zero — they describe a process, not the schedule.
+        """
+        engine = self.engine
+        rng_state = engine.rng.getstate()
+        tasks = sorted(self._table, key=lambda task: task.task_id)
+        assigned = [self._assigned[task_id]
+                    for task_id in sorted(self._assigned)]
+        return {
+            "version": self.STATE_VERSION,
+            "metric": engine.metric_name,
+            "n": engine.n,
+            "fast_path": engine.fast_path,
+            "id_start": self._id_start,
+            "id_stride": self._id_stride,
+            "next_task_id": self._next_task_id,
+            "next_job_id": self._next_job_id,
+            "next_lease_id": self._next_lease_id,
+            "rng": [rng_state[0], list(rng_state[1]), rng_state[2]],
+            "decisions": engine.decisions,
+            "tasks_scored": engine.tasks_scored,
+            "tasks": [[task.task_id, sorted(task.files), task.flops]
+                      for task in tasks],
+            "jobs": [[job_id, sorted(job.task_ids),
+                      sorted(job.completed)]
+                     for job_id, job in sorted(self._jobs.items())],
+            "assigned": [[lease.task_id, lease.lease_id, lease.worker,
+                          lease.site_id] for lease in assigned],
+            "completed": sorted(self._completed),
+            "sites": [[site_id, engine.site_state(site_id).export()]
+                      for site_id in sorted(engine.site_ids)],
+            "draining": self._draining,
+        }
+
+    def import_state(self, state: Dict) -> None:
+        """Rebuild from :meth:`export_state` output (fresh service only).
+
+        Restore order matters for bit-identical future decisions:
+        sites are attached *before* tasks are re-added (so every
+        task's overlap/refsum folds against the restored residency,
+        exactly as ``watch_site`` + ``add_task`` maintain it live),
+        pending tasks re-enter in ascending id order (the zero-overlap
+        heap ends up with the same entry set, and pop order is fully
+        determined by entry tuples), and the RNG stream resumes from
+        the captured state.
+        """
+        if state.get("version") != self.STATE_VERSION:
+            raise ServiceError(
+                f"snapshot state version {state.get('version')!r} != "
+                f"{self.STATE_VERSION}")
+        engine = self.engine
+        for key, mine in (("metric", engine.metric_name),
+                          ("n", engine.n),
+                          ("id_start", self._id_start),
+                          ("id_stride", self._id_stride)):
+            if state.get(key) != mine:
+                raise ServiceError(
+                    f"snapshot {key}={state.get(key)!r} does not match "
+                    f"this service's {key}={mine!r}")
+        if len(self._table) or self._jobs:
+            raise ServiceError(
+                "import_state needs a freshly constructed service")
+        for site_id, payload in state["sites"]:
+            engine.attach_site(site_id, state=SiteFileState.restore(
+                payload["resident"], payload["references"]))
+        for task_id, files, flops in state["tasks"]:
+            self._table.add(Task(task_id=task_id,
+                                 files=frozenset(files),
+                                 flops=float(flops)))
+        assigned_ids = {entry[0] for entry in state["assigned"]}
+        completed = set(state["completed"])
+        pending: List[int] = []
+        for job_id, task_ids, job_completed in state["jobs"]:
+            job = _JobState(job_id)
+            job.task_ids.update(task_ids)
+            job.completed.update(job_completed)
+            self._jobs[job_id] = job
+            for task_id in task_ids:
+                self._task_job[task_id] = job_id
+                if (task_id not in completed
+                        and task_id not in assigned_ids):
+                    job.pending.add(task_id)
+                    pending.append(task_id)
+        for task_id in sorted(pending):
+            engine.add_task(self._table[task_id])
+        now = self._clock()
+        for task_id, lease_id, worker, site_id in state["assigned"]:
+            self.ensure_site(site_id)
+            lease = _Lease(lease_id, task_id, worker, site_id,
+                           now + self.lease_ttl)
+            self._assigned[task_id] = lease
+            self._leases[lease_id] = lease
+            self._by_worker.setdefault(worker, set()).add(task_id)
+        self._completed = completed
+        self._next_task_id = state["next_task_id"]
+        self._next_job_id = state["next_job_id"]
+        self._next_lease_id = state["next_lease_id"]
+        rng_version, rng_internal, rng_gauss = state["rng"]
+        engine.rng.setstate((rng_version, tuple(rng_internal),
+                             rng_gauss))
+        engine.decisions = state.get("decisions", 0)
+        engine.tasks_scored = state.get("tasks_scored", 0)
+        self._draining = bool(state.get("draining", False))
+
+    def replay_record(self, record: Dict) -> bool:
+        """Re-apply one WAL record emitted by a ``wal_events`` service.
+
+        Returns True when the record mutated state (``decision``
+        records and redundant/duplicate records do not).  Replay is a
+        pure state fold: nothing is emitted, no parked request is
+        answered, stats counters stay untouched — the caller attaches
+        the live event log only after the tail is folded in.  Leases
+        recreated for in-flight assignments get a fresh TTL; the
+        worker either reconnects and completes under its original
+        lease id, or the sweeper requeues the task — exactly-once
+        either way.
+        """
+        kind = record.get("event")
+        if kind == "submit":
+            return self._replay_submit(record)
+        if kind == "assign":
+            return self._replay_assign(record)
+        if kind == "complete":
+            return self._replay_complete(record)
+        if kind == "lease-expire":
+            lease = self._leases.get(record["lease_id"])
+            if lease is None or lease.task_id != record["task_id"]:
+                return False
+            self._release_lease(lease)
+            return True
+        if kind == "requeue":
+            return self._replay_requeue(record)
+        if kind == "delta":
+            return self._replay_delta(record)
+        return False  # decision spans and unknown kinds: no state
+
+    def _replay_submit(self, record: Dict) -> bool:
+        specs = record.get("specs")
+        task_ids = record.get("task_ids")
+        if specs is None or task_ids is None:
+            raise ServiceError(
+                "submit record lacks 'specs'/'task_ids' — this event "
+                "log was not written in WAL mode")
+        job_id = record["job_id"]
+        job = self._jobs.get(job_id)
+        if job is None:
+            job = _JobState(job_id)
+            self._jobs[job_id] = job
+        for task_id, spec in zip(task_ids, specs):
+            if task_id in self._task_job:
+                continue  # idempotent re-replay
+            task = Task(task_id=task_id,
+                        files=frozenset(spec["files"]),
+                        flops=float(spec.get("flops", 0.0)))
+            self._table.add(task)
+            self.engine.add_task(task)
+            job.task_ids.add(task_id)
+            job.pending.add(task_id)
+            self._task_job[task_id] = job_id
+            self._next_task_id = max(self._next_task_id,
+                                     task_id + self._id_stride)
+        self._next_job_id = max(self._next_job_id,
+                                job_id + self._id_stride)
+        return True
+
+    def _replay_assign(self, record: Dict) -> bool:
+        task_id = record["task_id"]
+        if task_id not in self._task_job:
+            raise ServiceError(
+                f"assign record for unknown task {task_id}")
+        if task_id in self._completed or task_id in self._assigned:
+            return False
+        if self.engine.is_pending(task_id):
+            self.engine.remove_task(self._table[task_id])
+        self._jobs[self._task_job[task_id]].pending.discard(task_id)
+        lease = _Lease(record["lease_id"], task_id, record["worker"],
+                       record["site"], self._clock() + self.lease_ttl)
+        self.ensure_site(lease.site_id)
+        self._assigned[task_id] = lease
+        self._leases[lease.lease_id] = lease
+        self._by_worker.setdefault(lease.worker, set()).add(task_id)
+        self._next_lease_id = max(self._next_lease_id,
+                                  lease.lease_id + 1)
+        return True
+
+    def _replay_complete(self, record: Dict) -> bool:
+        task_id = record["task_id"]
+        if task_id in self._completed:
+            return False
+        lease = self._assigned.get(task_id)
+        if lease is not None:
+            self._release_lease(lease)
+        elif self.engine.is_pending(task_id):
+            # complete raced a requeue in the original run order;
+            # honor the completion, it is what the worker was told.
+            self.engine.remove_task(self._table[task_id])
+        self._completed.add(task_id)
+        job = self._jobs[self._task_job[task_id]]
+        job.pending.discard(task_id)
+        job.completed.add(task_id)
+        return True
+
+    def _replay_requeue(self, record: Dict) -> bool:
+        task_id = record["task_id"]
+        lease = self._assigned.get(task_id)
+        if lease is not None:
+            # Disconnect requeues have no separate release record.
+            self._release_lease(lease)
+        if (task_id in self._completed
+                or self.engine.is_pending(task_id)):
+            return lease is not None
+        self._requeue(task_id)
+        return True
+
+    def _replay_delta(self, record: Dict) -> bool:
+        if "added_ids" not in record:
+            raise ServiceError(
+                "delta record lacks id lists — this event log was "
+                "not written in WAL mode")
+        site_id = record["site"]
+        self.ensure_site(site_id)
+        for fid in record["removed_ids"]:
+            self.engine.file_removed(site_id, fid)
+        for fid in record["added_ids"]:
+            self.engine.file_added(site_id, fid)
+        for fid in record["referenced_ids"]:
+            self.engine.file_referenced(site_id, fid)
+        return True

@@ -1,0 +1,356 @@
+"""Router, redirect handshake, cluster clients and stat aggregation.
+
+In-process clusters: real :class:`SchedulerServer` shards (id strides
+set so ``job_id % shard_count`` names the owner), a real
+:class:`ClusterRouter` in front, real TCP in between.  The capstone is
+the determinism pin: a one-shard cluster must make **bit-identical**
+decisions — winners, lease ids, and the engine's RNG state — to a
+standalone ``repro serve``.
+"""
+
+import asyncio
+
+from repro.cluster import (ClusterClient, ClusterRouter, ShardAddress,
+                           aggregate_stats, run_cluster_load)
+from repro.cluster.client import ClusterWorkerClient
+from repro.exp import ExperimentConfig
+from repro.exp.runner import build_job
+from repro.serve import messages, protocol
+from repro.serve.loadgen import run_load
+from repro.serve.server import SchedulerServer
+from repro.serve.service import SchedulerService
+
+TIMEOUT = 60
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=TIMEOUT))
+
+
+def coadd_job(num_tasks=30, seed=0):
+    return build_job(ExperimentConfig(num_tasks=num_tasks,
+                                      capacity_files=500, seed=seed))
+
+
+async def start_cluster(shard_count=2, seed=7, retry_window=3.0):
+    """N in-process shard servers plus their router."""
+    shards = []
+    for index in range(shard_count):
+        service = SchedulerService(
+            metric="combined", n=2, seed=seed,
+            name=f"shard-{index}", id_start=index,
+            id_stride=shard_count, wal_events=True)
+        server = SchedulerServer(service)
+        await server.start()
+        shards.append((service, server))
+    router = ClusterRouter(
+        [ShardAddress(index, server.host, server.port)
+         for index, (_service, server) in enumerate(shards)],
+        retry_window=retry_window)
+    await router.start()
+    return router, shards
+
+
+async def stop_cluster(router, shards):
+    await router.stop()
+    for _service, server in shards:
+        await server.stop()
+
+
+async def raw_router_connection(router):
+    return await asyncio.open_connection(
+        router.host, router.port,
+        limit=protocol.MAX_MESSAGE_BYTES + 1024)
+
+
+async def raw_call(reader, writer, message):
+    writer.write(message.encode())
+    await writer.drain()
+    return messages.decode_server(await reader.readline())
+
+
+# -- handshake ---------------------------------------------------------------
+
+def test_redirect_handshake_returns_the_shard_map():
+    async def scenario():
+        router, shards = await start_cluster(shard_count=3)
+        try:
+            async with ClusterClient(router.host,
+                                     router.port) as client:
+                assert client.shard_count == 3
+                entries = client.shard_map()
+                assert [entry["shard"] for entry in entries] == [0, 1, 2]
+                for entry, (_service, server) in zip(entries, shards):
+                    assert entry["port"] == server.port
+            assert router.redirects_sent == 1
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_cluster_client_degrades_against_a_plain_scheduler():
+    async def scenario():
+        service = SchedulerService(metric="rest", n=1)
+        server = SchedulerServer(service)
+        await server.start()
+        try:
+            async with ClusterClient(server.host,
+                                     server.port) as client:
+                assert client.redirect is None
+                assert client.shard_count == 1
+                assert client.shard_map()[0]["port"] == server.port
+                handle = await client.submit(coadd_job(5))
+                assert (await handle.status())["tasks"] == 5
+        finally:
+            await server.stop()
+
+    run(scenario())
+
+
+def test_old_client_hello_gets_a_clean_error_and_close():
+    async def scenario():
+        router, shards = await start_cluster()
+        try:
+            reader, writer = await raw_router_connection(router)
+            reply = await raw_call(reader, writer, messages.Hello(
+                worker="old", site=0,
+                protocol=protocol.PROTOCOL_VERSION))
+            assert isinstance(reply, messages.Error)
+            assert "cluster router" in reply.error
+            assert "accept_redirect" in reply.error
+            assert await reader.readline() == b""  # clean close
+            writer.close()
+            await writer.wait_closed()
+            assert router.rejected_hellos == 1
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_data_plane_messages_are_refused_by_the_router():
+    async def scenario():
+        router, shards = await start_cluster()
+        try:
+            reader, writer = await raw_router_connection(router)
+            reply = await raw_call(reader, writer, messages.Hello(
+                worker="w0", site=0,
+                protocol=protocol.PROTOCOL_VERSION,
+                accept_redirect=True))
+            assert isinstance(reply, messages.Redirect)
+            reply = await raw_call(reader, writer,
+                                   messages.RequestTask())
+            assert isinstance(reply, messages.Error)
+            assert "data-plane" in reply.error
+            writer.close()
+            await writer.wait_closed()
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+# -- routing -----------------------------------------------------------------
+
+def test_submits_land_on_the_shard_owning_the_job_id():
+    async def scenario():
+        router, shards = await start_cluster(shard_count=2)
+        try:
+            async with ClusterClient(router.host,
+                                     router.port) as client:
+                first = await client.submit(coadd_job(6, seed=1))
+                second = await client.submit(coadd_job(8, seed=2))
+                third = await client.submit(coadd_job(4, seed=3))
+            # Round-robin placement + strided id allocation: each
+            # job id is congruent to its shard index.
+            assert [first.job_id, second.job_id, third.job_id] \
+                == [0, 1, 2]
+            assert all(task_id % 2 == 0 for task_id in first.task_ids)
+            assert all(task_id % 2 == 1 for task_id in second.task_ids)
+            shard0, shard1 = shards[0][0], shards[1][0]
+            assert sorted(job["job_id"]
+                          for job in shard0.jobs_overview()) == [0, 2]
+            assert sorted(job["job_id"]
+                          for job in shard1.jobs_overview()) == [1]
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_job_status_is_forwarded_to_the_owning_shard():
+    async def scenario():
+        router, shards = await start_cluster(shard_count=2)
+        try:
+            async with ClusterClient(router.host,
+                                     router.port) as client:
+                handles = [await client.submit(coadd_job(6, seed=n))
+                           for n in range(2)]
+                for handle in handles:
+                    status = await handle.status()
+                    assert status["job_id"] == handle.job_id
+                    assert status["tasks"] == 6
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_stats_request_returns_the_aggregated_cluster_view():
+    async def scenario():
+        router, shards = await start_cluster(shard_count=2)
+        try:
+            async with ClusterClient(router.host,
+                                     router.port) as client:
+                await client.submit(coadd_job(6, seed=1))
+                await client.submit(coadd_job(8, seed=2))
+                stats = await client.stats()
+            assert stats["tasks_submitted"] == 14
+            assert stats["cluster"] == {"shard_count": 2,
+                                        "shards_reporting": 2}
+            assert set(stats["shards"]) == {"0", "1"}
+            assert stats["shards"]["0"]["tasks_submitted"] == 6
+            assert stats["shards"]["1"]["tasks_submitted"] == 8
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_aggregate_stats_marks_unreachable_shards():
+    merged = aggregate_stats(
+        [(0, {"tasks_submitted": 5, "completions": 2,
+              "uptime_s": 9.0}),
+         (1, None)],
+        shard_count=2)
+    assert merged["tasks_submitted"] == 5
+    assert merged["cluster"] == {"shard_count": 2,
+                                 "shards_reporting": 1}
+    assert merged["shards"]["1"] == {"error": "shard unreachable"}
+
+
+def test_router_rides_out_a_shard_moving_ports():
+    """A forwarded call retries inside the window while the supervisor
+    restarts the shard at a new address."""
+    async def scenario():
+        router, shards = await start_cluster(shard_count=2,
+                                             retry_window=5.0)
+        service0, server0 = shards[0]
+        try:
+            async with ClusterClient(router.host,
+                                     router.port) as client:
+                handle = await client.submit(coadd_job(6, seed=1))
+                assert handle.job_id == 0
+                await server0.stop()  # the shard "crashes"
+
+                async def revive():
+                    await asyncio.sleep(0.3)
+                    new_server = SchedulerServer(service0)
+                    await new_server.start()
+                    router.update_shard(ShardAddress(
+                        0, new_server.host, new_server.port))
+                    return new_server
+
+                revive_task = asyncio.ensure_future(revive())
+                status = await handle.status()  # spans the outage
+                shards[0] = (service0, await revive_task)
+                assert status["tasks"] == 6
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+# -- cluster load + workers --------------------------------------------------
+
+def test_cluster_load_completes_jobs_across_two_shards():
+    async def scenario():
+        router, shards = await start_cluster(shard_count=2)
+        try:
+            report = await run_cluster_load(
+                router.host, router.port,
+                [coadd_job(12, seed=1), coadd_job(14, seed=2)],
+                workers=4, sites=2, capacity_files=400)
+            assert report["shard_count"] == 2
+            assert report["tasks_submitted"] == 26
+            assert report["tasks_done"] == 26
+            assert all(job["status"]["done"] for job in report["jobs"])
+            assert report["stats"]["completions"] == 26
+            # Each worker pulled from the shard owning its job.
+            for summary in report["workers"]:
+                assert summary["shard"] == summary["job_id"] % 2
+                assert summary["stop_reason"] == "job-done"
+            for service, _server in shards:
+                assert service.draining
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_cluster_worker_requires_a_job_scope():
+    try:
+        ClusterWorkerClient("127.0.0.1", 1, job_id=None)
+    except ValueError as exc:
+        assert "job_id" in str(exc)
+    else:  # pragma: no cover - the guard must fire
+        raise AssertionError("job-less cluster worker was accepted")
+
+
+# -- the determinism pin -----------------------------------------------------
+
+def decision_stream(service):
+    """The schedule as the service's event ring recorded it."""
+    return [(record["event"], record.get("task_id"),
+             record.get("worker"), record.get("site"),
+             record.get("lease_id"), record.get("job_id"))
+            for record in service.events.tail()
+            if record["event"] in ("submit", "assign", "complete")]
+
+
+def test_single_shard_cluster_is_bit_identical_to_standalone():
+    """One shard behind the router == ``repro serve``: same winners,
+    same lease ids, same RNG state afterwards.  This is the guarantee
+    that clustering is purely an availability feature."""
+    from repro.obs.events import EventLog
+
+    job = coadd_job(24, seed=5)
+
+    async def standalone():
+        service = SchedulerService(metric="combined", n=2, seed=13,
+                                   wal_events=True)
+        service.events = EventLog()
+        server = SchedulerServer(service)
+        await server.start()
+        try:
+            report = await run_load(server.host, server.port, job,
+                                    workers=1, sites=1,
+                                    capacity_files=400, drain=False)
+            assert report["tasks_done"] == 24
+        finally:
+            await server.stop()
+        return service
+
+    async def clustered():
+        router, shards = await start_cluster(shard_count=1, seed=13)
+        service = shards[0][0]
+        service.events = EventLog()
+        try:
+            report = await run_cluster_load(
+                router.host, router.port, [job], workers=1, sites=1,
+                capacity_files=400, drain=False)
+            assert report["tasks_done"] == 24
+            assert report["reconnects"] == 0
+        finally:
+            await stop_cluster(router, shards)
+        return service
+
+    standalone_service = run(standalone())
+    clustered_service = run(clustered())
+    assert decision_stream(clustered_service) \
+        == decision_stream(standalone_service)
+    assert clustered_service.export_state() \
+        == standalone_service.export_state()
+    assert (clustered_service.engine.rng.getstate()
+            == standalone_service.engine.rng.getstate())

@@ -1,0 +1,362 @@
+"""Durable shard state: snapshots, WAL replay, crash recovery.
+
+Covers the ``repro.cluster`` durability layer below the wire: the
+versioned+checksummed snapshot files, ``export_state`` /
+``import_state`` round-trips, WAL tail-replay through
+``replay_record``, and the full ``open_shard`` recovery dance
+(snapshot + tail, never a cold start) including the exactly-once
+guarantees it must preserve.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cluster.shard import (open_shard, recover_service, wal_files,
+                                 wal_path)
+from repro.cluster.snapshot import (SnapshotError, list_snapshots,
+                                    load_latest_snapshot, load_snapshot,
+                                    snapshot_path, write_snapshot)
+from repro.obs.events import EventLog, iter_events
+from repro.serve.service import SchedulerService
+
+
+class FakeClock:
+    """Manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def pull(service, worker="w0", site=0, job_id=None):
+    box = []
+    service.request_task(worker, site, box.append, job_id=job_id)
+    return box[0] if box else "parked"
+
+
+def submit(service, specs, job_id=None):
+    return service.submit_job(
+        [{"files": files, "flops": flops} for files, flops in specs],
+        job_id=job_id)
+
+
+SPECS = [([1, 2, 3], 1.0), ([3, 4], 2.0), ([5], 0.5), ([1, 5, 6], 3.0)]
+
+
+# -- snapshot files ----------------------------------------------------------
+
+def test_snapshot_round_trip_and_naming(tmp_path):
+    state_dir = str(tmp_path)
+    payload = {"version": 1, "tasks": [[0, [1, 2], 1.0]],
+               "nested": {"rng": [3, [1, 2, 3], None]}}
+    path = write_snapshot(state_dir, payload, wal_seq=42)
+    assert path == snapshot_path(state_dir, 42)
+    assert os.path.basename(path) == "snapshot-000000000042.json"
+    assert load_snapshot(path) == (42, payload)
+    assert load_latest_snapshot(state_dir) == (42, payload)
+
+
+def test_snapshots_prune_to_keep_newest(tmp_path):
+    state_dir = str(tmp_path)
+    for seq in range(5):
+        write_snapshot(state_dir, {"seq": seq}, wal_seq=seq, keep=3)
+    assert [seq for seq, _path in list_snapshots(state_dir)] == [2, 3, 4]
+    assert load_latest_snapshot(state_dir) == (4, {"seq": 4})
+
+
+def test_corrupt_snapshot_falls_back_to_older(tmp_path):
+    state_dir = str(tmp_path)
+    write_snapshot(state_dir, {"good": "old"}, wal_seq=10)
+    newest = write_snapshot(state_dir, {"good": "new"}, wal_seq=20)
+    # Bit-rot the newest payload without touching its checksum.
+    wrapper = json.loads(open(newest, encoding="utf-8").read())
+    wrapper["payload"]["good"] = "tampered"
+    with open(newest, "w", encoding="utf-8") as handle:
+        json.dump(wrapper, handle)
+    with pytest.raises(SnapshotError):
+        load_snapshot(newest)
+    # The loader skips the bad one: replay gets longer, never wrong.
+    assert load_latest_snapshot(state_dir) == (10, {"good": "old"})
+
+
+def test_torn_and_wrong_version_snapshots_are_unusable(tmp_path):
+    state_dir = str(tmp_path)
+    path = write_snapshot(state_dir, {"a": 1}, wal_seq=7)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"version": 1, "wal_seq": 7, "chec')  # torn write
+    assert load_latest_snapshot(state_dir) is None
+    wrapper = {"version": 99, "wal_seq": 7, "checksum": "x",
+               "payload": {}}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(wrapper, handle)
+    with pytest.raises(SnapshotError):
+        load_snapshot(path)
+    assert load_latest_snapshot(state_dir) is None
+
+
+def test_write_snapshot_rejects_bad_keep(tmp_path):
+    with pytest.raises(ValueError):
+        write_snapshot(str(tmp_path), {}, wal_seq=0, keep=0)
+
+
+# -- export / import round-trip ----------------------------------------------
+
+def make_pair(**kwargs):
+    kwargs.setdefault("metric", "combined")
+    kwargs.setdefault("n", 2)
+    kwargs.setdefault("seed", 11)
+    kwargs.setdefault("clock", FakeClock())
+    return SchedulerService(**kwargs)
+
+
+def test_export_import_round_trip_is_bit_identical(tmp_path):
+    source = make_pair()
+    submit(source, SPECS)
+    first = pull(source, worker="w0", site=0)
+    pull(source, worker="w1", site=1)  # left in-flight
+    source.task_done("w0", first.task.task_id, first.lease_id)
+    source.file_delta(0, added=[1, 2], removed=[], referenced=[3])
+    exported = source.export_state()
+    # JSON round-trip: state must survive the snapshot encoding.
+    exported = json.loads(json.dumps(exported))
+
+    restored = make_pair()
+    restored.import_state(exported)
+    assert restored.export_state() == source.export_state()
+    # Same RNG stream, same heaps: the next decision matches exactly.
+    source_next = pull(source, worker="w2", site=0)
+    restored_next = pull(restored, worker="w2", site=0)
+    assert restored_next.task.task_id == source_next.task.task_id
+    assert restored_next.lease_id == source_next.lease_id
+    assert (restored.engine.rng.getstate()
+            == source.engine.rng.getstate())
+
+
+def test_import_refuses_mismatched_identity(tmp_path):
+    source = make_pair()
+    submit(source, SPECS[:1])
+    state = source.export_state()
+    from repro.serve.service import ServiceError
+    with pytest.raises(ServiceError):
+        make_pair(metric="rest").import_state(dict(state))
+    with pytest.raises(ServiceError):
+        make_pair(id_start=1, id_stride=2).import_state(dict(state))
+    used = make_pair()
+    submit(used, SPECS[:1])
+    with pytest.raises(ServiceError):
+        used.import_state(state)
+
+
+def test_import_rearms_leases_with_fresh_ttl():
+    clock = FakeClock()
+    source = make_pair(clock=clock, lease_ttl=10.0)
+    submit(source, SPECS)
+    assignment = pull(source, worker="w0", site=0)
+    clock.advance(9.0)  # one second left on the source lease
+
+    restore_clock = FakeClock()
+    restored = make_pair(clock=restore_clock, lease_ttl=10.0)
+    restored.import_state(source.export_state())
+    restore_clock.advance(9.0)
+    assert restored.expire_leases() == 0  # fresh TTL, not a stale one
+    result = restored.task_done("w0", assignment.task.task_id,
+                                assignment.lease_id)
+    assert result.accepted  # original lease id still wins
+
+
+# -- WAL replay --------------------------------------------------------------
+
+def run_wal_workload(state_dir, clock):
+    """A small life: submit, assigns, one completion, one expiry."""
+    events = EventLog(path=wal_path(state_dir), auto_flush=True)
+    service = SchedulerService(metric="combined", n=2, seed=11,
+                               clock=clock, lease_ttl=5.0,
+                               events=events, wal_events=True)
+    submit(service, SPECS)
+    first = pull(service, worker="w0", site=0)
+    service.task_done("w0", first.task.task_id, first.lease_id)
+    second = pull(service, worker="w1", site=1)
+    clock.advance(6.0)
+    assert service.expire_leases() == 1  # w1's lease lapses, requeues
+    third = pull(service, worker="w2", site=0)
+    service.file_delta(1, added=[3, 4], removed=[], referenced=[5])
+    return service, events, {"expired": second, "held": third}
+
+
+def functional_state(service):
+    """Export minus the decision-stream fields.
+
+    Replay folds recorded *outcomes* without re-running ``choose``, so
+    the RNG stream and decision counters legitimately differ from the
+    live service that made those decisions; everything else must not.
+    """
+    state = service.export_state()
+    for key in ("rng", "decisions", "tasks_scored"):
+        state.pop(key)
+    return state
+
+
+def test_wal_replay_rebuilds_the_functional_state(tmp_path):
+    state_dir = str(tmp_path)
+    service, events, _held = run_wal_workload(state_dir, FakeClock())
+    events.close()
+
+    replayed = SchedulerService(metric="combined", n=2, seed=11,
+                                clock=FakeClock(), lease_ttl=5.0,
+                                wal_events=True)
+    applied = sum(1 for record in iter_events(wal_path(state_dir))
+                  if replayed.replay_record(record))
+    assert applied > 0
+    assert functional_state(replayed) == functional_state(service)
+
+
+def test_replay_is_idempotent_for_lifecycle_records(tmp_path):
+    """Submit/assign/complete/expire/requeue records can be re-folded.
+
+    ``delta`` records are excluded on the second pass: reference
+    counts are genuine counters, so re-applying a delta legitimately
+    re-counts them — recovery replays each record exactly once (the
+    snapshot's ``wal_seq`` gates the tail), so only the lifecycle
+    records need to shrug off a duplicate.
+    """
+    state_dir = str(tmp_path)
+    service, events, _held = run_wal_workload(state_dir, FakeClock())
+    events.close()
+    replayed = SchedulerService(metric="combined", n=2, seed=11,
+                                clock=FakeClock(), lease_ttl=5.0,
+                                wal_events=True)
+    records = list(iter_events(wal_path(state_dir)))
+    for record in records:
+        replayed.replay_record(record)
+    once = functional_state(replayed)
+    for record in records:
+        if record["event"] != "delta":
+            replayed.replay_record(record)
+    assert functional_state(replayed) == once
+
+
+def test_replay_rejects_non_wal_submit_records(tmp_path):
+    path = str(tmp_path / "thin.jsonl")
+    with EventLog(path=path) as events:
+        service = SchedulerService(metric="combined", n=2, seed=0,
+                                   clock=FakeClock(), events=events)
+        submit(service, SPECS[:1])  # wal_events=False: no specs logged
+    replayed = SchedulerService(metric="combined", n=2, seed=0,
+                                clock=FakeClock(), wal_events=True)
+    from repro.serve.service import ServiceError
+    with pytest.raises(ServiceError, match="WAL mode"):
+        for record in iter_events(path):
+            replayed.replay_record(record)
+
+
+# -- open_shard: snapshot + tail-replay recovery -----------------------------
+
+def test_open_shard_recovers_from_snapshot_plus_tail(tmp_path):
+    state_dir = str(tmp_path)
+    first = open_shard(state_dir, metric="combined", n=2, seed=3,
+                       lease_ttl=5.0, clock=FakeClock())
+    service = first.service
+    submit(service, SPECS)
+    done = pull(service, worker="w0", site=0)
+    service.task_done("w0", done.task.task_id, done.lease_id)
+    assert first.maybe_snapshot() is not None
+    snapshot_seq = first.events.next_seq
+    # Post-snapshot tail: one more completion and one in-flight lease.
+    tail_done = pull(service, worker="w0", site=0)
+    service.task_done("w0", tail_done.task.task_id, tail_done.lease_id)
+    held = pull(service, worker="w1", site=1)
+    pre_crash = functional_state(service)
+    # Crash: no close(), no final snapshot — auto_flush already pushed
+    # every WAL record out, which is exactly what kill -9 leaves.
+
+    second = open_shard(state_dir, metric="combined", n=2, seed=3,
+                        lease_ttl=5.0, clock=FakeClock())
+    report = second.report
+    assert report["snapshot_seq"] == snapshot_seq
+    assert report["replayed"] > 0  # the tail, not a cold start
+    assert report["skipped"] > 0   # pre-snapshot records were covered
+    assert functional_state(second.service) == pre_crash
+    # Exactly-once across the restart: done stays done, held stays
+    # completable under its original lease, pending stays assignable.
+    dup = second.service.task_done("w0", tail_done.task.task_id,
+                                   tail_done.lease_id)
+    assert (dup.accepted, dup.reason) == (False, "already-complete")
+    resumed = second.service.task_done("w1", held.task.task_id,
+                                       held.lease_id)
+    assert resumed.accepted
+    last = pull(second.service, worker="w2", site=0)
+    result = second.service.task_done("w2", last.task.task_id,
+                                      last.lease_id)
+    assert result.accepted
+    assert second.service.job_status(0)["done"]
+    second.close()
+
+
+def test_open_shard_without_snapshot_replays_full_log(tmp_path):
+    state_dir = str(tmp_path)
+    first = open_shard(state_dir, metric="combined", n=2, seed=3,
+                       lease_ttl=5.0, clock=FakeClock())
+    submit(first.service, SPECS)
+    done = pull(first.service, worker="w0", site=0)
+    first.service.task_done("w0", done.task.task_id, done.lease_id)
+    pre_crash = functional_state(first.service)
+    for _seq, path in list_snapshots(state_dir):
+        os.remove(path)  # force the no-snapshot path
+
+    second = open_shard(state_dir, metric="combined", n=2, seed=3,
+                        lease_ttl=5.0, clock=FakeClock())
+    assert second.report["snapshot_seq"] is None
+    assert second.report["skipped"] == 0
+    assert functional_state(second.service) == pre_crash
+    second.close()
+
+
+def test_open_shard_continues_the_wal_sequence(tmp_path):
+    state_dir = str(tmp_path)
+    first = open_shard(state_dir, clock=FakeClock())
+    submit(first.service, SPECS[:2])
+    next_seq = first.events.next_seq
+    assert next_seq > 0
+    # Crash; the second incarnation appends where the first stopped.
+    second = open_shard(state_dir, clock=FakeClock())
+    assert second.report["next_seq"] == next_seq
+    assert second.events.next_seq == next_seq
+    submit(second.service, SPECS[2:], job_id=0)
+    seqs = [record["seq"] for path in wal_files(state_dir)
+            for record in iter_events(path)]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)  # one monotone history
+    second.close()
+
+
+def test_maybe_snapshot_skips_when_nothing_changed(tmp_path):
+    shard = open_shard(str(tmp_path), clock=FakeClock())
+    submit(shard.service, SPECS[:1])
+    assert shard.maybe_snapshot() is not None
+    assert shard.maybe_snapshot() is None  # same wal seq: skipped
+    assert shard.maybe_snapshot(force=True) is not None
+    assert shard.snapshots_written == 2
+    shard.close()
+
+
+def test_shard_describe_reports_identity_and_recovery(tmp_path):
+    shard = open_shard(str(tmp_path), shard_index=1, shard_count=3,
+                       clock=FakeClock())
+    submit(shard.service, SPECS[:1])
+    shard.maybe_snapshot()
+    block = shard.describe()
+    assert (block["index"], block["count"]) == (1, 3)
+    assert block["snapshots_on_disk"] == 1
+    assert block["recovery"]["snapshot_seq"] is None
+    assert block["wal_next_seq"] == shard.events.next_seq
+    # Shard ids stride so job/task ids are congruent to the index.
+    assert shard.service.submit_job(
+        [{"files": [9]}])["job_id"] % 3 == 1
+    shard.close()

@@ -6,8 +6,8 @@ import pytest
 
 from repro.analysis.eventlog import load_timelines, task_timelines
 from repro.obs.events import (EVENT_SCHEMAS, EventLog, EventSchemaError,
-                              RotatingJsonlSink, read_events,
-                              validate_event)
+                              RotatingJsonlSink, iter_events,
+                              read_events, validate_event)
 
 
 def fake_clock(start=1000.0, step=1.0):
@@ -102,6 +102,80 @@ def test_rotating_sink_shifts_backups(tmp_path):
     assert all(json.loads(line) for line in newest + oldest)
     assert (json.loads(oldest[-1])["line"]
             < json.loads(newest[0])["line"])
+
+
+# -- WAL duty: crash tolerance, barriers, sequence continuity ----------------
+
+def test_reader_tolerates_a_crash_truncated_final_line(tmp_path):
+    """A ``kill -9`` can cut the last line short.  That exact shape —
+    final line, no trailing newline, unparseable — is truncation and
+    is skipped with a warning; everything before it still reads."""
+    path = tmp_path / "wal.jsonl"
+    with EventLog(path=str(path), clock=fake_clock()) as log:
+        log.emit("submit", job_id=0, tasks=1, task_ids=[0])
+        log.emit("assign", task_id=0, site=0, worker="w0")
+    whole = path.read_text()
+    path.write_text(whole[:-20])  # the crash ate the line's tail
+    records = list(iter_events(str(path)))
+    assert [record["event"] for record in records] == ["submit"]
+
+
+def test_reader_still_rejects_newline_terminated_corruption(tmp_path):
+    """A *complete* line of bad JSON is corruption, not truncation —
+    tolerating it would silently drop acknowledged WAL records."""
+    path = tmp_path / "wal.jsonl"
+    with EventLog(path=str(path), clock=fake_clock()) as log:
+        log.emit("submit", job_id=0, tasks=1, task_ids=[0])
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("not json\n")  # newline-terminated: corrupt
+    with pytest.raises(EventSchemaError):
+        list(iter_events(str(path)))
+
+
+def test_truncated_mid_file_line_is_impossible_to_miss(tmp_path):
+    """Only the final line of a file can lack a newline; an
+    unparseable *interior* line always raises."""
+    path = tmp_path / "wal.jsonl"
+    path.write_text('{"bro\n{"event": "requeue", "task_id": 1, '
+                    '"reason": "r", "ts": 1.0, "seq": 1}\n')
+    with pytest.raises(EventSchemaError):
+        list(iter_events(str(path)))
+
+
+def test_auto_flush_makes_records_visible_without_close(tmp_path):
+    """WAL mode: every emit is flushed before the caller can ack, so
+    the record is on the OS side even if the process dies next."""
+    path = tmp_path / "wal.jsonl"
+    log = EventLog(path=str(path), clock=fake_clock(), auto_flush=True)
+    log.emit("submit", job_id=0, tasks=1, task_ids=[0])
+    # Deliberately no close/flush: the emit itself must have flushed.
+    assert [r["event"] for r in iter_events(str(path))] == ["submit"]
+    log.close()
+
+
+def test_sync_is_a_durability_barrier_and_survives_no_sink():
+    log = EventLog()  # ring-only: sync must be a harmless no-op
+    log.emit("requeue", task_id=0, reason="test")
+    log.sync()
+    log.flush()
+    log.close()
+
+
+def test_seq_start_continues_a_previous_incarnations_sequence(tmp_path):
+    path = tmp_path / "wal.jsonl"
+    with EventLog(path=str(path), clock=fake_clock()) as log:
+        log.emit("submit", job_id=0, tasks=1, task_ids=[0])
+        log.emit("assign", task_id=0, site=0, worker="w0")
+        next_seq = log.next_seq
+    assert next_seq == 2
+    with EventLog(path=str(path), clock=fake_clock(),
+                  seq_start=next_seq) as log:
+        assert log.next_seq == 2
+        record = log.emit("complete", task_id=0, worker="w0")
+        assert record["seq"] == 2
+        assert log.emitted == 1  # counts this incarnation only
+    seqs = [record["seq"] for record in iter_events(str(path))]
+    assert seqs == [0, 1, 2]  # one monotone history across restarts
 
 
 # -- timeline reconstruction -------------------------------------------------

@@ -322,3 +322,75 @@ def test_stats_interval_must_be_positive():
     service = SchedulerService()
     with pytest.raises(ValueError):
         SchedulerServer(service, stats_interval=0.0)
+
+
+# -- repro top, cluster view -------------------------------------------------
+
+def shard_snapshot(tasks=10, done=4, queue=3, p99=120.0, uptime=5.0):
+    return {"tasks_submitted": tasks, "completions": done,
+            "assignments": done, "queue_depth": queue,
+            "outstanding": tasks - done - queue, "uptime_s": uptime,
+            "decision_latency": {"count": done, "mean_us": 50.0,
+                                 "p50_us": 40.0, "p90_us": 100.0,
+                                 "p99_us": p99, "max_us": p99},
+            "sites": {"0": {"assignments": done, "overlap_hits": 1,
+                            "overlap_hit_rate": 1.0 / max(done, 1)}}}
+
+
+def test_render_cluster_top_merges_per_shard_endpoints():
+    from repro.obs.top import render_cluster_top
+
+    text = render_cluster_top([
+        ("127.0.0.1:9001", shard_snapshot(tasks=10, done=4)),
+        ("127.0.0.1:9002", shard_snapshot(tasks=6, done=6, queue=0)),
+        ("127.0.0.1:9003", None),
+    ])
+    assert "cluster: 2/3 shard(s) reporting" in text
+    assert "127.0.0.1:9001" in text and "127.0.0.1:9003" in text
+    assert "unreachable" in text
+    # The aggregate body below the table sums the reporting shards.
+    assert "16 submitted, 10 done" in text
+
+
+def test_render_cluster_top_unpacks_a_router_aggregate():
+    """One endpoint that already carries a ``shards`` breakdown (the
+    supervisor's /stats.json) becomes per-shard rows, not one row."""
+    from repro.cluster.stats import aggregate_stats
+    from repro.obs.top import render_cluster_top
+
+    merged = aggregate_stats([(0, shard_snapshot(tasks=8, done=8,
+                                                 queue=0)),
+                              (1, shard_snapshot(tasks=4, done=1))])
+    text = render_cluster_top([("127.0.0.1:9100", merged)])
+    assert "cluster: 2/2 shard(s) reporting" in text
+    assert "shard 0" in text and "shard 1" in text
+    assert "12 submitted, 9 done" in text
+
+
+def test_run_cluster_top_polls_every_endpoint(capsys):
+    from repro.obs.top import run_cluster_top
+
+    payloads = {"http://a/stats.json": shard_snapshot(tasks=5, done=5,
+                                                      queue=0),
+                "http://b/stats.json": shard_snapshot(tasks=3, done=0)}
+    code = run_cluster_top(list(payloads), iterations=1, clear=False,
+                           fetch=payloads.__getitem__)
+    assert code == 0
+    shown = capsys.readouterr().out
+    assert "cluster: 2/2 shard(s) reporting" in shown
+    assert "8 submitted, 5 done" in shown
+
+
+def test_run_cluster_top_fails_only_when_every_endpoint_is_gone():
+    from repro.obs.top import run_cluster_top
+
+    def fetch(url):
+        raise ConnectionError("down")
+
+    messages = []
+    code = run_cluster_top(["http://a/stats.json",
+                            "http://b/stats.json"],
+                           iterations=2, out=messages.append,
+                           fetch=fetch)
+    assert code == 1
+    assert sum("cannot fetch" in line for line in messages) == 2

@@ -46,6 +46,8 @@ SERVER_SAMPLES = [
     messages.JobStatusReply(job_id=0, tasks=3, completed=1, pending=1,
                             outstanding=1, done=False),
     messages.StatsReply(stats={"completions": 4}),
+    messages.Redirect(shards=[{"shard": 0, "host": "127.0.0.1",
+                               "port": 7178}], shard_count=1),
     messages.Error(error="nope"),
 ]
 
@@ -69,7 +71,8 @@ def test_every_wire_type_is_covered():
         protocol.WELCOME, protocol.TASK, protocol.TASK_BATCH,
         protocol.NO_TASK,
         protocol.ACK, protocol.HEARTBEAT_ACK, protocol.JOB_ACCEPTED,
-        protocol.JOB_STATUS, protocol.STATS, protocol.ERROR}
+        protocol.JOB_STATUS, protocol.STATS, protocol.REDIRECT,
+        protocol.ERROR}
 
 
 def test_unknown_fields_are_tolerated():
