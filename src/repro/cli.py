@@ -9,7 +9,8 @@ Commands
               optionally saving it to JSON.
 ``figures``   regenerate one of the paper's figures/tables by name.
 ``reproduce`` regenerate every table and figure into one report.
-``serve``     run the live scheduler daemon (JSON-lines over TCP),
+``serve``     run the live scheduler daemon (protocol v3 over TCP:
+              JSON lines with negotiated binary framing),
               optionally with an HTTP metrics endpoint, a JSONL
               event log, and — with ``--state-dir`` — WAL +
               snapshot durability (one cluster shard).
@@ -234,11 +235,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .obs.events import EventLog
     from .obs.http import ObsHttpServer
     from .obs.trace import DecisionTracer
-    from .serve.server import SchedulerServer
+    from .serve import protocol
+    from .serve.server import SchedulerServer, install_uvloop
     from .serve.service import SchedulerService
     from .serve.stats import format_stats
 
     _configure_logging(args)
+    if args.uvloop and not install_uvloop():
+        print("uvloop requested but not importable; staying on the "
+              "stdlib event loop", file=sys.stderr)
     if args.state_dir and args.event_log:
         print("--event-log conflicts with --state-dir (the shard's "
               "WAL owns the event log; it lives in the state "
@@ -278,7 +283,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                                        id_stride=args.shard_count)
         server = SchedulerServer(service, host=args.host,
                                  port=args.port,
-                                 stats_interval=args.stats_interval)
+                                 stats_interval=args.stats_interval,
+                                 codecs=protocol.codec_offers(
+                                     args.codec))
         await server.start()
         obs_server = None
         if args.metrics_port is not None:
@@ -313,7 +320,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 json_module.dump(ports, handle)
             os.replace(tmp_path, args.port_file)
         print(f"repro-serve listening on {server.host}:{server.port} "
-              f"(protocol v2, metric={args.metric}, n={args.n}, "
+              f"(protocol v3, codecs={','.join(server.codecs)}, "
+              f"metric={args.metric}, n={args.n}, "
               f"lease_ttl={args.lease_ttl:g}s)", file=sys.stderr)
         if obs_server is not None:
             print(f"metrics endpoint on {obs_server.url}/metrics",
@@ -360,7 +368,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             metric=args.metric, n=args.n, seed=args.seed,
             lease_ttl=args.lease_ttl,
             snapshot_interval=args.snapshot_interval,
-            kernel=args.kernel, metrics_port=args.metrics_port)
+            kernel=args.kernel, metrics_port=args.metrics_port,
+            codec=args.codec)
         await supervisor.start()
         print(f"repro-cluster router on "
               f"{supervisor.host}:{supervisor.router_port} over "
@@ -388,8 +397,12 @@ def _cmd_load(args: argparse.Namespace) -> int:
     import asyncio
 
     from .serve.loadgen import run_load
+    from .serve.server import install_uvloop
     from .serve.stats import format_stats
 
+    if args.uvloop and not install_uvloop():
+        print("uvloop requested but not importable; staying on the "
+              "stdlib event loop", file=sys.stderr)
     config = _config_from(args)
     job = build_job(config)
     workers = config.num_sites * config.workers_per_site
@@ -404,7 +417,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         event_log=args.event_log,
         batch=args.batch,
         aggregate_deltas=args.aggregate_deltas,
-        delta_flush_interval=args.delta_flush_interval))
+        delta_flush_interval=args.delta_flush_interval,
+        codec=args.codec))
     print(f"job id           : {report['job_id']} "
           f"(done={report['job_status']['done']})")
     print(f"tasks submitted  : {report['tasks_submitted']}")
@@ -446,7 +460,8 @@ def _run_cluster_load(args: argparse.Namespace, config, job,
         seconds_per_file=args.seconds_per_file,
         drain=not args.no_drain,
         event_log=args.event_log,
-        batch=args.batch))
+        batch=args.batch,
+        codec=args.codec))
     print(f"cluster          : {report['shard_count']} shard(s), "
           f"{len(report['jobs'])} job(s)")
     for entry in report["jobs"]:
@@ -604,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
                               help="write the bound ports as JSON "
                                    "{port, metrics_port} to this path "
                                    "once listening (for --port 0)")
+    serve_parser.add_argument("--codec", default="auto",
+                              choices=["auto", "json", "binary"],
+                              help="wire codecs accepted in HELLO "
+                                   "negotiation: auto = binary "
+                                   "preferred with JSON fallback, "
+                                   "json/binary = that codec only")
+    serve_parser.add_argument("--uvloop", action="store_true",
+                              help="use uvloop's event loop when the "
+                                   "package is importable (optional "
+                                   "accelerator; silently optional)")
     _add_verbosity_arguments(serve_parser)
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -636,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="serve aggregated /stats.json, "
                                      "/cluster.json and /healthz on "
                                      "this port (0 = ephemeral)")
+    cluster_parser.add_argument("--codec", default="json",
+                                choices=["auto", "json", "binary"],
+                                help="wire codec for the router's own "
+                                     "shard connections (clients "
+                                     "negotiate theirs at HELLO)")
     _add_verbosity_arguments(cluster_parser)
     cluster_parser.set_defaults(func=_cmd_cluster)
 
@@ -680,6 +710,14 @@ def build_parser() -> argparse.ArgumentParser:
                              help="with --cluster: split the workload "
                                   "into this many jobs (spread over "
                                   "the shards)")
+    load_parser.add_argument("--codec", default="auto",
+                             choices=["auto", "json", "binary"],
+                             help="wire codec to offer at HELLO: auto "
+                                  "= binary preferred with JSON "
+                                  "fallback")
+    load_parser.add_argument("--uvloop", action="store_true",
+                             help="use uvloop's event loop when the "
+                                  "package is importable")
     load_parser.set_defaults(func=_cmd_load)
 
     top_parser = sub.add_parser(

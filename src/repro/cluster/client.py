@@ -29,7 +29,7 @@ import logging
 from typing import Dict, List, Optional
 
 from ..obs.events import EventLog
-from ..serve import messages, protocol
+from ..serve import messages
 from ..serve.client import (SchedulerClient, SiteCacheMirror,
                             WorkerClient, _Connection)
 
@@ -44,10 +44,13 @@ _FOLD_COUNTERS = ("tasks_done", "files_fetched", "heartbeats_sent",
 
 async def _redirect_hello(conn: _Connection, worker: str, site: int,
                           ) -> messages.ServerMessage:
-    """HELLO with ``accept_redirect``; returns REDIRECT or WELCOME."""
-    reply = await conn.call(messages.Hello(
-        worker=worker, site=site,
-        protocol=protocol.PROTOCOL_VERSION, accept_redirect=True))
+    """HELLO with ``accept_redirect``; returns REDIRECT or WELCOME.
+
+    Goes through :meth:`_Connection.handshake` so the connection's
+    codec offers ride the HELLO and the router's (or scheduler's)
+    pick is adopted before any further traffic.
+    """
+    reply = await conn.handshake(worker, site, accept_redirect=True)
     if not isinstance(reply, (messages.Redirect, messages.Welcome)):
         raise RuntimeError(f"expected REDIRECT or WELCOME, got {reply}")
     return reply
@@ -64,8 +67,9 @@ class ClusterClient(SchedulerClient):
     """
 
     def __init__(self, host: str, port: int,
-                 name: str = "cluster-control", site: int = 0):
-        super().__init__(host, port, name=name, site=site)
+                 name: str = "cluster-control", site: int = 0,
+                 codec: str = "auto"):
+        super().__init__(host, port, name=name, site=site, codec=codec)
         self.redirect: Optional[messages.Redirect] = None
 
     async def __aenter__(self) -> "ClusterClient":
@@ -105,7 +109,8 @@ class ClusterWorkerClient:
                  job_id: Optional[int] = None,
                  events: Optional[EventLog] = None, batch: int = 1,
                  resume_window: float = 30.0,
-                 retry_interval: float = 0.2):
+                 retry_interval: float = 0.2,
+                 codec: str = "auto"):
         if job_id is None:
             raise ValueError("cluster workers must scope to a job_id "
                              "(it names the owning shard)")
@@ -113,6 +118,9 @@ class ClusterWorkerClient:
         self.router_port = router_port
         self.worker = worker
         self.site = site
+        #: Wire-codec stance for every connection this worker opens
+        #: (the resolve hop and each shard incarnation alike).
+        self.codec = codec
         self.flops_per_sec = flops_per_sec
         self.seconds_per_file = seconds_per_file
         self.job_id = job_id
@@ -130,7 +138,8 @@ class ClusterWorkerClient:
 
     async def _resolve(self) -> Dict:
         """The owning shard's current ``{shard, host, port}`` entry."""
-        conn = _Connection(self.router_host, self.router_port)
+        conn = _Connection(self.router_host, self.router_port,
+                           codec=self.codec)
         await conn.open()
         try:
             reply = await _redirect_hello(
@@ -156,7 +165,8 @@ class ClusterWorkerClient:
             site=self.site, capacity_files=self.cache.capacity_files,
             flops_per_sec=self.flops_per_sec,
             seconds_per_file=self.seconds_per_file,
-            job_id=self.job_id, events=self.events, batch=self.batch)
+            job_id=self.job_id, events=self.events, batch=self.batch,
+            codec=self.codec)
         inner.cache = self.cache  # continuity across reconnects
         return inner
 
@@ -197,6 +207,7 @@ class ClusterWorkerClient:
                           job_id=self.job_id, batch=self.batch,
                           shard=self.shard,
                           reconnects=self.reconnects,
+                          codec=summary.get("codec"),
                           stop_reason=summary["stop_reason"])
             return totals
 

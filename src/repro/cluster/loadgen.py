@@ -36,7 +36,8 @@ async def run_cluster_load(host: str, port: int,
                            drain: bool = True,
                            event_log: Optional[str] = None,
                            batch: int = 1,
-                           resume_window: float = 30.0) -> Dict:
+                           resume_window: float = 30.0,
+                           codec: str = "auto") -> Dict:
     """Submit ``jobs`` via the router, run the fleet, report.
 
     ``event_log`` captures the client-side view (submit, assign,
@@ -54,7 +55,8 @@ async def run_cluster_load(host: str, port: int,
         if events is not None:
             stack.enter_context(events)
         control = await stack.enter_async_context(
-            ClusterClient(host, port, name="cluster-loadgen"))
+            ClusterClient(host, port, name="cluster-loadgen",
+                          codec=codec))
         handles = []
         for job in jobs:
             handle = await control.submit(job)
@@ -71,7 +73,7 @@ async def run_cluster_load(host: str, port: int,
                 seconds_per_file=seconds_per_file,
                 job_id=handles[index % len(handles)].job_id,
                 events=events, batch=batch,
-                resume_window=resume_window)
+                resume_window=resume_window, codec=codec)
             for index in range(workers)
         ]
         summaries = await asyncio.gather(
@@ -92,6 +94,7 @@ async def run_cluster_load(host: str, port: int,
         "files_fetched": sum(s["files_fetched"] for s in summaries),
         "reconnects": sum(s["reconnects"] for s in summaries),
         "batch": batch,
+        "codec": codec,
         "workers": summaries,
         "stats": stats,
         "event_log": event_log,

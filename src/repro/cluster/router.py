@@ -1,14 +1,15 @@
 """The cluster front door: redirect workers, forward control traffic.
 
 :class:`ClusterRouter` is a deliberately thin asyncio TCP server that
-speaks the same protocol-v2 wire format as a scheduler shard but holds
+speaks the same protocol-v3 wire format as a scheduler shard but holds
 **no scheduling state**.  Its whole job:
 
 * ``HELLO`` carrying ``accept_redirect`` → a ``REDIRECT`` with the
-  shard map, and the connection stays open for control traffic.  A
-  plain v2 ``HELLO`` (an old client) gets a clean ``ERROR`` — workers
-  are never silently misrouted to a scheduler that does not own their
-  job.
+  shard map (and the negotiated codec, when the client offered any),
+  and the connection stays open for control traffic.  A plain
+  ``HELLO`` (a shard-oblivious client) gets a clean ``ERROR`` —
+  workers are never silently misrouted to a scheduler that does not
+  own their job.
 * ``JOB_SUBMIT`` → forwarded to the owning shard (``job_id %
   shard_count``; a brand-new job is placed round-robin and from then
   on its id names its shard, because shards allocate ids with
@@ -34,15 +35,19 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import logging
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..serve import messages, protocol
+from ..serve.codec import Codec, JsonLinesCodec, make_codec
 from .stats import aggregate_stats
 
 __all__ = ["ClusterRouter", "ShardAddress"]
 
 log = logging.getLogger("repro.cluster.router")
+
+READ_CHUNK = 64 * 1024
 
 #: Message types the router refuses: the data plane belongs to shards.
 _DATA_PLANE = (messages.RequestTask, messages.TaskDone,
@@ -74,12 +79,15 @@ class _Upstream:
     """
 
     def __init__(self, address: ShardAddress, retry_window: float,
-                 retry_interval: float = 0.1):
+                 retry_interval: float = 0.1, codec: str = "json"):
         self.address = address
         self.retry_window = retry_window
         self.retry_interval = retry_interval
+        self.codec_option = codec
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
+        self._codec: Codec = JsonLinesCodec(decodes="server")
+        self._inbox: Deque[messages.ServerMessage] = deque()
         #: Bumped by :meth:`replace`; a mismatch tells the call loop
         #: its open connection predates the current address.
         self._generation = 0
@@ -99,7 +107,46 @@ class _Upstream:
             self._reader, self._writer = await asyncio.open_connection(
                 self.address.host, self.address.port,
                 limit=protocol.MAX_MESSAGE_BYTES + 1024)
+            self._codec = JsonLinesCodec(decodes="server")
+            self._inbox.clear()
             self._conn_generation = self._generation
+            if self.codec_option != "json":
+                await self._negotiate()
+
+    async def _negotiate(self) -> None:
+        """Send a HELLO so the shard upgrades this stream's codec.
+
+        Connections always open in JSON lines (protocol v3 rule); a
+        non-default ``codec_option`` turns the first exchange into a
+        negotiation round before any forwarded traffic flows.
+        """
+        hello = messages.Hello(
+            worker=f"router/shard-{self.address.shard}", site=0,
+            protocol=protocol.PROTOCOL_VERSION,
+            codecs=protocol.codec_offers(self.codec_option))
+        self._writer.write(self._codec.encode(hello))
+        await self._writer.drain()
+        reply = await self._read_reply()
+        if isinstance(reply, messages.Error):
+            raise ConnectionError(
+                f"shard {self.address.shard} refused hello: "
+                f"{reply.error}")
+        chosen = getattr(reply, "codec", None)
+        if chosen and chosen != self._codec.name:
+            residue = self._codec.residue()
+            self._codec = make_codec(chosen, decodes="server")
+            if residue:
+                self._inbox.extend(self._codec.feed(residue))
+
+    async def _read_reply(self) -> messages.ServerMessage:
+        while not self._inbox:
+            data = await self._reader.read(READ_CHUNK)
+            if not data:
+                raise ConnectionError(
+                    f"shard {self.address.shard} closed the "
+                    f"connection")
+            self._inbox.extend(self._codec.feed(data))
+        return self._inbox.popleft()
 
     async def _close(self) -> None:
         writer, self._writer, self._reader = self._writer, None, None
@@ -116,14 +163,9 @@ class _Upstream:
             while True:
                 try:
                     await self._ensure_open()
-                    self._writer.write(message.encode())
+                    self._writer.write(self._codec.encode(message))
                     await self._writer.drain()
-                    line = await self._reader.readline()
-                    if not line:
-                        raise ConnectionError(
-                            f"shard {self.address.shard} closed the "
-                            f"connection")
-                    return messages.decode_server(line)
+                    return await self._read_reply()
                 except (ConnectionError, OSError) as exc:
                     await self._close()
                     if loop.time() >= deadline:
@@ -139,12 +181,21 @@ class _Upstream:
 
 
 class ClusterRouter:
-    """Stateless protocol-v2 front end over a fixed shard map."""
+    """Stateless protocol-v3 front end over a fixed shard map.
+
+    ``codecs`` is what the router accepts from *clients* (defaults to
+    everything the protocol module knows).  ``upstream_codec`` is the
+    ``--codec``-style option for the router's own shard connections:
+    ``"json"`` (the default) keeps the plain JSON-lines streams,
+    ``"binary"``/``"auto"`` negotiate an upgrade on connect.
+    """
 
     def __init__(self, shards: List[ShardAddress],
                  host: str = "127.0.0.1", port: int = 0,
                  name: str = "cluster-router",
-                 retry_window: float = 15.0):
+                 retry_window: float = 15.0,
+                 codecs: Optional[Sequence[str]] = None,
+                 upstream_codec: str = "json"):
         if not shards:
             raise ValueError("a cluster needs at least one shard")
         indices = sorted(address.shard for address in shards)
@@ -155,8 +206,11 @@ class ClusterRouter:
         self.host = host
         self.port = port
         self.name = name
+        self.codecs = tuple(codecs if codecs is not None
+                            else protocol.DEFAULT_CODECS)
         self._upstreams: Dict[int, _Upstream] = {
-            address.shard: _Upstream(address, retry_window)
+            address.shard: _Upstream(address, retry_window,
+                                     codec=upstream_codec)
             for address in shards}
         self._server: Optional[asyncio.AbstractServer] = None
         self._handler_tasks: set = set()
@@ -211,24 +265,49 @@ class ClusterRouter:
                                  writer: asyncio.StreamWriter) -> None:
         self._handler_tasks.add(asyncio.current_task())
         self._connections.add(writer)
+        codec: Codec = JsonLinesCodec(decodes="client")
         try:
-            while True:
-                line = await reader.readline()
-                if not line:
-                    break
-                if line.strip() == b"":
-                    continue
+            chunk = b""
+            closing = False
+            while not closing:
                 try:
-                    message = messages.decode_client(line)
+                    inbound = codec.feed(chunk)
                 except protocol.ProtocolError as exc:
-                    writer.write(messages.Error(str(exc)).encode())
+                    # Framing errors lose the stream position: one
+                    # final ERROR, then close (same rule as a shard).
+                    writer.write(codec.encode(
+                        messages.Error(str(exc))))
                     await writer.drain()
-                    continue
-                reply, close = await self._dispatch(message)
-                writer.write(reply.encode())
-                await writer.drain()
-                if close:
                     break
+                if not inbound:
+                    chunk = await reader.read(READ_CHUNK)
+                    if not chunk:
+                        break  # EOF
+                    continue
+                chunk = b""  # drain the codec buffer before reading on
+                out = bytearray()
+                for index, message in enumerate(inbound):
+                    reply, close, next_codec = await self._dispatch(
+                        message)
+                    out += codec.encode(reply)
+                    if close:
+                        closing = True
+                        break
+                    if (next_codec is not None
+                            and next_codec != codec.name):
+                        if (index + 1 < len(inbound)
+                                or codec.buffered):
+                            out += codec.encode(messages.Error(
+                                "messages pipelined across codec "
+                                "negotiation; await the HELLO reply "
+                                "before sending more"))
+                            closing = True
+                            break
+                        codec = make_codec(next_codec,
+                                           decodes="client")
+                if out:
+                    writer.write(bytes(out))
+                    await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -250,13 +329,17 @@ class ClusterRouter:
         return reply
 
     async def _dispatch(self, message: messages.ClientMessage,
-                        ) -> Tuple[messages.ServerMessage, bool]:
+                        ) -> Tuple[messages.ServerMessage, bool,
+                                   Optional[str]]:
+        """Returns ``(reply, close, next_codec)``; a non-``None``
+        ``next_codec`` tells the connection loop to switch framing
+        right after the reply is written."""
         if isinstance(message, messages.Hello):
-            if message.protocol != protocol.PROTOCOL_VERSION:
+            if message.protocol not in protocol.SUPPORTED_PROTOCOLS:
                 return (messages.Error(
                     f"unsupported protocol version {message.protocol};"
                     f" this router speaks "
-                    f"{protocol.PROTOCOL_VERSION}"), True)
+                    f"{protocol.SUPPORTED_PROTOCOLS_TEXT}"), True, None)
             if not message.accept_redirect:
                 # An old (or shard-oblivious) client: refuse cleanly
                 # instead of pretending to be a scheduler it can pull
@@ -266,17 +349,24 @@ class ClusterRouter:
                     "this address is a cluster router, not a "
                     "scheduler shard; send HELLO with "
                     "accept_redirect=true and connect to the shard "
-                    "owning your job (job_id % shard_count)"), True)
+                    "owning your job (job_id % shard_count)"), True,
+                    None)
+            codec_name = None
+            if message.codecs is not None:
+                codec_name = protocol.negotiate_codec(
+                    message.codecs, self.codecs)
             self.redirects_sent += 1
             return (messages.Redirect(
                 shards=self.shard_map(),
-                shard_count=self.shard_count), False)
+                shard_count=self.shard_count,
+                codec=codec_name), False, codec_name)
 
         if isinstance(message, _DATA_PLANE):
             return (messages.Error(
                 f"{message.TYPE} is data-plane traffic; the router "
                 f"only routes control messages — connect to the "
-                f"owning shard from the REDIRECT shard map"), False)
+                f"owning shard from the REDIRECT shard map"), False,
+                None)
 
         if isinstance(message, messages.JobSubmit):
             if message.job_id is not None:
@@ -285,15 +375,15 @@ class ClusterRouter:
                 shard = self._next_new_job_shard
                 self._next_new_job_shard = (
                     (shard + 1) % self.shard_count)
-            return (await self._forward(shard, message), False)
+            return (await self._forward(shard, message), False, None)
 
         if isinstance(message, messages.JobStatusRequest):
             shard = self.shard_for_job(message.job_id)
-            return (await self._forward(shard, message), False)
+            return (await self._forward(shard, message), False, None)
 
         if isinstance(message, messages.StatsRequest):
             return (messages.StatsReply(
-                stats=await self.aggregated_stats()), False)
+                stats=await self.aggregated_stats()), False, None)
 
         if isinstance(message, messages.Drain):
             replies = await asyncio.gather(
@@ -303,11 +393,12 @@ class ClusterRouter:
                       if isinstance(reply, messages.Error)]
             if failed:
                 return (messages.Error(
-                    f"drain incomplete: {'; '.join(failed)}"), False)
-            return (messages.Ack(draining=True), False)
+                    f"drain incomplete: {'; '.join(failed)}"), False,
+                    None)
+            return (messages.Ack(draining=True), False, None)
 
         return (messages.Error(
-            f"unhandled message type {message.TYPE!r}"), False)
+            f"unhandled message type {message.TYPE!r}"), False, None)
 
     async def aggregated_stats(self) -> Dict:
         """Every shard's STATS merged into one cluster snapshot."""

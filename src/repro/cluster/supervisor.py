@@ -59,7 +59,8 @@ class ClusterSupervisor:
                  max_restarts: int = 20,
                  restart_backoff: float = 0.25,
                  spawn_timeout: float = 30.0,
-                 stats_refresh: float = 1.0):
+                 stats_refresh: float = 1.0,
+                 codec: str = "json"):
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
         self.shards = shards
@@ -77,6 +78,8 @@ class ClusterSupervisor:
         self.restart_backoff = restart_backoff
         self.spawn_timeout = spawn_timeout
         self.stats_refresh = stats_refresh
+        #: ``--codec`` stance for the router's own shard streams.
+        self.codec = codec
         self.router: Optional[ClusterRouter] = None
         self.obs_server: Optional[ObsHttpServer] = None
         self._procs: Dict[int, asyncio.subprocess.Process] = {}
@@ -115,7 +118,8 @@ class ClusterSupervisor:
         self.router = ClusterRouter(
             [ShardAddress(index, self.host, self._ports[index])
              for index in range(self.shards)],
-            host=self.host, port=self.router_port)
+            host=self.host, port=self.router_port,
+            upstream_codec=self.codec)
         await self.router.start()
         self.router_port = self.router.port
         if self.metrics_port is not None:

@@ -2,12 +2,15 @@
 
 The simulator proves the worker-centric policies win; this package
 *runs* them.  A :class:`~repro.serve.server.SchedulerServer` serves a
-:class:`~repro.core.policy_engine.PolicyEngine` over a JSON-lines TCP
-protocol — version 2: typed messages (:mod:`repro.serve.messages`),
-version negotiation, lease-based assignment with heartbeat renewal and
-a server-side expiry sweeper, and multi-job tenancy with per-job
-completion tracking.  Real workers —
-:class:`~repro.serve.client.WorkerClient` — pull leased tasks, renew
+:class:`~repro.core.policy_engine.PolicyEngine` over a typed TCP
+protocol — version 3: every connection opens in JSON lines, ``HELLO``
+offers wire codecs, and the server's pick (announced in ``WELCOME``)
+can switch the stream to length-prefixed binary frames
+(:mod:`repro.serve.codec`).  Typed messages
+(:mod:`repro.serve.messages`), version negotiation, lease-based
+assignment with heartbeat renewal and a server-side expiry sweeper,
+and multi-job tenancy with per-job completion tracking.  Real workers
+— :class:`~repro.serve.client.WorkerClient` — pull leased tasks, renew
 them while working, report file deltas from their local caches, and
 push lease-validated completions; submitters drive jobs through
 :class:`~repro.serve.client.SchedulerClient`, whose
@@ -24,21 +27,33 @@ CLI entry points: ``python -m repro serve`` and ``python -m repro load``.
 
 from .client import (DeltaAggregator, JobHandle, SchedulerClient,
                      WorkerClient)
+from .codec import BinaryCodec, Codec, JsonLinesCodec, make_codec
 from .loadgen import run_load, serve_and_load
-from .server import SchedulerServer
+from .protocol import (CodecNegotiation, ProtocolError, codec_offers,
+                       negotiate_codec)
+from .server import SchedulerServer, install_uvloop
 from .service import (Assignment, CompletionResult, SchedulerService,
                       ServiceError)
 
 __all__ = [
     "Assignment",
+    "BinaryCodec",
+    "Codec",
+    "CodecNegotiation",
     "CompletionResult",
     "DeltaAggregator",
     "JobHandle",
+    "JsonLinesCodec",
+    "ProtocolError",
     "SchedulerClient",
     "SchedulerServer",
     "SchedulerService",
     "ServiceError",
     "WorkerClient",
+    "codec_offers",
+    "install_uvloop",
+    "make_codec",
+    "negotiate_codec",
     "run_load",
     "serve_and_load",
 ]

@@ -1,4 +1,9 @@
-"""Protocol-v2 clients: the pull-loop worker and the control surface.
+"""Protocol-v3 clients: the pull-loop worker and the control surface.
+
+Every client here negotiates its wire codec at ``HELLO`` (the
+``codec=`` kwarg: ``"auto"`` offers binary-then-JSON, ``"json"`` /
+``"binary"`` pin one) and falls back to v2 JSON lines against servers
+that predate negotiation — see :mod:`repro.serve.codec`.
 
 :class:`WorkerClient` is the network twin of the simulator's
 ``grid.worker.Worker`` pull loop.  It keeps an LRU mirror of its
@@ -52,9 +57,13 @@ from typing import (Callable, Deque, Dict, Iterable, List, Optional,
 
 from ..obs.events import EventLog
 from . import messages, protocol
+from .codec import Codec, JsonLinesCodec, make_codec
 
 #: Tasks per JOB_SUBMIT message (keeps lines well under the size cap).
 SUBMIT_CHUNK = 200
+
+#: One socket read's worth of pipelined replies.
+READ_CHUNK = 64 * 1024
 
 
 class SiteCacheMirror:
@@ -98,18 +107,33 @@ class _Connection:
     order before its own.  The server answers every request on a
     connection strictly in order, so reply N is always the answer to
     send N — no tagging needed.
+
+    ``codec`` is the negotiation stance (``"auto"``/``"json"``/
+    ``"binary"`` or an exact codec name): :meth:`handshake` offers the
+    matching capability list and switches the connection to whatever
+    the server (or router) picked.
     """
 
-    def __init__(self, host: str, port: int):
+    def __init__(self, host: str, port: int, codec: str = "auto"):
         self.host = host
         self.port = port
+        #: ``HELLO.codecs`` this connection will offer (fails fast on
+        #: a bad ``codec`` option).
+        self.offers = protocol.codec_offers(codec)
+        #: Settled by :meth:`handshake`.
+        self.negotiated: Optional[protocol.CodecNegotiation] = None
+        self._codec: Codec = JsonLinesCodec(decodes="server")
+        #: Replies decoded from the last read but not yet consumed —
+        #: one chunked read can surface a whole burst of pipelined
+        #: ACKs.
+        self._inbox: Deque[messages.ServerMessage] = deque()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         #: Reply handlers for pipelined sends, FIFO (None = just check
         #: the reply is not an ERROR and drop it).
         self._pending: Deque[Optional[
             Callable[[messages.ServerMessage], None]]] = deque()
-        #: Locally buffered outgoing lines: pipelined sends coalesce
+        #: Locally buffered outgoing messages: pipelined sends coalesce
         #: into one transport write (one syscall per burst, not per
         #: message) at the next :meth:`call`/:meth:`drain_replies`.
         self._outgoing = bytearray()
@@ -138,7 +162,7 @@ class _Connection:
         :meth:`call` or :meth:`drain_replies` and handed to
         ``on_reply`` (an ``ERROR`` reply raises there instead).
         """
-        self._outgoing += message.encode()
+        self._outgoing += self._codec.encode(message)
         self._pending.append(on_reply)
 
     def _flush_outgoing(self) -> None:
@@ -158,10 +182,12 @@ class _Connection:
                 on_reply(reply)
 
     async def _read_reply(self) -> messages.ServerMessage:
-        line = await self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        reply = messages.decode_server(line)
+        while not self._inbox:
+            data = await self._reader.read(READ_CHUNK)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            self._inbox.extend(self._codec.feed(data))
+        reply = self._inbox.popleft()
         if isinstance(reply, messages.Error):
             raise RuntimeError(f"server error: {reply.error}")
         return reply
@@ -174,16 +200,52 @@ class _Connection:
         write burst (the piggyback) and their replies are drained
         first, so ordering is preserved.
         """
-        self._outgoing += message.encode()
+        self._outgoing += self._codec.encode(message)
         self._flush_outgoing()
         await self._writer.drain()
         await self.drain_replies()
         return await self._read_reply()
 
-    async def hello(self, worker: str, site: int) -> messages.Welcome:
+    def _adopt(self, name: str) -> None:
+        """Switch to the negotiated codec.  Replies can only follow
+        the server's own switch (it answers in order), so any bytes
+        already buffered belong to the new codec."""
+        if name == self._codec.name:
+            return
+        residue = self._codec.residue()
+        self._codec = make_codec(name, decodes="server")
+        if residue:
+            self._inbox.extend(self._codec.feed(residue))
+
+    async def handshake(self, worker: str, site: int,
+                        accept_redirect: Optional[bool] = None,
+                        ) -> messages.ServerMessage:
+        """Send HELLO (offering this connection's codecs), adopt the
+        server's pick, and return the raw reply — ``WELCOME`` from a
+        scheduler, ``REDIRECT`` from a cluster router."""
         reply = await self.call(messages.Hello(
             worker=worker, site=site,
-            protocol=protocol.PROTOCOL_VERSION))
+            protocol=protocol.PROTOCOL_VERSION,
+            accept_redirect=accept_redirect,
+            codecs=list(self.offers)))
+        chosen = None
+        served_protocol = protocol.PROTOCOL_VERSION
+        if isinstance(reply, messages.Welcome):
+            chosen = reply.codec
+            served_protocol = reply.protocol
+        elif isinstance(reply, messages.Redirect):
+            chosen = reply.codec
+        if chosen is not None:
+            self._adopt(chosen)
+        # A reply without ``codec`` is a pre-v3 server: JSON lines
+        # stay in effect for the whole connection.
+        self.negotiated = protocol.CodecNegotiation(
+            protocol=served_protocol,
+            codec=chosen if chosen is not None else protocol.CODEC_JSON)
+        return reply
+
+    async def hello(self, worker: str, site: int) -> messages.Welcome:
+        reply = await self.handshake(worker, site)
         if not isinstance(reply, messages.Welcome):
             raise RuntimeError(f"expected WELCOME, got {reply}")
         return reply
@@ -237,11 +299,17 @@ class WorkerClient:
                  job_id: Optional[int] = None,
                  events: Optional[EventLog] = None,
                  batch: int = 1,
-                 delta_sink: Optional["DeltaAggregator"] = None):
+                 delta_sink: Optional["DeltaAggregator"] = None,
+                 codec: str = "auto"):
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.host = host
         self.port = port
+        #: Wire-codec stance for the connection (``auto``/``json``/
+        #: ``binary``); what actually got negotiated lands in
+        #: :attr:`negotiated` after :meth:`run`.
+        self.codec = codec
+        self.negotiated: Optional[protocol.CodecNegotiation] = None
         self.worker = worker
         self.site = site
         self.cache = SiteCacheMirror(capacity_files)
@@ -274,10 +342,11 @@ class WorkerClient:
 
     async def run(self) -> Dict:
         """Pull tasks until the server says NO_TASK; returns a summary."""
-        conn = _Connection(self.host, self.port)
+        conn = _Connection(self.host, self.port, codec=self.codec)
         await conn.open()
         try:
             welcome = await conn.hello(self.worker, self.site)
+            self.negotiated = conn.negotiated
             self._heartbeat_interval = welcome.heartbeat_interval
             if self.batch > 1:
                 await self._run_batched(conn)
@@ -295,6 +364,8 @@ class WorkerClient:
             await conn.close()
         return {"worker": self.worker, "site": self.site,
                 "job_id": self.job_id,
+                "codec": (self.negotiated.codec
+                          if self.negotiated is not None else None),
                 "batch": self.batch,
                 "batches_pulled": self.batches_pulled,
                 "tasks_done": self.tasks_done,
@@ -488,11 +559,12 @@ class DeltaAggregator:
     def __init__(self, host: str, port: int, site: int,
                  flush_interval: float = 0.02,
                  name: Optional[str] = None,
-                 events: Optional[EventLog] = None):
+                 events: Optional[EventLog] = None,
+                 codec: str = "auto"):
         if flush_interval <= 0:
             raise ValueError(
                 f"flush_interval must be > 0, got {flush_interval}")
-        self._conn = _Connection(host, port)
+        self._conn = _Connection(host, port, codec=codec)
         self.site = site
         self.flush_interval = flush_interval
         self.name = name if name is not None else f"delta-agg-s{site}"
@@ -646,8 +718,8 @@ class SchedulerClient:
     """
 
     def __init__(self, host: str, port: int, name: str = "control",
-                 site: int = 0):
-        self._conn = _Connection(host, port)
+                 site: int = 0, codec: str = "auto"):
+        self._conn = _Connection(host, port, codec=codec)
         self.name = name
         self.site = site
         self.welcome: Optional[messages.Welcome] = None
@@ -656,6 +728,10 @@ class SchedulerClient:
         await self._conn.open()
         self.welcome = await self._conn.hello(self.name, self.site)
         return self
+
+    @property
+    def negotiated(self) -> Optional[protocol.CodecNegotiation]:
+        return self._conn.negotiated
 
     async def __aexit__(self, *exc_info) -> None:
         await self._conn.close()

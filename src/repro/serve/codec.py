@@ -1,0 +1,867 @@
+"""Pluggable wire codecs (protocol v3): JSON lines and binary frames.
+
+One :class:`Codec` instance per connection side, created after (or
+while awaiting) ``HELLO`` negotiation:
+
+* ``encode(message) -> bytes`` — one typed
+  :class:`~repro.serve.messages.Message` to its wire bytes.
+* ``feed(data) -> list[Message]`` — incremental, buffer-based
+  decoding: hand it whatever chunk the socket produced and it returns
+  every *complete* message, holding partial frames internally until
+  the rest arrives.  Feeding byte-at-a-time, split mid-frame, or many
+  concatenated frames at once all decode identically.
+
+``feed`` raises :class:`~repro.serve.protocol.ProtocolError` on
+malformed input — oversized frames, bad magic/version, unknown types,
+truncated bodies.  Framing errors are unrecoverable by design: the
+peer answers with a final ``ERROR`` and closes the connection (the
+closed-ERROR behavior both codecs share).  If an error is hit after
+complete messages were already parsed in the same call, those
+messages are returned first and the error re-raises on the next
+``feed`` — a pipelined burst never silently loses its leading
+messages.
+
+Two implementations:
+
+* :class:`JsonLinesCodec` (``json-2``) — the protocol-v2 wire format
+  unchanged: one ``\\n``-terminated UTF-8 JSON object per message.
+  Every v2 peer speaks it, so it is the negotiation fallback.
+* :class:`BinaryCodec` (``binary-1``) — protocol v3's length-prefixed
+  binary frame::
+
+      0      2      3       4          8
+      +------+------+-------+----------+------------------+
+      | magic|ver   |type id|body len  | body (len bytes) |
+      | 2 B  |1 B   |1 B    |uint32 BE |                  |
+      +------+------+-------+----------+------------------+
+
+  (``magic = 0xC0DE``, ``ver = 1``; all integers big-endian.)  The
+  body is a compact msgpack-style encoding (stdlib only — ``struct``
+  plus bytearrays, no third-party dependency): nil/bool/int/float64/
+  str/array/map with the standard fixint/fixstr/fixarray/fixmap short
+  forms.  The hot-path message types additionally get *specialized*
+  struct-packed bodies (``TASK_DONE`` is two ``!Q`` words, an
+  accepted ``ACK`` is one byte, a ``TASK_BATCH`` entry is ``!QQQd``
+  plus its file-id vector) so the per-message Python cost is a couple
+  of C calls instead of a tree walk; the frame's version byte pins
+  the schema, and both schemes round-trip bit-identically to the
+  dataclass form.
+
+Codecs decode *one direction*: a server feeds with
+``decodes="client"`` and gets :class:`ClientMessage` instances, a
+client feeds with ``decodes="server"``.  (``STATS`` and
+``JOB_STATUS`` are request *and* reply types, so direction cannot be
+inferred from the wire.)
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+from typing import (Any, Callable, ClassVar, Dict, List, Optional,
+                    Tuple, Type)
+
+from . import messages
+from . import protocol as wire
+from .protocol import (CODEC_BINARY, CODEC_JSON, MAX_MESSAGE_BYTES,
+                       ProtocolError)
+
+__all__ = [
+    "Codec", "JsonLinesCodec", "BinaryCodec", "make_codec",
+    "MAGIC", "BINARY_VERSION", "DEFAULT_MAX_FRAME_BYTES",
+    "BINARY_TYPE_IDS",
+]
+
+#: First two bytes of every binary frame.
+MAGIC = 0xC0DE
+#: The binary framing/schema version carried in every frame header.
+BINARY_VERSION = 1
+#: Default cap on one binary frame body; ``BinaryCodec`` raises a
+#: clean :class:`ProtocolError` instead of buffering without bound.
+DEFAULT_MAX_FRAME_BYTES = 16 << 20
+
+#: Wire type -> frame type id.  Stable: ids are part of ``binary-1``
+#: and must never be reassigned (add new ids instead).
+BINARY_TYPE_IDS: Dict[str, int] = {
+    # client -> server
+    wire.HELLO: 1, wire.REQUEST_TASK: 2, wire.TASK_DONE: 3,
+    wire.HEARTBEAT: 4, wire.FILE_DELTA: 5, wire.JOB_SUBMIT: 6,
+    wire.JOB_STATUS: 7, wire.STATS: 8, wire.DRAIN: 9,
+    # server -> client
+    wire.WELCOME: 17, wire.TASK: 18, wire.TASK_BATCH: 19,
+    wire.NO_TASK: 20, wire.ACK: 21, wire.HEARTBEAT_ACK: 22,
+    wire.JOB_ACCEPTED: 23, wire.REDIRECT: 24, wire.ERROR: 25,
+}
+_ID_TO_TYPE = {type_id: kind for kind, type_id in BINARY_TYPE_IDS.items()}
+
+_HEADER = struct.Struct("!HBBI")
+_HEADER_SIZE = _HEADER.size
+
+
+class Codec(abc.ABC):
+    """One connection side's encoder/decoder (see module docstring)."""
+
+    #: The negotiation name (``HELLO.codecs`` entry / ``WELCOME.codec``).
+    name: ClassVar[str] = ""
+
+    def __init__(self, decodes: str = "client"):
+        if decodes == "client":
+            self._registry: Dict[str, Type[messages.Message]] = \
+                messages.ClientMessage.REGISTRY
+        elif decodes == "server":
+            self._registry = messages.ServerMessage.REGISTRY
+        else:
+            raise ValueError(
+                f"decodes must be 'client' or 'server', got {decodes!r}")
+        self.decodes = decodes
+        self._buffer = bytearray()
+
+    # -- the codec API ----------------------------------------------------
+    @abc.abstractmethod
+    def encode(self, message: messages.Message) -> bytes:
+        """One typed message -> its wire bytes."""
+
+    @abc.abstractmethod
+    def _parse(self) -> List[messages.Message]:
+        """Drain every complete message from the internal buffer."""
+
+    def feed(self, data: bytes) -> List[messages.Message]:
+        """Buffer ``data``; return every message now complete."""
+        if data:
+            self._buffer += data
+        return self._parse()
+
+    # -- buffer introspection (codec switch / diagnostics) ----------------
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def residue(self) -> bytes:
+        """Drain and return the undecoded tail (used when a connection
+        switches codecs after negotiation)."""
+        tail = bytes(self._buffer)
+        self._buffer.clear()
+        return tail
+
+    def _lift(self, payload: Dict[str, Any]) -> messages.Message:
+        """Raw wire dict -> typed message of this codec's direction."""
+        cls = self._registry.get(payload["type"])
+        if cls is None:
+            raise ProtocolError(
+                f"unknown {self.decodes} message type {payload['type']!r}")
+        return cls.from_dict(payload)
+
+
+class JsonLinesCodec(Codec):
+    """The v2 wire format: one JSON object per ``\\n``-ended line."""
+
+    name = CODEC_JSON
+
+    def __init__(self, decodes: str = "client",
+                 max_message_bytes: int = MAX_MESSAGE_BYTES):
+        super().__init__(decodes)
+        self.max_message_bytes = max_message_bytes
+
+    def encode(self, message: messages.Message) -> bytes:
+        return wire.encode_line(message.to_dict())
+
+    def _parse(self) -> List[messages.Message]:
+        buffer = self._buffer
+        out: List[messages.Message] = []
+        start = 0
+        try:
+            while True:
+                newline = buffer.find(b"\n", start)
+                if newline < 0:
+                    if len(buffer) - start > self.max_message_bytes:
+                        raise ProtocolError(
+                            f"line exceeds {self.max_message_bytes} "
+                            f"bytes without a newline")
+                    break
+                line = bytes(buffer[start:newline])
+                if line.strip():
+                    out.append(self._lift(wire.decode_line(line)))
+                start = newline + 1
+        except ProtocolError:
+            if not out:
+                raise
+            # Deliver what parsed cleanly; the bad line stays at the
+            # buffer front so the next feed() re-raises.
+        del buffer[:start]
+        return out
+
+
+# -- msgpack-style generic body ----------------------------------------------
+
+_F64 = struct.Struct("!d")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_I64 = struct.Struct("!q")
+
+_MAX_U64 = (1 << 64) - 1
+_MIN_I64 = -(1 << 63)
+
+
+def _pack_obj(value: Any, out: bytearray) -> None:
+    """Append ``value`` (JSON-native) in msgpack-style encoding."""
+    if value is None:
+        out.append(0xC0)
+    elif value is True:
+        out.append(0xC3)
+    elif value is False:
+        out.append(0xC2)
+    elif isinstance(value, int):
+        if 0 <= value < 0x80:
+            out.append(value)
+        elif -32 <= value < 0:
+            out.append(value & 0xFF)
+        elif 0 <= value <= _MAX_U64:
+            if value <= 0xFF:
+                out.append(0xCC)
+                out.append(value)
+            elif value <= 0xFFFF:
+                out.append(0xCD)
+                out += _U16.pack(value)
+            elif value <= 0xFFFFFFFF:
+                out.append(0xCE)
+                out += _U32.pack(value)
+            else:
+                out.append(0xCF)
+                out += _U64.pack(value)
+        elif value >= _MIN_I64:
+            out.append(0xD3)
+            out += _I64.pack(value)
+        else:
+            raise ProtocolError(
+                f"int {value} outside 64-bit range of the binary codec")
+    elif isinstance(value, float):
+        out.append(0xCB)
+        out += _F64.pack(value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        size = len(data)
+        if size < 32:
+            out.append(0xA0 | size)
+        elif size <= 0xFF:
+            out.append(0xD9)
+            out.append(size)
+        elif size <= 0xFFFF:
+            out.append(0xDA)
+            out += _U16.pack(size)
+        else:
+            out.append(0xDB)
+            out += _U32.pack(size)
+        out += data
+    elif isinstance(value, (list, tuple)):
+        size = len(value)
+        if size < 16:
+            out.append(0x90 | size)
+        elif size <= 0xFFFF:
+            out.append(0xDC)
+            out += _U16.pack(size)
+        else:
+            out.append(0xDD)
+            out += _U32.pack(size)
+        for item in value:
+            _pack_obj(item, out)
+    elif isinstance(value, dict):
+        size = len(value)
+        if size < 16:
+            out.append(0x80 | size)
+        elif size <= 0xFFFF:
+            out.append(0xDE)
+            out += _U16.pack(size)
+        else:
+            out.append(0xDF)
+            out += _U32.pack(size)
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ProtocolError(
+                    f"binary map keys must be strings, got {key!r}")
+            _pack_obj(key, out)
+            _pack_obj(item, out)
+    else:
+        raise ProtocolError(
+            f"cannot binary-encode a {type(value).__name__}")
+
+
+def _unpack_obj(buf: bytes, pos: int) -> Tuple[Any, int]:
+    """Decode one msgpack-style value at ``pos``; returns (value, end)."""
+    tag = buf[pos]
+    pos += 1
+    if tag < 0x80:                      # positive fixint
+        return tag, pos
+    if tag >= 0xE0:                     # negative fixint
+        return tag - 0x100, pos
+    if tag <= 0x8F:                     # fixmap
+        return _unpack_map(buf, pos, tag & 0x0F)
+    if tag <= 0x9F:                     # fixarray
+        return _unpack_array(buf, pos, tag & 0x0F)
+    if tag <= 0xBF:                     # fixstr
+        size = tag & 0x1F
+        return _unpack_str(buf, pos, size)
+    if tag == 0xC0:
+        return None, pos
+    if tag == 0xC2:
+        return False, pos
+    if tag == 0xC3:
+        return True, pos
+    if tag == 0xCB:
+        return _F64.unpack_from(buf, pos)[0], pos + 8
+    if tag == 0xCC:
+        return buf[pos], pos + 1
+    if tag == 0xCD:
+        return _U16.unpack_from(buf, pos)[0], pos + 2
+    if tag == 0xCE:
+        return _U32.unpack_from(buf, pos)[0], pos + 4
+    if tag == 0xCF:
+        return _U64.unpack_from(buf, pos)[0], pos + 8
+    if tag == 0xD3:
+        return _I64.unpack_from(buf, pos)[0], pos + 8
+    if tag == 0xD9:
+        return _unpack_str(buf, pos + 1, buf[pos])
+    if tag == 0xDA:
+        return _unpack_str(buf, pos + 2, _U16.unpack_from(buf, pos)[0])
+    if tag == 0xDB:
+        return _unpack_str(buf, pos + 4, _U32.unpack_from(buf, pos)[0])
+    if tag == 0xDC:
+        return _unpack_array(buf, pos + 2,
+                             _U16.unpack_from(buf, pos)[0])
+    if tag == 0xDD:
+        return _unpack_array(buf, pos + 4,
+                             _U32.unpack_from(buf, pos)[0])
+    if tag == 0xDE:
+        return _unpack_map(buf, pos + 2, _U16.unpack_from(buf, pos)[0])
+    if tag == 0xDF:
+        return _unpack_map(buf, pos + 4, _U32.unpack_from(buf, pos)[0])
+    raise ProtocolError(f"unsupported binary tag 0x{tag:02x}")
+
+
+def _unpack_str(buf: bytes, pos: int, size: int) -> Tuple[str, int]:
+    end = pos + size
+    if end > len(buf):
+        raise ProtocolError("truncated string in binary body")
+    try:
+        return buf[pos:end].decode("utf-8"), end
+    except UnicodeDecodeError as exc:
+        raise ProtocolError(f"bad UTF-8 in binary body: {exc}") from exc
+
+
+def _unpack_array(buf: bytes, pos: int, size: int) -> Tuple[list, int]:
+    out = []
+    for _ in range(size):
+        value, pos = _unpack_obj(buf, pos)
+        out.append(value)
+    return out, pos
+
+
+def _unpack_map(buf: bytes, pos: int, size: int) -> Tuple[dict, int]:
+    out = {}
+    for _ in range(size):
+        key, pos = _unpack_obj(buf, pos)
+        if not isinstance(key, str):
+            raise ProtocolError(
+                f"binary map keys must be strings, got {key!r}")
+        value, pos = _unpack_obj(buf, pos)
+        out[key] = value
+    return out, pos
+
+
+# -- specialized struct-packed bodies (hot path) ------------------------------
+#
+# Field types are guaranteed by the struct formats themselves (an
+# ``!Q`` word *is* a non-negative int), so these decoders skip the
+# dict round trip and the per-field validate() the generic path pays.
+# Every schema below is pinned by BINARY_VERSION.
+
+_Q = struct.Struct("!Q")
+_QQ = struct.Struct("!QQ")
+_TASK_FIXED = struct.Struct("!QQQdd")    # task, lease, job, flops, ttl
+_ENTRY_FIXED = struct.Struct("!QQQd")    # task, lease, job, flops
+_STATUS_FIXED = struct.Struct("!QQQQQB")  # job,tasks,done,pend,out,flag
+
+
+# Precompiled "!{n}Q" structs for the short vectors that dominate the
+# hot path (a task's files, a heartbeat's leases); longer vectors fall
+# back to building the format string per call.
+_ID_STRUCTS = tuple(struct.Struct("!%dQ" % n) for n in range(1, 17))
+
+
+def _pack_ids(values: List[int], out: bytearray) -> None:
+    count = len(values)
+    out += _U32.pack(count)
+    if not count:
+        return
+    if count <= 16:
+        out += _ID_STRUCTS[count - 1].pack(*values)
+    else:
+        out += struct.pack("!%dQ" % count, *values)
+
+
+def _unpack_ids(body: bytes, pos: int) -> Tuple[List[int], int]:
+    (count,) = _U32.unpack_from(body, pos)
+    pos += 4
+    if not count:
+        return [], pos
+    end = pos + 8 * count
+    if end > len(body):
+        raise ProtocolError("truncated id vector in binary body")
+    if count <= 16:
+        return list(_ID_STRUCTS[count - 1].unpack_from(body, pos)), end
+    return list(struct.unpack_from("!%dQ" % count, body, pos)), end
+
+
+def _expect_end(body: bytes, pos: int, kind: str) -> None:
+    if pos != len(body):
+        raise ProtocolError(
+            f"{kind} frame has {len(body) - pos} trailing byte(s)")
+
+
+def _pack_request_task(m: messages.RequestTask) -> bytes:
+    flags = ((1 if m.job_id is not None else 0)
+             | (2 if m.max_tasks is not None else 0))
+    out = bytearray((flags,))
+    if m.job_id is not None:
+        out += _Q.pack(m.job_id)
+    if m.max_tasks is not None:
+        out += _Q.pack(m.max_tasks)
+    return bytes(out)
+
+
+def _unpack_request_task(body: bytes) -> messages.RequestTask:
+    flags = body[0]
+    pos = 1
+    job_id = max_tasks = None
+    if flags & 1:
+        (job_id,) = _Q.unpack_from(body, pos)
+        pos += 8
+    if flags & 2:
+        (max_tasks,) = _Q.unpack_from(body, pos)
+        pos += 8
+        if max_tasks < 1:
+            raise ProtocolError("REQUEST_TASK.max_tasks must be >= 1")
+    _expect_end(body, pos, wire.REQUEST_TASK)
+    return messages.RequestTask(job_id=job_id, max_tasks=max_tasks)
+
+
+def _pack_task_done(m: messages.TaskDone) -> bytes:
+    return _QQ.pack(m.task_id, m.lease_id)
+
+
+def _unpack_task_done(body: bytes) -> messages.TaskDone:
+    task_id, lease_id = _QQ.unpack(body)
+    return messages.TaskDone(task_id=task_id, lease_id=lease_id)
+
+
+def _pack_heartbeat(m: messages.Heartbeat) -> bytes:
+    if m.lease_ids is None:
+        return b"\x00"
+    out = bytearray((1,))
+    _pack_ids(m.lease_ids, out)
+    return bytes(out)
+
+
+def _unpack_heartbeat(body: bytes) -> messages.Heartbeat:
+    if body[0] == 0:
+        _expect_end(body, 1, wire.HEARTBEAT)
+        return messages.Heartbeat()
+    lease_ids, pos = _unpack_ids(body, 1)
+    _expect_end(body, pos, wire.HEARTBEAT)
+    return messages.Heartbeat(lease_ids=lease_ids)
+
+
+def _pack_file_delta(m: messages.FileDelta) -> bytes:
+    out = bytearray((1 if m.site is not None else 0,))
+    if m.site is not None:
+        out += _Q.pack(m.site)
+    _pack_ids(m.added, out)
+    _pack_ids(m.removed, out)
+    _pack_ids(m.referenced, out)
+    return bytes(out)
+
+
+def _unpack_file_delta(body: bytes) -> messages.FileDelta:
+    pos = 1
+    site = None
+    if body[0] & 1:
+        (site,) = _Q.unpack_from(body, pos)
+        pos += 8
+    added, pos = _unpack_ids(body, pos)
+    removed, pos = _unpack_ids(body, pos)
+    referenced, pos = _unpack_ids(body, pos)
+    _expect_end(body, pos, wire.FILE_DELTA)
+    return messages.FileDelta(added=added, removed=removed,
+                              referenced=referenced, site=site)
+
+
+def _pack_status_request(m: messages.JobStatusRequest) -> bytes:
+    return _Q.pack(m.job_id)
+
+
+def _unpack_status_request(body: bytes) -> messages.JobStatusRequest:
+    return messages.JobStatusRequest(job_id=_Q.unpack(body)[0])
+
+
+def _pack_status_reply(m: messages.JobStatusReply) -> bytes:
+    return _STATUS_FIXED.pack(m.job_id, m.tasks, m.completed,
+                              m.pending, m.outstanding,
+                              1 if m.done else 0)
+
+
+def _unpack_status_reply(body: bytes) -> messages.JobStatusReply:
+    job_id, tasks, completed, pending, outstanding, done = \
+        _STATUS_FIXED.unpack(body)
+    return messages.JobStatusReply(
+        job_id=job_id, tasks=tasks, completed=completed,
+        pending=pending, outstanding=outstanding, done=bool(done))
+
+
+def _pack_task_assign(m: messages.TaskAssign) -> bytes:
+    out = bytearray(_TASK_FIXED.pack(m.task_id, m.lease_id, m.job_id,
+                                     m.flops, m.lease_ttl))
+    _pack_ids(m.files, out)
+    return bytes(out)
+
+
+def _unpack_task_assign(body: bytes) -> messages.TaskAssign:
+    task_id, lease_id, job_id, flops, lease_ttl = \
+        _TASK_FIXED.unpack_from(body, 0)
+    files, pos = _unpack_ids(body, _TASK_FIXED.size)
+    _expect_end(body, pos, wire.TASK)
+    return messages.TaskAssign(task_id=task_id, files=files,
+                               flops=flops, lease_id=lease_id,
+                               lease_ttl=lease_ttl, job_id=job_id)
+
+
+def _pack_task_batch(m: messages.TaskBatch) -> bytes:
+    out = bytearray(_F64.pack(m.lease_ttl))
+    out += _U32.pack(len(m.tasks))
+    pack_entry = _ENTRY_FIXED.pack
+    for entry in m.tasks:
+        out += pack_entry(entry["task_id"], entry["lease_id"],
+                          entry["job_id"], entry["flops"])
+        _pack_ids(entry["files"], out)
+    return bytes(out)
+
+
+def _unpack_task_batch(body: bytes) -> messages.TaskBatch:
+    (lease_ttl,) = _F64.unpack_from(body, 0)
+    (count,) = _U32.unpack_from(body, 8)
+    if count < 1:
+        raise ProtocolError("TASK_BATCH.tasks must be a non-empty list")
+    pos = 12
+    entries = []
+    for _ in range(count):
+        task_id, lease_id, job_id, flops = \
+            _ENTRY_FIXED.unpack_from(body, pos)
+        files, pos = _unpack_ids(body, pos + _ENTRY_FIXED.size)
+        entries.append({"task_id": task_id, "files": files,
+                        "flops": flops, "lease_id": lease_id,
+                        "job_id": job_id})
+    _expect_end(body, pos, wire.TASK_BATCH)
+    return messages.TaskBatch(tasks=entries, lease_ttl=lease_ttl)
+
+
+_REASON_IDS = {wire.REASON_JOB_DONE: 0, wire.REASON_IDLE: 1,
+               wire.REASON_DRAINING: 2}
+_REASON_NAMES = {v: k for k, v in _REASON_IDS.items()}
+
+
+def _pack_no_task(m: messages.NoTask) -> bytes:
+    reason = _REASON_IDS.get(m.reason)
+    if reason is None:
+        raise ProtocolError(f"NO_TASK.reason {m.reason!r} unknown")
+    return bytes((reason,))
+
+
+# Decoded replies with no per-message fields are shared singletons:
+# every message class is a frozen dataclass (immutable, compares by
+# value), so identity is unobservable and construction cost vanishes.
+_NO_TASK_SINGLETONS = {
+    reason_id: messages.NoTask(reason=reason)
+    for reason_id, reason in _REASON_NAMES.items()
+}
+
+
+def _unpack_no_task(body: bytes) -> messages.NoTask:
+    _expect_end(body, 1, wire.NO_TASK)
+    reply = _NO_TASK_SINGLETONS.get(body[0])
+    if reply is None:
+        raise ProtocolError(f"NO_TASK reason id {body[0]} unknown")
+    return reply
+
+
+_ACK_PLAIN = b"\x01"
+
+
+def _pack_ack(m: messages.Ack) -> bytes:
+    if m.reason is None and m.draining is None:
+        return _ACK_PLAIN if m.accepted else b"\x00"
+    flags = 1 if m.accepted else 0
+    out = bytearray()
+    if m.reason is not None:
+        flags |= 2
+    if m.draining is not None:
+        flags |= 4
+        if m.draining:
+            flags |= 8
+    out.append(flags)
+    if m.reason is not None:
+        data = m.reason.encode("utf-8")
+        out += _U16.pack(len(data))
+        out += data
+    return bytes(out)
+
+
+_ACK_ACCEPTED = messages.Ack()  # frozen; shared by every plain ack
+
+
+def _unpack_ack(body: bytes) -> messages.Ack:
+    if body == _ACK_PLAIN:
+        return _ACK_ACCEPTED
+    flags = body[0]
+    pos = 1
+    reason = None
+    if flags & 2:
+        (size,) = _U16.unpack_from(body, pos)
+        reason, pos = _unpack_str(body, pos + 2, size)
+    draining = bool(flags & 8) if flags & 4 else None
+    _expect_end(body, pos, wire.ACK)
+    return messages.Ack(accepted=bool(flags & 1), reason=reason,
+                        draining=draining)
+
+
+def _pack_heartbeat_ack(m: messages.HeartbeatAck) -> bytes:
+    out = bytearray()
+    _pack_ids(m.renewed, out)
+    _pack_ids(m.expired, out)
+    return bytes(out)
+
+
+def _unpack_heartbeat_ack(body: bytes) -> messages.HeartbeatAck:
+    renewed, pos = _unpack_ids(body, 0)
+    expired, pos = _unpack_ids(body, pos)
+    _expect_end(body, pos, wire.HEARTBEAT_ACK)
+    return messages.HeartbeatAck(renewed=renewed, expired=expired)
+
+
+def _pack_job_accepted(m: messages.JobAccepted) -> bytes:
+    out = bytearray(_Q.pack(m.job_id))
+    _pack_ids(m.task_ids, out)
+    return bytes(out)
+
+
+def _unpack_job_accepted(body: bytes) -> messages.JobAccepted:
+    (job_id,) = _Q.unpack_from(body, 0)
+    task_ids, pos = _unpack_ids(body, 8)
+    _expect_end(body, pos, wire.JOB_ACCEPTED)
+    return messages.JobAccepted(job_id=job_id, task_ids=task_ids)
+
+
+def _pack_empty(_m: messages.Message) -> bytes:
+    return b""
+
+
+#: Concrete message class -> specialized body packer.
+_SPECIAL_PACK: Dict[type, Callable[[Any], bytes]] = {
+    messages.RequestTask: _pack_request_task,
+    messages.TaskDone: _pack_task_done,
+    messages.Heartbeat: _pack_heartbeat,
+    messages.FileDelta: _pack_file_delta,
+    messages.JobStatusRequest: _pack_status_request,
+    messages.StatsRequest: _pack_empty,
+    messages.Drain: _pack_empty,
+    messages.TaskAssign: _pack_task_assign,
+    messages.TaskBatch: _pack_task_batch,
+    messages.NoTask: _pack_no_task,
+    messages.Ack: _pack_ack,
+    messages.HeartbeatAck: _pack_heartbeat_ack,
+    messages.JobAccepted: _pack_job_accepted,
+    messages.JobStatusReply: _pack_status_reply,
+}
+
+_STATS_REQUEST = messages.StatsRequest()  # frozen, field-less
+_DRAIN = messages.Drain()                 # frozen, field-less
+
+#: Per-direction wire type -> specialized body decoder.  ``STATS``
+#: and ``JOB_STATUS`` mean different classes per direction, which is
+#: why the tables are split.
+_SPECIAL_UNPACK_CLIENT: Dict[str, Callable[[bytes], messages.Message]] = {
+    wire.REQUEST_TASK: _unpack_request_task,
+    wire.TASK_DONE: _unpack_task_done,
+    wire.HEARTBEAT: _unpack_heartbeat,
+    wire.FILE_DELTA: _unpack_file_delta,
+    wire.JOB_STATUS: _unpack_status_request,
+    wire.STATS: lambda body: _STATS_REQUEST,
+    wire.DRAIN: lambda body: _DRAIN,
+}
+_SPECIAL_UNPACK_SERVER: Dict[str, Callable[[bytes], messages.Message]] = {
+    wire.TASK: _unpack_task_assign,
+    wire.TASK_BATCH: _unpack_task_batch,
+    wire.NO_TASK: _unpack_no_task,
+    wire.ACK: _unpack_ack,
+    wire.HEARTBEAT_ACK: _unpack_heartbeat_ack,
+    wire.JOB_ACCEPTED: _unpack_job_accepted,
+    wire.JOB_STATUS: _unpack_status_reply,
+}
+
+
+class BinaryCodec(Codec):
+    """Protocol v3's length-prefixed binary frames (``binary-1``)."""
+
+    name = CODEC_BINARY
+
+    #: type(message) -> (type id, specialized packer or None), filled
+    #: lazily so one dict hit covers both encode-side lookups.
+    _ENCODERS: ClassVar[Dict[type, tuple]] = {}
+
+    def __init__(self, decodes: str = "client",
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        super().__init__(decodes)
+        if max_frame_bytes < 1:
+            raise ValueError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}")
+        self.max_frame_bytes = max_frame_bytes
+        special = (_SPECIAL_UNPACK_CLIENT if decodes == "client"
+                   else _SPECIAL_UNPACK_SERVER)
+        self._special = special
+        #: type id -> (wire kind, specialized unpacker or None); one
+        #: dict hit covers both decode-side lookups.
+        self._decoders = {
+            type_id: (kind, special.get(kind))
+            for kind, type_id in BINARY_TYPE_IDS.items()
+        }
+
+    def encode(self, message: messages.Message) -> bytes:
+        entry = self._ENCODERS.get(type(message))
+        if entry is None:
+            kind = message.TYPE
+            type_id = BINARY_TYPE_IDS.get(kind)
+            if type_id is None:
+                raise ProtocolError(
+                    f"no binary type id for message type {kind!r}")
+            entry = (type_id, _SPECIAL_PACK.get(type(message)))
+            self._ENCODERS[type(message)] = entry
+        type_id, pack = entry
+        try:
+            if pack is not None:
+                body = pack(message)
+            else:
+                body = self._pack_generic(message.to_dict())
+        except (struct.error, KeyError, TypeError,
+                AttributeError) as exc:
+            raise ProtocolError(
+                f"cannot binary-encode {message.TYPE}: {exc}") from exc
+        if len(body) > self.max_frame_bytes:
+            raise ProtocolError(
+                f"{message.TYPE} body of {len(body)} bytes exceeds "
+                f"{self.max_frame_bytes}")
+        return _HEADER.pack(MAGIC, BINARY_VERSION, type_id,
+                            len(body)) + body
+
+    @staticmethod
+    def _pack_generic(payload: Dict[str, Any]) -> bytes:
+        """Message dict (minus ``type``, carried in the header) ->
+        msgpack-style map body."""
+        out = bytearray()
+        size = len(payload) - 1
+        if size < 16:
+            out.append(0x80 | size)
+        elif size <= 0xFFFF:
+            out.append(0xDE)
+            out += _U16.pack(size)
+        else:
+            out.append(0xDF)
+            out += _U32.pack(size)
+        for key, value in payload.items():
+            if key == "type":
+                continue
+            _pack_obj(key, out)
+            _pack_obj(value, out)
+        return bytes(out)
+
+    def _parse(self) -> List[messages.Message]:
+        buffer = self._buffer
+        out: List[messages.Message] = []
+        append = out.append
+        unpack_header = _HEADER.unpack_from
+        max_frame = self.max_frame_bytes
+        decode = self._decode_frame
+        pos = 0
+        available = len(buffer)
+        try:
+            while available - pos >= _HEADER_SIZE:
+                magic, version, type_id, body_len = \
+                    unpack_header(buffer, pos)
+                if magic != MAGIC:
+                    raise ProtocolError(
+                        f"bad frame magic 0x{magic:04X} "
+                        f"(expected 0x{MAGIC:04X})")
+                if version != BINARY_VERSION:
+                    raise ProtocolError(
+                        f"unsupported binary frame version {version} "
+                        f"(this side speaks {BINARY_VERSION})")
+                if body_len > max_frame:
+                    raise ProtocolError(
+                        f"frame body of {body_len} bytes exceeds "
+                        f"{max_frame}")
+                end = pos + _HEADER_SIZE + body_len
+                if end > available:
+                    break
+                body = bytes(buffer[pos + _HEADER_SIZE:end])
+                append(decode(type_id, body))
+                pos = end
+        except ProtocolError:
+            if not out:
+                raise
+            # Deliver the clean prefix; the bad frame stays at the
+            # buffer front so the next feed() re-raises.
+        del buffer[:pos]
+        return out
+
+    def _decode_frame(self, type_id: int,
+                      body: bytes) -> messages.Message:
+        entry = self._decoders.get(type_id)
+        if entry is None:
+            raise ProtocolError(f"unknown binary type id {type_id}")
+        kind, special = entry
+        try:
+            if special is not None:
+                return special(body)
+            payload, pos = _unpack_obj(body, 0)
+            if pos != len(body):
+                raise ProtocolError(
+                    f"{kind} frame has {len(body) - pos} "
+                    f"trailing byte(s)")
+            if not isinstance(payload, dict):
+                raise ProtocolError(
+                    f"{kind} body must be a map, "
+                    f"got {type(payload).__name__}")
+            payload["type"] = kind
+            return self._lift(payload)
+        except (IndexError, struct.error) as exc:
+            raise ProtocolError(
+                f"truncated {kind} frame body") from exc
+
+
+#: Negotiation name -> codec class.
+CODECS: Dict[str, Type[Codec]] = {
+    JsonLinesCodec.name: JsonLinesCodec,
+    BinaryCodec.name: BinaryCodec,
+}
+
+
+def make_codec(name: str, decodes: str = "client",
+               max_frame_bytes: Optional[int] = None) -> Codec:
+    """Instantiate the codec negotiated for one connection side."""
+    cls = CODECS.get(name)
+    if cls is None:
+        raise ProtocolError(f"unknown codec {name!r} "
+                            f"(have {sorted(CODECS)})")
+    if max_frame_bytes is None:
+        return cls(decodes=decodes)
+    if cls is BinaryCodec:
+        return cls(decodes=decodes, max_frame_bytes=max_frame_bytes)
+    return cls(decodes=decodes, max_message_bytes=max_frame_bytes)

@@ -47,13 +47,18 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
                    event_log: Optional[str] = None,
                    batch: int = 1,
                    aggregate_deltas: bool = False,
-                   delta_flush_interval: float = 0.02) -> Dict:
+                   delta_flush_interval: float = 0.02,
+                   codec: str = "auto") -> Dict:
     """Submit ``job``, run the worker fleet, return a load report.
 
     ``event_log`` writes the client-side view of the run — submit,
     every assign/delta/complete as each worker saw it — as JSON lines
     to that path, ready for
     :func:`repro.analysis.eventlog.load_timelines`.
+
+    ``codec`` sets the fleet's negotiation stance (``auto``/``json``/
+    ``binary``); the per-worker pick lands in each summary's
+    ``codec`` field.
     """
     if workers < 1 or sites < 1:
         raise ValueError("need at least one worker and one site")
@@ -64,7 +69,7 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
         if events is not None:
             stack.enter_context(events)
         control = await stack.enter_async_context(
-            SchedulerClient(host, port, name="loadgen"))
+            SchedulerClient(host, port, name="loadgen", codec=codec))
         handle = await control.submit(job)
         if events is not None:
             events.emit("submit", job_id=handle.job_id,
@@ -77,7 +82,7 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
                 aggregators[site] = await stack.enter_async_context(
                     DeltaAggregator(host, port, site,
                                     flush_interval=delta_flush_interval,
-                                    events=events))
+                                    events=events, codec=codec))
         fleet = [
             WorkerClient(host, port, worker=f"w{index}",
                          site=index % sites,
@@ -88,7 +93,8 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
                                  else None),
                          events=events,
                          batch=batch,
-                         delta_sink=aggregators.get(index % sites))
+                         delta_sink=aggregators.get(index % sites),
+                         codec=codec)
             for index in range(workers)
         ]
         summaries = await asyncio.gather(
@@ -105,6 +111,7 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
         "job_id": handle.job_id,
         "tasks_submitted": len(handle.task_ids),
         "batch": batch,
+        "codec": codec,
         "tasks_done": sum(s["tasks_done"] for s in summaries),
         "files_fetched": sum(s["files_fetched"] for s in summaries),
         "job_status": job_status,
@@ -130,7 +137,8 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
                          event_log: Optional[str] = None,
                          batch: int = 1,
                          aggregate_deltas: bool = False,
-                         delta_flush_interval: float = 0.02) -> Dict:
+                         delta_flush_interval: float = 0.02,
+                         codec: str = "auto") -> Dict:
     """In-process server + load run; returns the load report."""
     kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
     service = SchedulerService(metric=metric, n=n, seed=seed, **kwargs)
@@ -144,7 +152,8 @@ async def serve_and_load(job: Job, workers: int = 8, sites: int = 4,
             seconds_per_file=seconds_per_file, drain=True,
             event_log=event_log, batch=batch,
             aggregate_deltas=aggregate_deltas,
-            delta_flush_interval=delta_flush_interval)
+            delta_flush_interval=delta_flush_interval,
+            codec=codec)
         await serve_task
     finally:
         if not serve_task.done():

@@ -1,14 +1,16 @@
-"""Typed message surface of the serve protocol (v2).
+"""Typed message surface of the serve protocol (v3).
 
 One frozen dataclass per wire message.  :mod:`repro.serve.protocol`
-stays the thin codec layer (constants, line framing, field
-validators); this module gives both the server and the clients a
-statically-known shape for every message instead of raw-dict plumbing:
+stays the thin constants-and-negotiation layer and
+:mod:`repro.serve.codec` the per-connection wire codecs; this module
+gives both the server and the clients a statically-known shape for
+every message instead of raw-dict plumbing:
 
-* ``message.encode()`` produces the wire line; :func:`decode_client` /
-  :func:`decode_server` parse one back into the right dataclass for
-  the receiving side (``STATS`` and ``JOB_STATUS`` are request *and*
-  reply types, so the registries are per-direction).
+* a :class:`~repro.serve.codec.Codec` carries these dataclasses over
+  the wire; ``message.encode()`` / :func:`decode_client` /
+  :func:`decode_server` are the JSON-lines single-message shortcuts
+  (``STATS`` and ``JOB_STATUS`` are request *and* reply types, so the
+  registries are per-direction).
 * decoding is **unknown-field tolerant**: fields a newer peer added
   are ignored, so a v2.x server can talk to a v2.y client as long as
   the required fields survive.  Missing required fields and
@@ -76,6 +78,12 @@ def _need_bool(kind: str, name: str, value: Any) -> None:
                             f"got {value!r}")
 
 
+def _need_str_list(kind: str, name: str, value: Any) -> None:
+    if not isinstance(value, list) or any(
+            not isinstance(item, str) for item in value):
+        raise ProtocolError(f"{kind}.{name} must be a list of strings")
+
+
 # -- the base ----------------------------------------------------------------
 
 class Message:
@@ -118,7 +126,8 @@ class Message:
         return payload
 
     def encode(self) -> bytes:
-        return wire.encode(self.to_dict())
+        """This message as one JSON line (the ``json-2`` format)."""
+        return wire.encode_line(self.to_dict())
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Message":
@@ -176,13 +185,13 @@ def server_from_dict(payload: Dict[str, Any]) -> "ServerMessage":
 
 
 def decode_client(line: bytes) -> "ClientMessage":
-    """Server side: one received line -> a typed client message."""
-    return client_from_dict(wire.decode(line))
+    """Server side: one received JSON line -> a typed client message."""
+    return client_from_dict(wire.decode_line(line))
 
 
 def decode_server(line: bytes) -> "ServerMessage":
-    """Client side: one received line -> a typed server message."""
-    return server_from_dict(wire.decode(line))
+    """Client side: one received JSON line -> a typed server message."""
+    return server_from_dict(wire.decode_line(line))
 
 
 # -- client -> server --------------------------------------------------------
@@ -197,12 +206,19 @@ class Hello(ClientMessage):
     standalone server ignores it and answers ``WELCOME`` as always,
     and old clients that never send it get a clean ``ERROR`` from a
     router rather than a message they cannot parse.
+
+    ``codecs`` (v3) is the ordered wire-codec capability list, e.g.
+    ``["binary-1", "json-2"]``.  Absent — every v2 client — means JSON
+    lines for the whole connection; the server answers with its pick
+    in ``WELCOME.codec`` / ``REDIRECT.codec`` and both sides switch
+    right after that exchange.
     """
     TYPE = wire.HELLO
     worker: str
     site: int
     protocol: int = 1  # v1 clients never sent the field
     accept_redirect: Optional[bool] = None
+    codecs: Optional[List[str]] = None
 
     def validate(self) -> None:
         _need_str(self.TYPE, "worker", self.worker)
@@ -211,6 +227,8 @@ class Hello(ClientMessage):
         if self.accept_redirect is not None:
             _need_bool(self.TYPE, "accept_redirect",
                        self.accept_redirect)
+        if self.codecs is not None:
+            _need_str_list(self.TYPE, "codecs", self.codecs)
 
 
 @dataclass(frozen=True)
@@ -309,7 +327,12 @@ class Drain(ClientMessage):
 
 @dataclass(frozen=True)
 class Welcome(ServerMessage):
-    """HELLO ack, carrying the negotiated protocol and lease terms."""
+    """HELLO ack, carrying the negotiated protocol and lease terms.
+
+    ``codec`` (v3) is the server's pick from ``HELLO.codecs`` — the
+    wire format of every message after this one.  It is only set when
+    the client offered codecs, so v2 clients never see the field.
+    """
     TYPE = wire.WELCOME
     server: str
     metric: str
@@ -317,6 +340,7 @@ class Welcome(ServerMessage):
     protocol: int = wire.PROTOCOL_VERSION
     lease_ttl: float = 0.0
     heartbeat_interval: float = 0.0
+    codec: Optional[str] = None
 
     def validate(self) -> None:
         _need_str(self.TYPE, "server", self.server)
@@ -326,6 +350,8 @@ class Welcome(ServerMessage):
         _need_number(self.TYPE, "lease_ttl", self.lease_ttl)
         _need_number(self.TYPE, "heartbeat_interval",
                      self.heartbeat_interval)
+        if self.codec is not None:
+            _need_str(self.TYPE, "codec", self.codec)
 
 
 @dataclass(frozen=True)
@@ -499,8 +525,11 @@ class Redirect(ServerMessage):
     shards: List[dict]
     shard_count: int
     partition: str = "job-mod"
+    codec: Optional[str] = None
 
     def validate(self) -> None:
+        if self.codec is not None:
+            _need_str(self.TYPE, "codec", self.codec)
         if not isinstance(self.shards, list) or not self.shards:
             raise ProtocolError(
                 f"{self.TYPE}.shards must be a non-empty list")

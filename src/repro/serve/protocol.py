@@ -1,21 +1,38 @@
-"""JSON-lines wire protocol between scheduler daemon and workers (v2).
+"""Wire protocol between scheduler daemon and workers (v3).
 
-One message per line, UTF-8 JSON with a mandatory string ``type``
-field.  Strict request/response: every client message gets exactly one
-reply, in order, so clients never need to correlate (a parked
-``REQUEST_TASK`` simply delays its reply until a task frees up or the
-job ends).
+Messages are typed (one frozen dataclass per message type, in
+:mod:`repro.serve.messages`); *how* they travel is a per-connection
+:class:`~repro.serve.codec.Codec` chosen at ``HELLO`` time.  Strict
+request/response: every client message gets exactly one reply, in
+order, so clients never need to correlate (a parked ``REQUEST_TASK``
+simply delays its reply until a task frees up or the job ends).
 
-This module is the thin codec layer: wire constants, line framing, and
-low-level field validators.  The typed message surface — one frozen
-dataclass per message type with ``encode()``/``decode()`` round-trip —
-lives in :mod:`repro.serve.messages`.
+This module is the thin constants-and-negotiation layer: wire type
+names, version/codec negotiation, JSON line framing primitives, and
+low-level field validators.  The codec implementations live in
+:mod:`repro.serve.codec`.
 
-Protocol version 2 (see ``docs/architecture.md`` for the full
-reference) adds on top of v1:
+Protocol version 3 (see ``docs/architecture.md`` for the full
+reference) adds on top of v2:
 
-* **version negotiation** — ``HELLO`` carries ``protocol: 2``; the
-  server rejects other versions with a clean ``ERROR``.
+* **codec negotiation** — ``HELLO`` may carry ``codecs``, an ordered
+  capability list (e.g. ``["binary-1", "json-2"]``); the server picks
+  the first mutually-supported name, replies with it as
+  ``WELCOME.codec`` (or ``REDIRECT.codec`` at a router), and both
+  sides switch immediately after that exchange.  A ``HELLO`` without
+  ``codecs`` — every v2 client — keeps JSON lines end to end, so v2
+  peers interoperate unmodified.
+* **binary framing** — the ``binary-1`` codec: length-prefixed,
+  struct-packed frames (see :mod:`repro.serve.codec`).
+* Connections always *start* in JSON lines; ``HELLO`` itself is never
+  binary.  Clients must await the ``HELLO`` reply before sending more
+  (pipelining across negotiation is a protocol error).
+
+Protocol version 2 added on top of v1:
+
+* **version negotiation** — ``HELLO`` carries ``protocol``; the
+  server rejects unsupported versions with a clean ``ERROR``.  A v3
+  server accepts ``protocol`` 2 and 3.
 * **leases** — every ``TASK`` reply carries a ``lease_id`` and a TTL;
   ``TASK_DONE`` must present the lease, and ``HEARTBEAT`` renews it.
   An expired lease requeues the task to another worker.
@@ -80,12 +97,21 @@ Server -> client
 
 from __future__ import annotations
 
+import dataclasses
 import json
-from typing import Any, Dict
+import warnings
+from typing import Any, Dict, Iterable, List, Sequence
 
-#: The protocol version this codebase speaks.  ``HELLO`` messages must
-#: carry it; anything else is rejected during negotiation.
-PROTOCOL_VERSION = 2
+#: The protocol version this codebase offers in its own ``HELLO``.
+PROTOCOL_VERSION = 3
+
+#: ``HELLO.protocol`` values a v3 endpoint accepts.  v2 peers (JSON
+#: lines, no ``codecs`` field) interoperate unmodified.
+SUPPORTED_PROTOCOLS = frozenset({2, 3})
+
+#: ``"2-3"`` — for ERROR texts during version negotiation.
+SUPPORTED_PROTOCOLS_TEXT = "-".join(
+    str(version) for version in sorted(SUPPORTED_PROTOCOLS))
 
 #: Hard cap on one encoded message; JOB_SUBMIT chunks below this.
 MAX_MESSAGE_BYTES = 1 << 20
@@ -124,6 +150,54 @@ REASON_DRAINING = "draining"    #: the server is shutting down
 NO_TASK_REASONS = frozenset({REASON_JOB_DONE, REASON_IDLE,
                              REASON_DRAINING})
 
+# -- codec negotiation --------------------------------------------------------
+
+#: Negotiation name of the v2 JSON-lines wire format (the fallback
+#: every endpoint must speak).
+CODEC_JSON = "json-2"
+#: Negotiation name of the v3 length-prefixed binary frame format.
+CODEC_BINARY = "binary-1"
+
+#: What this codebase offers/accepts, in preference order.
+DEFAULT_CODECS = (CODEC_BINARY, CODEC_JSON)
+
+#: The ``--codec`` CLI/kwarg vocabulary -> ``HELLO.codecs`` offers.
+CODEC_OPTIONS = ("auto", "json", "binary")
+
+
+@dataclasses.dataclass(frozen=True)
+class CodecNegotiation:
+    """What a connection's ``HELLO`` exchange settled on."""
+
+    protocol: int
+    codec: str
+
+
+def negotiate_codec(offered: Iterable[str],
+                    supported: Sequence[str] = DEFAULT_CODECS) -> str:
+    """Server-side pick: first of the client's ``offered`` names this
+    side supports; JSON lines when nothing matches (or the client
+    offered nothing) — the fallback every v2 peer speaks."""
+    supported_set = frozenset(supported)
+    for name in offered:
+        if name in supported_set:
+            return name
+    return CODEC_JSON
+
+
+def codec_offers(option: str) -> List[str]:
+    """``--codec`` option (``auto``/``json``/``binary`` or an exact
+    codec name) -> the ordered ``HELLO.codecs`` capability list."""
+    if option == "auto":
+        return list(DEFAULT_CODECS)
+    if option == "json" or option == CODEC_JSON:
+        return [CODEC_JSON]
+    if option == "binary" or option == CODEC_BINARY:
+        return [CODEC_BINARY]
+    raise ValueError(
+        f"codec must be one of {CODEC_OPTIONS} "
+        f"or {DEFAULT_CODECS}, got {option!r}")
+
 
 class ProtocolError(ValueError):
     """A message violated the wire format."""
@@ -134,8 +208,9 @@ class ProtocolError(ValueError):
 _ENCODER = json.JSONEncoder(separators=(",", ":"), ensure_ascii=True)
 
 
-def encode(message: Dict[str, Any]) -> bytes:
-    """One message -> one ``\\n``-terminated JSON line."""
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One message dict -> one ``\\n``-terminated JSON line (the
+    ``json-2`` wire format)."""
     if "type" not in message:
         raise ProtocolError("message has no 'type'")
     line = _ENCODER.encode(message).encode("ascii")
@@ -145,8 +220,8 @@ def encode(message: Dict[str, Any]) -> bytes:
     return line + b"\n"
 
 
-def decode(line: bytes) -> Dict[str, Any]:
-    """One received line -> message dict (validated)."""
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """One received JSON line -> message dict (validated)."""
     if len(line) > MAX_MESSAGE_BYTES:
         raise ProtocolError(
             f"line of {len(line)} bytes exceeds {MAX_MESSAGE_BYTES}")
@@ -163,6 +238,30 @@ def decode(line: bytes) -> Dict[str, Any]:
     if not isinstance(kind, str):
         raise ProtocolError("message 'type' missing or not a string")
     return message
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """Deprecated v2 free function; use a
+    :class:`repro.serve.codec.Codec` (or :func:`encode_line` for raw
+    JSON-lines framing).  Will be removed with protocol v4."""
+    warnings.warn(
+        "repro.serve.protocol.encode() is deprecated since protocol "
+        "v3; use a repro.serve.codec.Codec instance (or encode_line "
+        "for raw JSON-lines framing)",
+        DeprecationWarning, stacklevel=2)
+    return encode_line(message)
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Deprecated v2 free function; use a
+    :class:`repro.serve.codec.Codec` (or :func:`decode_line` for raw
+    JSON-lines framing).  Will be removed with protocol v4."""
+    warnings.warn(
+        "repro.serve.protocol.decode() is deprecated since protocol "
+        "v3; use a repro.serve.codec.Codec instance (or decode_line "
+        "for raw JSON-lines framing)",
+        DeprecationWarning, stacklevel=2)
+    return decode_line(line)
 
 
 def is_int(value: Any) -> bool:

@@ -1,19 +1,37 @@
-"""Asyncio TCP front-end for :class:`SchedulerService` (protocol v2).
+"""Asyncio TCP front-end for :class:`SchedulerService` (protocol v3).
 
-One coroutine per connection reads newline-framed JSON messages,
-decodes them into the typed dataclasses of
-:mod:`repro.serve.messages`, calls into the single-threaded service,
-and writes the typed reply.  Backpressure is per-connection: every
-write is followed by ``await writer.drain()``, so a slow worker
-throttles only its own stream, never the scheduler.  A parked
-``REQUEST_TASK`` blocks only that connection's read loop — the client
-is waiting for the reply anyway — while other connections keep being
-served.
+One coroutine per connection reads socket chunks, feeds them through
+the connection's :class:`~repro.serve.codec.Codec` (JSON lines until
+``HELLO`` negotiates otherwise, binary frames after), dispatches each
+decoded message into the single-threaded service, and writes the
+replies back.  I/O is coalesced per burst: one ``read()`` can surface
+a whole pipelined ``TASK_DONE`` train or ``TASK_BATCH`` worth of
+messages, and their replies accumulate into a single buffered
+write + ``drain()`` instead of one syscall per message.
+Backpressure stays per-connection — the drain happens on the
+connection's own writer, so a slow worker throttles only its own
+stream, never the scheduler.  A parked ``REQUEST_TASK`` blocks only
+that connection's read loop (already-buffered replies are flushed
+first, so pipelined acks are never held hostage by a parked pull).
 
-Version negotiation: ``HELLO`` must carry ``protocol == 2``.  A v1
-client (or any other version) gets a clean ``ERROR`` naming the
-supported version and its connection is closed — never a crash or a
-silent hang.
+Version negotiation: ``HELLO`` must carry a ``protocol`` in
+:data:`~repro.serve.protocol.SUPPORTED_PROTOCOLS` (2 or 3).  Anything
+else gets a clean ``ERROR`` naming the supported range and its
+connection is closed — never a crash or a silent hang.  When the
+``HELLO`` offers ``codecs``, the server picks the first mutual name,
+announces it in ``WELCOME.codec``, and switches the connection's
+codec right after encoding that reply; bytes pipelined *past* the
+``HELLO`` before its reply arrived are a protocol error (the client
+cannot know the codec they should be in).
+
+Framing errors — bad magic/version, oversized frames or lines,
+malformed JSON/msgpack bodies, unknown types — are unrecoverable by
+definition (the stream position is lost), so both codecs share the
+same closed-ERROR behavior: the server sends one final ``ERROR`` and
+closes the connection.  Semantic errors on well-framed messages
+(``REQUEST_TASK`` before ``HELLO``, a stale lease, an unknown job)
+still get an ``ERROR``/negative-ack reply on a connection that stays
+open.
 
 Lease sweeping: :meth:`start` spawns a monotonic-clock sweeper task
 that calls :meth:`SchedulerService.expire_leases` every
@@ -33,13 +51,55 @@ import asyncio
 import contextlib
 import json
 import logging
-from typing import Optional, Set, Tuple
+from typing import Optional, Sequence, Set
 
 from . import messages, protocol
+from .codec import Codec, JsonLinesCodec, make_codec
 from .service import SchedulerService, ServiceError
 
 log = logging.getLogger("repro.serve.server")
 stats_log = logging.getLogger("repro.serve.stats")
+
+#: One socket read's worth of pipelined traffic.
+READ_CHUNK = 64 * 1024
+
+
+def install_uvloop() -> bool:
+    """Swap in uvloop's event-loop policy when the package is
+    available; a graceful no-op (returning False) when it is not —
+    uvloop is an optional accelerator, never a dependency."""
+    try:
+        import uvloop
+    except ImportError:
+        return False
+    asyncio.set_event_loop_policy(uvloop.EventLoopPolicy())
+    return True
+
+
+class _Conn:
+    """One connection's mutable state: identity, codec, reply buffer."""
+
+    __slots__ = ("writer", "codec", "out", "worker_key", "site_id",
+                 "next_codec")
+
+    def __init__(self, writer: asyncio.StreamWriter, worker_key: str):
+        self.writer = writer
+        #: Connections always start in JSON lines; ``HELLO`` itself is
+        #: never binary.
+        self.codec: Codec = JsonLinesCodec(decodes="client")
+        self.out = bytearray()
+        self.worker_key = worker_key
+        self.site_id: Optional[int] = None
+        #: Codec name to switch to after the pending reply is encoded
+        #: (set while dispatching a ``HELLO`` that offered codecs).
+        self.next_codec: Optional[str] = None
+
+    async def flush(self) -> None:
+        """One buffered write + drain for everything accumulated."""
+        if self.out:
+            self.writer.write(bytes(self.out))
+            self.out.clear()
+            await self.writer.drain()  # per-connection backpressure
 
 
 class SchedulerServer:
@@ -48,7 +108,8 @@ class SchedulerServer:
     def __init__(self, service: SchedulerService,
                  host: str = "127.0.0.1", port: int = 0,
                  sweep_interval: Optional[float] = None,
-                 stats_interval: Optional[float] = None):
+                 stats_interval: Optional[float] = None,
+                 codecs: Optional[Sequence[str]] = None):
         self.service = service
         self.host = host
         self.port = port
@@ -66,6 +127,13 @@ class SchedulerServer:
             raise ValueError(
                 f"stats_interval must be > 0, got {stats_interval}")
         self.stats_interval = stats_interval
+        #: Wire codecs this server accepts in ``HELLO.codecs``, in its
+        #: own preference order.  JSON lines is always spoken (it is
+        #: the pre-negotiation format), so a ``(CODEC_BINARY,)``
+        #: restriction only stops *negotiating* json-2, it cannot
+        #: break v2 clients.
+        self.codecs: Sequence[str] = (tuple(codecs) if codecs is not None
+                                      else protocol.DEFAULT_CODECS)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.StreamWriter] = set()
         self._handler_tasks: Set[asyncio.Task] = set()
@@ -140,88 +208,112 @@ class SchedulerServer:
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
         self._conn_seq += 1
-        worker_key = f"conn-{self._conn_seq}"
-        site_id: Optional[int] = None
+        conn = _Conn(writer, f"conn-{self._conn_seq}")
         self._connections.add(writer)
         self._handler_tasks.add(asyncio.current_task())
-        log.debug("connection %s opened", worker_key)
+        log.debug("connection %s opened", conn.worker_key)
         try:
-            while True:
+            chunk = b""
+            closing = False
+            while not closing:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    await self._send(writer,
-                                     messages.Error("line too long"))
-                    break
-                if not line:
-                    break  # EOF
-                if line.strip() == b"":
-                    continue
-                try:
-                    message = messages.decode_client(line)
+                    inbound = conn.codec.feed(chunk)
                 except protocol.ProtocolError as exc:
-                    await self._send(writer, messages.Error(str(exc)))
+                    # Framing/decode errors lose the stream position:
+                    # one final ERROR, then close (both codecs).
+                    conn.out += conn.codec.encode(
+                        messages.Error(str(exc)))
+                    break
+                if not inbound:
+                    chunk = await reader.read(READ_CHUNK)
+                    if not chunk:
+                        break  # EOF
                     continue
-                try:
-                    reply, site_id, worker_key = await self._dispatch(
-                        message, worker_key, site_id)
-                except (ServiceError, protocol.ProtocolError) as exc:
-                    reply = messages.Error(str(exc))
-                await self._send(writer, reply)
-                if isinstance(reply, messages.NoTask):
-                    break  # the worker is done; close our side too
-                if (isinstance(reply, messages.Error)
-                        and isinstance(message, messages.Hello)):
-                    break  # failed negotiation: clean close
+                chunk = b""  # drain the codec buffer before reading on
+                for index, message in enumerate(inbound):
+                    try:
+                        reply = await self._dispatch(message, conn)
+                    except (ServiceError,
+                            protocol.ProtocolError) as exc:
+                        reply = messages.Error(str(exc))
+                    conn.out += conn.codec.encode(reply)
+                    if isinstance(reply, messages.NoTask):
+                        # The worker is done; close our side too.
+                        closing = True
+                        break
+                    if (isinstance(reply, messages.Error)
+                            and isinstance(message, messages.Hello)):
+                        closing = True  # failed negotiation
+                        break
+                    if conn.next_codec is not None:
+                        name, conn.next_codec = conn.next_codec, None
+                        if name == conn.codec.name:
+                            continue
+                        if (index + 1 < len(inbound)
+                                or conn.codec.buffered):
+                            # The client cannot know which codec bytes
+                            # after HELLO should be in until our reply
+                            # lands — pipelining across negotiation is
+                            # unrecoverable.
+                            conn.out += conn.codec.encode(
+                                messages.Error(
+                                    "messages pipelined across codec "
+                                    "negotiation; await the HELLO "
+                                    "reply before sending more"))
+                            closing = True
+                            break
+                        conn.codec = make_codec(name, decodes="client")
+                # One coalesced write + drain for the whole burst.
+                await conn.flush()
+            await conn.flush()
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
             self._handler_tasks.discard(asyncio.current_task())
             self._connections.discard(writer)
-            requeued = self.service.disconnect(worker_key)
+            requeued = self.service.disconnect(conn.worker_key)
             if requeued:
                 log.info("connection %s closed; requeued %d task(s)",
-                         worker_key, requeued)
+                         conn.worker_key, requeued)
             else:
-                log.debug("connection %s closed", worker_key)
+                log.debug("connection %s closed", conn.worker_key)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _send(self, writer: asyncio.StreamWriter,
-                    message: messages.ServerMessage) -> None:
-        writer.write(message.encode())
-        await writer.drain()  # per-connection backpressure
-
     async def _dispatch(self, message: messages.ClientMessage,
-                        worker_key: str, site_id: Optional[int],
-                        ) -> Tuple[messages.ServerMessage,
-                                   Optional[int], str]:
+                        conn: _Conn) -> messages.ServerMessage:
         service = self.service
 
         if isinstance(message, messages.Hello):
-            if message.protocol != protocol.PROTOCOL_VERSION:
+            if message.protocol not in protocol.SUPPORTED_PROTOCOLS:
                 # v1 (or future) clients get a clean refusal, and the
                 # read loop closes the connection after sending it.
-                return (messages.Error(
+                return messages.Error(
                     f"unsupported protocol version {message.protocol}; "
                     f"this server speaks "
-                    f"{protocol.PROTOCOL_VERSION}"), site_id, worker_key)
-            worker_key = f"{message.worker}/{worker_key}"
+                    f"{protocol.SUPPORTED_PROTOCOLS_TEXT}")
+            conn.worker_key = f"{message.worker}/{conn.worker_key}"
+            conn.site_id = message.site
+            codec_name = None
+            if message.codecs is not None:
+                codec_name = protocol.negotiate_codec(message.codecs,
+                                                      self.codecs)
+                conn.next_codec = codec_name
             service.ensure_site(message.site)
-            return (messages.Welcome(
+            return messages.Welcome(
                 server=service.name,
                 metric=service.engine.metric_name,
                 n=service.engine.n,
-                protocol=protocol.PROTOCOL_VERSION,
+                protocol=message.protocol,
                 lease_ttl=service.lease_ttl,
-                heartbeat_interval=service.heartbeat_interval),
-                message.site, worker_key)
+                heartbeat_interval=service.heartbeat_interval,
+                codec=codec_name)
 
         if isinstance(message, messages.RequestTask):
-            if site_id is None:
+            if conn.site_id is None:
                 raise protocol.ProtocolError("REQUEST_TASK before HELLO")
             future: asyncio.Future = (
                 asyncio.get_running_loop().create_future())
@@ -232,76 +324,76 @@ class SchedulerServer:
 
             if message.max_tasks is None:
                 # Plain v2 single-task pull: unchanged TASK reply.
-                service.request_task(worker_key, site_id, deliver,
-                                     job_id=message.job_id)
+                service.request_task(conn.worker_key, conn.site_id,
+                                     deliver, job_id=message.job_id)
             else:
-                service.request_tasks(worker_key, site_id,
+                service.request_tasks(conn.worker_key, conn.site_id,
                                       message.max_tasks, deliver,
                                       job_id=message.job_id)
+            if not future.done():
+                # Parking: flush buffered replies (pipelined acks)
+                # before waiting, so they are never held hostage.
+                await conn.flush()
             outcome = await future
             if isinstance(outcome, str):  # a NO_TASK reason
                 # Batched or not, the refusal carries the same closed
                 # reason enum.
-                return (messages.NoTask(reason=outcome),
-                        site_id, worker_key)
+                return messages.NoTask(reason=outcome)
             if isinstance(outcome, list):  # batched pull
-                return (messages.TaskBatch(
+                return messages.TaskBatch(
                     tasks=[{"task_id": granted.task.task_id,
                             "files": sorted(granted.task.files),
                             "flops": granted.task.flops,
                             "lease_id": granted.lease_id,
                             "job_id": granted.job_id}
                            for granted in outcome],
-                    lease_ttl=service.lease_ttl), site_id, worker_key)
-            return (messages.TaskAssign(
+                    lease_ttl=service.lease_ttl)
+            return messages.TaskAssign(
                 task_id=outcome.task.task_id,
                 files=sorted(outcome.task.files),
                 flops=outcome.task.flops,
                 lease_id=outcome.lease_id,
                 lease_ttl=outcome.lease_ttl,
-                job_id=outcome.job_id), site_id, worker_key)
+                job_id=outcome.job_id)
 
         if isinstance(message, messages.TaskDone):
-            result = service.task_done(worker_key, message.task_id,
+            result = service.task_done(conn.worker_key,
+                                       message.task_id,
                                        message.lease_id)
-            return (messages.Ack(accepted=result.accepted,
-                                 reason=result.reason),
-                    site_id, worker_key)
+            return messages.Ack(accepted=result.accepted,
+                                reason=result.reason)
 
         if isinstance(message, messages.Heartbeat):
-            renewed, gone = service.heartbeat(worker_key,
+            renewed, gone = service.heartbeat(conn.worker_key,
                                               message.lease_ids)
-            return (messages.HeartbeatAck(renewed=renewed, expired=gone),
-                    site_id, worker_key)
+            return messages.HeartbeatAck(renewed=renewed, expired=gone)
 
         if isinstance(message, messages.FileDelta):
-            site = message.site if message.site is not None else site_id
+            site = (message.site if message.site is not None
+                    else conn.site_id)
             if site is None:
                 raise protocol.ProtocolError(
                     "FILE_DELTA needs an int 'site' (or a prior HELLO)")
             service.file_delta(site, added=message.added,
                                removed=message.removed,
                                referenced=message.referenced)
-            return (messages.Ack(), site_id, worker_key)
+            return messages.Ack()
 
         if isinstance(message, messages.JobSubmit):
             accepted = service.submit_job(message.tasks,
                                           job_id=message.job_id)
-            return (messages.JobAccepted(**accepted),
-                    site_id, worker_key)
+            return messages.JobAccepted(**accepted)
 
         if isinstance(message, messages.JobStatusRequest):
-            return (messages.JobStatusReply(
-                **service.job_status(message.job_id)),
-                site_id, worker_key)
+            return messages.JobStatusReply(
+                **service.job_status(message.job_id))
 
         if isinstance(message, messages.StatsRequest):
-            return (messages.StatsReply(stats=service.stats_snapshot()),
-                    site_id, worker_key)
+            return messages.StatsReply(stats=service.stats_snapshot())
 
         if isinstance(message, messages.Drain):
             service.drain()
-            return (messages.Ack(draining=True), site_id, worker_key)
+            return messages.Ack(draining=True)
 
         raise protocol.ProtocolError(
             f"unhandled message type {message.TYPE!r}")

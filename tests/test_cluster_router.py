@@ -32,7 +32,8 @@ def coadd_job(num_tasks=30, seed=0):
                                       capacity_files=500, seed=seed))
 
 
-async def start_cluster(shard_count=2, seed=7, retry_window=3.0):
+async def start_cluster(shard_count=2, seed=7, retry_window=3.0,
+                        upstream_codec="json"):
     """N in-process shard servers plus their router."""
     shards = []
     for index in range(shard_count):
@@ -46,7 +47,7 @@ async def start_cluster(shard_count=2, seed=7, retry_window=3.0):
     router = ClusterRouter(
         [ShardAddress(index, server.host, server.port)
          for index, (_service, server) in enumerate(shards)],
-        retry_window=retry_window)
+        retry_window=retry_window, upstream_codec=upstream_codec)
     await router.start()
     return router, shards
 
@@ -283,6 +284,31 @@ def test_cluster_load_completes_jobs_across_two_shards():
                 assert summary["stop_reason"] == "job-done"
             for service, _server in shards:
                 assert service.draining
+        finally:
+            await stop_cluster(router, shards)
+
+    run(scenario())
+
+
+def test_cluster_load_runs_end_to_end_on_the_binary_codec():
+    """``--codec binary`` cluster-wide: workers negotiate binary
+    framing with their shards, the router upgrades its own upstream
+    streams, and the run still completes with correct totals."""
+    async def scenario():
+        router, shards = await start_cluster(shard_count=2,
+                                             upstream_codec="binary")
+        try:
+            report = await run_cluster_load(
+                router.host, router.port,
+                [coadd_job(10, seed=1), coadd_job(12, seed=2)],
+                workers=4, sites=2, capacity_files=400, batch=4,
+                codec="binary")
+            assert report["codec"] == "binary"
+            assert report["tasks_done"] == 22
+            assert all(job["status"]["done"] for job in report["jobs"])
+            for summary in report["workers"]:
+                assert summary["codec"] == protocol.CODEC_BINARY
+                assert summary["stop_reason"] == "job-done"
         finally:
             await stop_cluster(router, shards)
 

@@ -437,7 +437,7 @@ class LegacyServer:
             line = await reader.readline()
             if not line:
                 break
-            payload = protocol.decode(line)
+            payload = protocol.decode_line(line)
             kind = payload["type"]
             if kind == protocol.HELLO:
                 reply = messages.Welcome(

@@ -103,20 +103,28 @@ def test_malformed_messages_get_error_replies():
         await server.start()
         try:
             reader, writer = await raw_connection(server)
-            # Bad JSON is rejected but the connection stays usable.
+            # REQUEST_TASK before HELLO is a semantic error: the
+            # stream is still parseable, so the connection survives.
+            reply = await raw_call(reader, writer,
+                                   messages.RequestTask())
+            assert isinstance(reply, messages.Error)
+            # Bad JSON is a framing error: final ERROR, then close
+            # (v3 semantics — the codec cannot trust the stream).
             writer.write(b"nonsense\n")
             await writer.drain()
             reply = messages.decode_server(await reader.readline())
             assert isinstance(reply, messages.Error)
-            # REQUEST_TASK before HELLO is a protocol error.
-            reply = await raw_call(reader, writer,
-                                   messages.RequestTask())
-            assert isinstance(reply, messages.Error)
-            # Unknown type likewise.
-            writer.write(protocol.encode({"type": "FROBNICATE"}))
+            assert await reader.readline() == b""
+            writer.close()
+            await writer.wait_closed()
+            # An unknown message type also closes: the codec cannot
+            # lift the payload into a typed message.
+            reader, writer = await raw_connection(server)
+            writer.write(protocol.encode_line({"type": "FROBNICATE"}))
             await writer.drain()
             reply = messages.decode_server(await reader.readline())
             assert isinstance(reply, messages.Error)
+            assert await reader.readline() == b""
             writer.close()
             await writer.wait_closed()
         finally:
@@ -135,13 +143,13 @@ def test_v1_hello_is_refused_cleanly():
         await server.start()
         try:
             reader, writer = await raw_connection(server)
-            writer.write(protocol.encode(
+            writer.write(protocol.encode_line(
                 {"type": protocol.HELLO, "worker": "old", "site": 0}))
             await writer.drain()
             reply = messages.decode_server(await reader.readline())
             assert isinstance(reply, messages.Error)
             assert "protocol version 1" in reply.error
-            assert "speaks 2" in reply.error
+            assert protocol.SUPPORTED_PROTOCOLS_TEXT in reply.error
             # The server closes its side after the refusal.
             assert await reader.readline() == b""
             writer.close()

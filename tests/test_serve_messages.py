@@ -77,34 +77,34 @@ def test_every_wire_type_is_covered():
 
 def test_unknown_fields_are_tolerated():
     """Forward compat: fields a newer peer added are ignored."""
-    line = protocol.encode({"type": protocol.TASK_DONE, "task_id": 1,
+    line = protocol.encode_line({"type": protocol.TASK_DONE, "task_id": 1,
                             "lease_id": 2, "shiny_new_field": "yes"})
     message = messages.decode_client(line)
     assert message == messages.TaskDone(task_id=1, lease_id=2)
 
 
 def test_missing_required_field_raises():
-    line = protocol.encode({"type": protocol.TASK_DONE, "task_id": 1})
+    line = protocol.encode_line({"type": protocol.TASK_DONE, "task_id": 1})
     with pytest.raises(ProtocolError, match="lease_id"):
         messages.decode_client(line)
 
 
 def test_unknown_type_raises_per_direction():
     with pytest.raises(ProtocolError):
-        messages.decode_client(protocol.encode({"type": "FROBNICATE"}))
+        messages.decode_client(protocol.encode_line({"type": "FROBNICATE"}))
     # A server-only type is unknown on the server's receiving side.
     with pytest.raises(ProtocolError):
-        messages.decode_client(protocol.encode(
+        messages.decode_client(protocol.encode_line(
             {"type": protocol.WELCOME, "server": "s", "metric": "rest",
              "n": 1}))
 
 
 def test_stats_type_decodes_by_direction():
     """STATS is request and reply; direction picks the class."""
-    line = protocol.encode({"type": protocol.STATS})
+    line = protocol.encode_line({"type": protocol.STATS})
     assert isinstance(messages.decode_client(line),
                       messages.StatsRequest)
-    line = protocol.encode({"type": protocol.STATS, "stats": {}})
+    line = protocol.encode_line({"type": protocol.STATS, "stats": {}})
     assert isinstance(messages.decode_server(line),
                       messages.StatsReply)
 
@@ -113,7 +113,7 @@ def test_no_task_reason_is_a_closed_enum():
     for reason in protocol.NO_TASK_REASONS:
         messages.NoTask(reason=reason).validate()
     with pytest.raises(ProtocolError):
-        messages.decode_server(protocol.encode(
+        messages.decode_server(protocol.encode_line(
             {"type": protocol.NO_TASK, "reason": "because"}))
 
 
@@ -131,7 +131,7 @@ def test_no_task_reason_is_a_closed_enum():
 ])
 def test_client_field_validation(payload):
     with pytest.raises(ProtocolError):
-        messages.decode_client(protocol.encode(payload))
+        messages.decode_client(protocol.encode_line(payload))
 
 
 def test_all_message_dataclasses_are_frozen():

@@ -13,21 +13,21 @@ from repro.serve.stats import LatencyHistogram, ServeStats, format_stats
 def test_encode_decode_roundtrip():
     message = {"type": protocol.TASK, "task_id": 3,
                "files": [1, 2, 9], "flops": 1.5e9}
-    line = protocol.encode(message)
+    line = protocol.encode_line(message)
     assert line.endswith(b"\n")
-    assert protocol.decode(line) == message
+    assert protocol.decode_line(line) == message
 
 
 def test_encode_requires_type():
     with pytest.raises(protocol.ProtocolError):
-        protocol.encode({"task_id": 1})
+        protocol.encode_line({"task_id": 1})
 
 
 def test_encode_rejects_oversized_message():
     huge = {"type": protocol.JOB_SUBMIT,
             "tasks": list(range(protocol.MAX_MESSAGE_BYTES))}
     with pytest.raises(protocol.ProtocolError):
-        protocol.encode(huge)
+        protocol.encode_line(huge)
 
 
 @pytest.mark.parametrize("line", [
@@ -38,14 +38,57 @@ def test_encode_rejects_oversized_message():
 ])
 def test_decode_rejects_malformed(line):
     with pytest.raises(protocol.ProtocolError):
-        protocol.decode(line)
+        protocol.decode_line(line)
 
 
 def test_decode_rejects_oversized_line():
     line = json.dumps({"type": "X", "pad": "a" * protocol.MAX_MESSAGE_BYTES}
                       ).encode()
     with pytest.raises(protocol.ProtocolError):
-        protocol.decode(line)
+        protocol.decode_line(line)
+
+
+def test_deprecated_shims_still_work_but_warn():
+    """``encode``/``decode`` survive for protocol-v2 era callers; they
+    delegate to the ``_line`` functions and warn once per call site."""
+    message = {"type": protocol.TASK, "task_id": 3}
+    with pytest.warns(DeprecationWarning, match="encode"):
+        line = protocol.encode(message)
+    assert line == protocol.encode_line(message)
+    with pytest.warns(DeprecationWarning, match="decode"):
+        assert protocol.decode(line) == message
+
+
+# -- codec negotiation -------------------------------------------------------
+
+def test_negotiate_codec_picks_first_mutual_offer():
+    assert protocol.negotiate_codec(
+        [protocol.CODEC_BINARY, protocol.CODEC_JSON]
+    ) == protocol.CODEC_BINARY
+    assert protocol.negotiate_codec(
+        [protocol.CODEC_JSON, protocol.CODEC_BINARY]
+    ) == protocol.CODEC_JSON
+    # Unknown offers are skipped, not fatal: forward compatibility.
+    assert protocol.negotiate_codec(
+        ["zstd-9", protocol.CODEC_BINARY]
+    ) == protocol.CODEC_BINARY
+
+
+def test_negotiate_codec_falls_back_to_json():
+    # No offers / nothing mutual -> the v2-compatible JSON framing.
+    assert protocol.negotiate_codec([]) == protocol.CODEC_JSON
+    assert protocol.negotiate_codec(["zstd-9"]) == protocol.CODEC_JSON
+    assert protocol.negotiate_codec(
+        [protocol.CODEC_BINARY], supported=(protocol.CODEC_JSON,)
+    ) == protocol.CODEC_JSON
+
+
+def test_codec_offers_maps_cli_options():
+    assert protocol.codec_offers("auto") == list(protocol.DEFAULT_CODECS)
+    assert protocol.codec_offers("json") == [protocol.CODEC_JSON]
+    assert protocol.codec_offers("binary") == [protocol.CODEC_BINARY]
+    with pytest.raises(ValueError):
+        protocol.codec_offers("carrier-pigeon")
 
 
 def test_int_list_validation():
