@@ -262,7 +262,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 shard_index=args.shard_index,
                 shard_count=args.shard_count,
                 snapshot_interval=args.snapshot_interval,
-                fast_path=args.kernel == "fast", tracer=tracer)
+                fast_path=args.kernel == "fast", tracer=tracer,
+                admission_watermark=args.admission_watermark,
+                admission_retry_after=args.admission_retry_after,
+                replicate_tail=args.replicate_stragglers,
+                max_replicas=args.max_replicas)
             service = durability.service
             report = durability.report
             print(f"repro-serve shard {args.shard_index}/"
@@ -274,13 +278,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         else:
             events = EventLog(path=args.event_log) if args.event_log \
                 else None
-            service = SchedulerService(metric=args.metric, n=args.n,
-                                       seed=args.seed,
-                                       lease_ttl=args.lease_ttl,
-                                       events=events, tracer=tracer,
-                                       fast_path=args.kernel == "fast",
-                                       id_start=args.shard_index,
-                                       id_stride=args.shard_count)
+            service = SchedulerService(
+                metric=args.metric, n=args.n, seed=args.seed,
+                lease_ttl=args.lease_ttl, events=events, tracer=tracer,
+                fast_path=args.kernel == "fast",
+                id_start=args.shard_index,
+                id_stride=args.shard_count,
+                admission_watermark=args.admission_watermark,
+                admission_retry_after=args.admission_retry_after,
+                replicate_tail=args.replicate_stragglers,
+                max_replicas=args.max_replicas)
         server = SchedulerServer(service, host=args.host,
                                  port=args.port,
                                  stats_interval=args.stats_interval,
@@ -436,8 +443,14 @@ def _cmd_load(args: argparse.Namespace) -> int:
         print(f"event log        : {args.event_log}")
     print("server stats:")
     print(format_stats(report["stats"]))
-    missing = report["tasks_submitted"] - report["tasks_done"]
-    return 0 if missing == 0 else 1
+    audit = report["audit"]
+    if not audit["clean"]:
+        print(f"AUDIT FAILED: lost={audit['lost']} "
+              f"double_counted={audit['double_counted']} "
+              f"(submitted={audit['tasks_submitted']}, "
+              f"completed={audit['completed']})", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _run_cluster_load(args: argparse.Namespace, config, job,
@@ -483,10 +496,75 @@ def _run_cluster_load(args: argparse.Namespace, config, job,
     print(format_stats(report["stats"]))
     # The shard-side per-job counters are authoritative: a worker may
     # lose the ACK for a completion the WAL durably recorded, so the
-    # client-side tally can undercount across a crash.
-    completed = sum(entry["status"]["completed"]
-                    for entry in report["jobs"])
-    return 0 if completed == report["tasks_submitted"] else 1
+    # client-side tally can undercount across a crash — the audit's
+    # ``lost`` uses the shard counters, and ``double_counted`` only
+    # fires when workers collected MORE acks than tasks exist.
+    audit = report["audit"]
+    if audit["lost"] or audit["double_counted"]:
+        print(f"AUDIT FAILED: lost={audit['lost']} "
+              f"double_counted={audit['double_counted']} "
+              f"(submitted={audit['tasks_submitted']}, "
+              f"completed={audit['completed']})", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .scenario import SCENARIOS, get_scenario, run_scenario
+    from .scenario.summary import (compare_summaries, format_summary,
+                                   load_summary, validate_summary)
+
+    if args.scenario_command == "list":
+        width = max(len(name) for name in SCENARIOS)
+        for name in sorted(SCENARIOS):
+            print(f"{name:<{width}}  {SCENARIOS[name].description}")
+        return 0
+
+    if args.scenario_command == "compare":
+        baseline = load_summary(args.baseline)
+        candidate = load_summary(args.candidate)
+        problems = [f"baseline: {p}" for p in
+                    validate_summary(baseline)]
+        problems += [f"candidate: {p}" for p in
+                     validate_summary(candidate)]
+        if problems:
+            for problem in problems:
+                print(f"schema violation — {problem}", file=sys.stderr)
+            return 2
+        print(compare_summaries(baseline, candidate))
+        return 0
+
+    # run
+    _configure_logging(args, default_level=logging.WARNING)
+    names = sorted(SCENARIOS) if args.all else args.names
+    if not names:
+        print("repro scenario run: name a scenario or pass --all "
+              f"(built-ins: {', '.join(sorted(SCENARIOS))})",
+              file=sys.stderr)
+        return 2
+    failures: List[str] = []
+    for name in names:
+        try:
+            scenario = get_scenario(name)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        summary = asyncio.run(run_scenario(scenario, args.out_dir,
+                                           quick=args.quick))
+        print(format_summary(summary))
+        print(f"  summary: {summary.get('summary_path')}")
+        problems = validate_summary(summary)
+        for problem in problems:
+            print(f"  schema violation — {problem}", file=sys.stderr)
+        if problems or not summary.get("passed"):
+            failures.append(name)
+    if failures:
+        print(f"FAILED scenario(s): {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
@@ -587,6 +665,26 @@ def build_parser() -> argparse.ArgumentParser:
                               help="seconds before an unrenewed task "
                                    "lease expires and the task is "
                                    "requeued to another worker")
+    serve_parser.add_argument("--admission-watermark", type=int,
+                              default=None,
+                              help="reject JOB_SUBMITs that would push "
+                                   "the pending queue past this many "
+                                   "tasks (ACK accepted=false, "
+                                   "reason=overloaded; default: no "
+                                   "admission control)")
+    serve_parser.add_argument("--admission-retry-after", type=float,
+                              default=0.25,
+                              help="retry hint (seconds) sent with "
+                                   "admission rejections")
+    serve_parser.add_argument("--replicate-stragglers",
+                              action="store_true",
+                              help="near a job's tail, grant idle "
+                                   "workers replica leases on the "
+                                   "longest-running tasks "
+                                   "(first-completion-wins)")
+    serve_parser.add_argument("--max-replicas", type=int, default=1,
+                              help="replica leases allowed per task "
+                                   "(with --replicate-stragglers)")
     serve_parser.add_argument("--metrics-port", type=int, default=None,
                               help="also serve HTTP /metrics, /healthz, "
                                    "/stats.json and /trace.json on this "
@@ -719,6 +817,42 @@ def build_parser() -> argparse.ArgumentParser:
                              help="use uvloop's event loop when the "
                                   "package is importable")
     load_parser.set_defaults(func=_cmd_load)
+
+    scenario_parser = sub.add_parser(
+        "scenario", help="hostile-workload harness: run declarative "
+                         "scenarios (flash crowds, churn, stragglers, "
+                         "multi-tenant contention) against a live "
+                         "in-process daemon")
+    scenario_sub = scenario_parser.add_subparsers(
+        dest="scenario_command", required=True)
+
+    scenario_list = scenario_sub.add_parser(
+        "list", help="print the built-in scenario catalog")
+    scenario_list.set_defaults(func=_cmd_scenario)
+
+    scenario_run = scenario_sub.add_parser(
+        "run", help="run scenario(s); nonzero exit when any check "
+                    "fails or a summary breaks the schema")
+    scenario_run.add_argument("names", nargs="*", metavar="NAME",
+                              help="scenario names (see `scenario "
+                                   "list`)")
+    scenario_run.add_argument("--all", action="store_true",
+                              help="run every built-in scenario")
+    scenario_run.add_argument("--quick", action="store_true",
+                              help="shrink task counts for CI "
+                                   "(same shape, same checks)")
+    scenario_run.add_argument("--out-dir", default="scenario-out",
+                              help="artifact root; each run writes "
+                                   "<out-dir>/<name>/events.jsonl "
+                                   "and summary.json")
+    _add_verbosity_arguments(scenario_run)
+    scenario_run.set_defaults(func=_cmd_scenario)
+
+    scenario_compare = scenario_sub.add_parser(
+        "compare", help="diff two summary.json files")
+    scenario_compare.add_argument("baseline")
+    scenario_compare.add_argument("candidate")
+    scenario_compare.set_defaults(func=_cmd_scenario)
 
     top_parser = sub.add_parser(
         "top", help="live terminal view of one daemon's (or a whole "

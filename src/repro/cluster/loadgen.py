@@ -82,20 +82,30 @@ async def run_cluster_load(host: str, port: int,
         stats = await control.stats()
         if drain:
             await control.drain()
+    submitted = sum(len(handle.task_ids) for handle in handles)
+    completed = sum(status["completed"] for status in job_statuses)
+    accepted = sum(s["tasks_done"] for s in summaries)
+    audit = {
+        "tasks_submitted": submitted,
+        "completed": completed,
+        "lost": max(0, submitted - completed),
+        "double_counted": max(0, accepted - completed),
+    }
+    audit["clean"] = audit["lost"] == 0 and audit["double_counted"] == 0
     return {
         "shard_count": control.shard_count,
         "jobs": [{"job_id": handle.job_id,
                   "tasks_submitted": len(handle.task_ids),
                   "status": status}
                  for handle, status in zip(handles, job_statuses)],
-        "tasks_submitted": sum(len(handle.task_ids)
-                               for handle in handles),
-        "tasks_done": sum(s["tasks_done"] for s in summaries),
+        "tasks_submitted": submitted,
+        "tasks_done": accepted,
         "files_fetched": sum(s["files_fetched"] for s in summaries),
         "reconnects": sum(s["reconnects"] for s in summaries),
         "batch": batch,
         "codec": codec,
         "workers": summaries,
+        "audit": audit,
         "stats": stats,
         "event_log": event_log,
     }

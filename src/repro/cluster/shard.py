@@ -180,7 +180,11 @@ def open_shard(state_dir: str, metric: str = "combined", n: int = 2,
                fast_path: bool = True,
                clock: Callable[[], float] = time.monotonic,
                tracer: Optional[DecisionTracer] = None,
-               name: Optional[str] = None) -> ShardDurability:
+               name: Optional[str] = None,
+               admission_watermark: Optional[int] = None,
+               admission_retry_after: float = 0.25,
+               replicate_tail: bool = False,
+               max_replicas: int = 1) -> ShardDurability:
     """Build + recover one durable shard from its state directory.
 
     The service is constructed silent (no event log), recovered from
@@ -193,7 +197,10 @@ def open_shard(state_dir: str, metric: str = "combined", n: int = 2,
         name=name or f"shard-{shard_index}",
         lease_ttl=lease_ttl, clock=clock, tracer=tracer,
         fast_path=fast_path, id_start=shard_index,
-        id_stride=shard_count, wal_events=True)
+        id_stride=shard_count, wal_events=True,
+        admission_watermark=admission_watermark,
+        admission_retry_after=admission_retry_after,
+        replicate_tail=replicate_tail, max_replicas=max_replicas)
     report = recover_service(service, state_dir)
     events = EventLog(path=wal_path(state_dir),
                       seq_start=report["next_seq"], auto_flush=True,

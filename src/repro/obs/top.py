@@ -72,6 +72,23 @@ def render_top(snapshot: Dict) -> str:
             f"  kernel [{metric}]: p50 {hist.get('p50_us', 0.0):.0f} us"
             f"   p99 {hist.get('p99_us', 0.0):.0f} us   "
             f"mean {hist.get('mean_us', 0.0):.1f} us")
+    admission = snapshot.get("admission", {})
+    if admission.get("rejections"):
+        lines.append(f"admission : {admission['rejections']} "
+                     f"submit(s) rejected over watermark")
+    replication = snapshot.get("replication", {})
+    if replication.get("granted"):
+        lines.append(f"replicas  : {replication['granted']} granted, "
+                     f"{replication.get('replica_wins', 0)} won "
+                     f"the race")
+    tenants = snapshot.get("tenants", {})
+    if len(tenants) > 1:
+        total = sum(tenants.values()) or 1
+        shares = ", ".join(
+            f"job {job}: {count} ({count / total:.0%})"
+            for job, count in sorted(tenants.items(),
+                                     key=lambda kv: int(kv[0])))
+        lines.append(f"tenants   : {shares}")
     sites = snapshot.get("sites", {})
     if sites:
         lines.append("")

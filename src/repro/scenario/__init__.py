@@ -1,0 +1,29 @@
+"""Scenario harness: declarative hostile workloads for the daemon.
+
+A :class:`~repro.scenario.definitions.Scenario` describes tenants
+(who submits what, when, with what fair-share weight), worker groups
+(how many, how fast, when they join, when they die) and the server
+features under test (admission watermark, straggler replication).
+:func:`~repro.scenario.runner.run_scenario` drives a live in-process
+:class:`~repro.serve.server.SchedulerServer` over real TCP through
+the whole story and writes two artifacts per run:
+
+* ``events.jsonl`` — the server-side observability stream, ready for
+  :func:`repro.analysis.eventlog.load_timelines`;
+* ``summary.json`` — machine-readable results: per-tenant throughput,
+  p50/p99 queue wait and turnaround, the lost/duplicate-task audit,
+  and pass/fail for the scenario's declared checks.
+
+The built-in catalog (``repro scenario list``) covers flash-crowd
+joins, diurnal load curves, worker churn, heterogeneous stragglers,
+slow-reader clients and weighted multi-tenant contention.
+"""
+
+from .catalog import SCENARIOS, get_scenario
+from .definitions import Scenario, TenantSpec, WorkerGroup
+from .runner import run_scenario
+from .summary import compare_summaries, validate_summary
+
+__all__ = ["SCENARIOS", "Scenario", "TenantSpec", "WorkerGroup",
+           "compare_summaries", "get_scenario", "run_scenario",
+           "validate_summary"]

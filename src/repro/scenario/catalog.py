@@ -1,0 +1,140 @@
+"""The built-in hostile-workload catalog.
+
+Each scenario is deliberately unpleasant in exactly one way, so a
+failure points at the machinery it exercises.  ``repro scenario list``
+prints this table; ``repro scenario run --all --quick`` is the CI
+matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .definitions import Scenario, TenantSpec, WorkerGroup
+
+__all__ = ["SCENARIOS", "get_scenario"]
+
+
+def _flash_crowd() -> Scenario:
+    return Scenario(
+        name="flash-crowd",
+        description="A burst of JOB_SUBMIT waves bounces off the "
+                    "admission watermark while a late worker stampede "
+                    "joins; queue wait must stay bounded.",
+        tenants=(TenantSpec(name="burst", tasks=160, flops=1e6,
+                            waves=8, wave_interval=0.02),),
+        workers=(
+            WorkerGroup(name="seed-fleet", count=2, sites=2,
+                        flops_per_sec=5e7),
+            WorkerGroup(name="crowd", count=10, sites=4,
+                        flops_per_sec=5e7, join_at=0.3),
+        ),
+        admission_watermark=40,
+        admission_retry_after=0.05,
+        checks=("audit-clean", "all-jobs-complete", "watermark-held",
+                "admission-engaged", "p99-queue-wait-bounded"),
+        p99_queue_wait_bound=20.0,
+    )
+
+
+def _diurnal() -> Scenario:
+    return Scenario(
+        name="diurnal",
+        description="A load curve: many small submission waves spread "
+                    "over the run against a fixed fleet — throughput "
+                    "must track the curve without losing tasks.",
+        tenants=(TenantSpec(name="daily", tasks=120, flops=1e6,
+                            waves=10, wave_interval=0.12),),
+        workers=(WorkerGroup(name="steady", count=6, sites=3,
+                             flops_per_sec=5e7),),
+        checks=("audit-clean", "all-jobs-complete",
+                "p99-queue-wait-bounded"),
+        p99_queue_wait_bound=20.0,
+    )
+
+
+def _churn() -> Scenario:
+    return Scenario(
+        name="churn",
+        description="Workers die mid-task (connections dropped, "
+                    "leases in flight); the stable remainder must "
+                    "finish every task exactly once.",
+        tenants=(TenantSpec(name="steady", tasks=80, flops=4e6),),
+        workers=(
+            WorkerGroup(name="doomed", count=4, sites=2,
+                        flops_per_sec=2e7, kill_after=0.15),
+            WorkerGroup(name="survivors", count=4, sites=2,
+                        site_offset=2, flops_per_sec=5e7),
+        ),
+        lease_ttl=1.0,
+        checks=("audit-clean", "all-jobs-complete"),
+    )
+
+
+def _stragglers() -> Scenario:
+    return Scenario(
+        name="stragglers",
+        description="A slow minority drags the job tail; straggler "
+                    "replication must cut the tail without ever "
+                    "double-counting a completion.",
+        tenants=(TenantSpec(name="tail-heavy", tasks=90, flops=1e6),),
+        workers=(
+            WorkerGroup(name="fast", count=6, sites=3,
+                        flops_per_sec=5e7),
+            WorkerGroup(name="slow", count=2, sites=1, site_offset=3,
+                        flops_per_sec=2e6),
+        ),
+        replicate_stragglers=True,
+        max_replicas=1,
+        lease_ttl=5.0,
+        checks=("audit-clean", "all-jobs-complete",
+                "replication-engaged", "no-double-count"),
+    )
+
+
+def _slow_reader() -> Scenario:
+    return Scenario(
+        name="slow-reader",
+        description="Clients that solicit replies and never read them "
+                    "while the fleet works; the server must not let "
+                    "one jammed socket stall everyone else.",
+        tenants=(TenantSpec(name="steady", tasks=80, flops=1e6),),
+        workers=(WorkerGroup(name="fleet", count=4, sites=2,
+                             flops_per_sec=5e7),),
+        slow_readers=3,
+        checks=("audit-clean", "all-jobs-complete"),
+    )
+
+
+def _multi_tenant() -> Scenario:
+    return Scenario(
+        name="multi-tenant",
+        description="Two tenants with 3:1 fair-share weights contend "
+                    "for one unscoped fleet; assignment shares must "
+                    "match the weights while both queues are live.",
+        tenants=(
+            TenantSpec(name="gold", tasks=120, flops=1e6, weight=3.0),
+            TenantSpec(name="bronze", tasks=120, flops=1e6,
+                       weight=1.0),
+        ),
+        workers=(WorkerGroup(name="shared", count=6, sites=3,
+                             flops_per_sec=5e7, join_at=0.15),),
+        checks=("audit-clean", "all-jobs-complete", "weighted-fair"),
+        fair_share_tolerance=0.15,
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (_flash_crowd(), _diurnal(), _churn(),
+                     _stragglers(), _slow_reader(), _multi_tenant())
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(
+            f"unknown scenario {name!r}; built-ins: {known}") from None

@@ -1,0 +1,141 @@
+"""Declarative scenario model: tenants, worker groups, checks.
+
+Everything here is plain data — the runner owns the clock and the
+sockets.  Times are seconds from scenario start; ``scaled`` shrinks a
+scenario for ``--quick`` CI runs without changing its shape.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Scenario", "TenantSpec", "WorkerGroup", "build_tasks"]
+
+#: ``--quick`` never scales a tenant below this many tasks, so every
+#: scenario still exercises its failure mode (a 2-task flash crowd
+#: isn't one).
+QUICK_TASK_FLOOR = 8
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One submitter: a job, when it arrives, and its fair share."""
+
+    name: str
+    tasks: int
+    #: Files referenced per task; drawn from this tenant's pool.
+    files_per_task: int = 3
+    #: Size of the tenant's file-id pool (reuse drives cache hits).
+    file_pool: int = 60
+    #: Simulated compute per task (with the fleet's flops_per_sec).
+    flops: float = 1e6
+    #: Fair-share weight; None submits without one (legacy tenant).
+    weight: Optional[float] = None
+    #: Seconds into the run when the first chunk is submitted.
+    submit_at: float = 0.0
+    #: Split the submission into this many waves...
+    waves: int = 1
+    #: ...this far apart (a diurnal curve is many small waves).
+    wave_interval: float = 0.0
+
+
+@dataclass(frozen=True)
+class WorkerGroup:
+    """A homogeneous slice of the fleet."""
+
+    name: str
+    count: int
+    #: Sites the group spreads over, round-robin.
+    sites: int = 2
+    #: Site ids start here (lets groups share or avoid caches).
+    site_offset: int = 0
+    capacity_files: int = 200
+    #: Simulated speed; lower = straggler.
+    flops_per_sec: float = 5e7
+    seconds_per_file: float = 0.0
+    #: Seconds into the run when the group connects (flash crowd).
+    join_at: float = 0.0
+    #: Kill each worker this long after it joined (churn); the
+    #: connection drops mid-task, exercising requeue-on-disconnect.
+    kill_after: Optional[float] = None
+    #: Scope pulls to this tenant's job; None pulls unscoped.
+    tenant: Optional[str] = None
+    batch: int = 1
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One declarative run: who does what to the scheduler, and the
+    checks its summary must pass."""
+
+    name: str
+    description: str
+    tenants: Tuple[TenantSpec, ...]
+    workers: Tuple[WorkerGroup, ...]
+    #: Server features under test.
+    admission_watermark: Optional[int] = None
+    admission_retry_after: float = 0.05
+    replicate_stragglers: bool = False
+    max_replicas: int = 1
+    lease_ttl: float = 2.0
+    metric: str = "combined"
+    n: int = 2
+    seed: int = 0
+    #: Connections that HELLO, solicit replies and never read them.
+    slow_readers: int = 0
+    #: Check names from :mod:`repro.scenario.runner` CHECKS.
+    checks: Tuple[str, ...] = ("audit-clean", "all-jobs-complete")
+    #: ``p99-queue-wait-bounded`` threshold, seconds.
+    p99_queue_wait_bound: Optional[float] = None
+    #: ``weighted-fair`` tolerance: observed share may differ from the
+    #: weighted fair share by at most this (absolute fraction).
+    fair_share_tolerance: float = 0.15
+    #: Hard wall-clock cap the runner enforces on the whole run.
+    timeout: float = 120.0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def scaled(self, factor: float) -> "Scenario":
+        """Shrink task counts (never the fleet) by ``factor``."""
+        if factor >= 1.0:
+            return self
+        tenants = tuple(
+            replace(t, tasks=max(QUICK_TASK_FLOOR,
+                                 math.ceil(t.tasks * factor)))
+            for t in self.tenants)
+        watermark = self.admission_watermark
+        if watermark is not None:
+            total = sum(t.tasks for t in tenants)
+            # Keep the watermark binding after the shrink: below the
+            # biggest tenant's burst, above a single wave.
+            watermark = max(QUICK_TASK_FLOOR // 2,
+                            math.ceil(watermark * factor),
+                            1)
+            watermark = min(watermark, max(1, total - 1))
+        return replace(self, tenants=tenants,
+                       admission_watermark=watermark)
+
+    def tenant(self, name: str) -> TenantSpec:
+        for spec in self.tenants:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no tenant named {name!r} in {self.name}")
+
+
+def build_tasks(spec: TenantSpec, seed: int,
+                pool_offset: int = 0) -> List[dict]:
+    """Deterministic synthetic tasks for one tenant.
+
+    File ids are drawn from the tenant's own pool (shifted by
+    ``pool_offset`` so tenants don't share files unless asked to),
+    with reuse, so locality-aware scheduling has something to bite on.
+    """
+    rng = random.Random(f"{seed}:{spec.name}")
+    pool = range(pool_offset, pool_offset + spec.file_pool)
+    return [{"files": sorted(rng.sample(pool,
+                                        min(spec.files_per_task,
+                                            spec.file_pool))),
+             "flops": spec.flops}
+            for _ in range(spec.tasks)]

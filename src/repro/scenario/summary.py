@@ -1,0 +1,192 @@
+"""Summary schema validation and run-to-run comparison.
+
+``summary.json`` is the machine-readable contract between a scenario
+run and everything downstream (CI gating, ``repro scenario compare``,
+dashboards).  :func:`validate_summary` is the schema check CI runs on
+every artifact; it returns a list of violations rather than raising,
+so a matrix job can report all of them at once.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["percentile", "validate_summary", "load_summary",
+           "compare_summaries", "format_summary"]
+
+
+def percentile(ordered: List[float], q: float) -> float:
+    """The ``q``-th percentile of an already-sorted sample (linear
+    interpolation between closest ranks, the numpy default)."""
+    if not ordered:
+        raise ValueError("percentile of an empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+#: summary.json's required top-level keys and their types.
+_TOP_LEVEL = {
+    "scenario": str,
+    "quick": bool,
+    "duration": (int, float),
+    "tenants": dict,
+    "audit": dict,
+    "checks": list,
+    "passed": bool,
+}
+
+_AUDIT_KEYS = ("tasks_submitted", "completed", "lost",
+               "double_counted", "clean")
+
+_LATENCY_KEYS = ("samples", "p50", "p99", "max")
+
+
+def validate_summary(summary: Dict) -> List[str]:
+    """Schema-check one summary dict; returns the violation list
+    (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(summary, dict):
+        return ["summary is not an object"]
+    for key, expected in _TOP_LEVEL.items():
+        if key not in summary:
+            problems.append(f"missing top-level key {key!r}")
+        elif not isinstance(summary[key], expected):
+            problems.append(
+                f"{key!r} should be {expected}, got "
+                f"{type(summary[key]).__name__}")
+    audit = summary.get("audit")
+    if isinstance(audit, dict):
+        for key in _AUDIT_KEYS:
+            if key not in audit:
+                problems.append(f"audit missing {key!r}")
+    for name, tenant in (summary.get("tenants") or {}).items():
+        if not isinstance(tenant, dict):
+            problems.append(f"tenant {name!r} is not an object")
+            continue
+        for key in ("submitted", "completed", "lost"):
+            if not isinstance(tenant.get(key), int):
+                problems.append(f"tenant {name!r} needs int {key!r}")
+        for block_name in ("queue_wait", "turnaround"):
+            block = tenant.get(block_name)
+            if not isinstance(block, dict):
+                problems.append(
+                    f"tenant {name!r} missing {block_name!r} block")
+                continue
+            for key in _LATENCY_KEYS:
+                if key not in block:
+                    problems.append(
+                        f"tenant {name!r} {block_name} missing "
+                        f"{key!r}")
+    for index, check in enumerate(summary.get("checks") or []):
+        if not isinstance(check, dict):
+            problems.append(f"check #{index} is not an object")
+            continue
+        for key in ("name", "passed", "detail"):
+            if key not in check:
+                problems.append(f"check #{index} missing {key!r}")
+    return problems
+
+
+def load_summary(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _tenant_metric(summary: Dict, tenant: str, block: str,
+                   key: str) -> Optional[float]:
+    return ((summary.get("tenants") or {}).get(tenant, {})
+            .get(block, {}).get(key))
+
+
+def compare_summaries(baseline: Dict, candidate: Dict) -> str:
+    """A human-readable diff of the headline metrics of two runs."""
+    lines = [f"baseline : {baseline.get('scenario')} "
+             f"({baseline.get('duration')}s, "
+             f"passed={baseline.get('passed')})",
+             f"candidate: {candidate.get('scenario')} "
+             f"({candidate.get('duration')}s, "
+             f"passed={candidate.get('passed')})"]
+    names = sorted(set(baseline.get("tenants") or {})
+                   | set(candidate.get("tenants") or {}))
+    header = (f"  {'tenant':<12} {'metric':<18} "
+              f"{'baseline':>12} {'candidate':>12} {'delta':>10}")
+    lines.append(header)
+    for name in names:
+        for block, key, label in (
+                ("queue_wait", "p50", "queue wait p50"),
+                ("queue_wait", "p99", "queue wait p99"),
+                ("turnaround", "p99", "turnaround p99")):
+            base = _tenant_metric(baseline, name, block, key)
+            cand = _tenant_metric(candidate, name, block, key)
+            if base is None and cand is None:
+                continue
+            delta = ("" if base is None or cand is None or base == 0
+                     else f"{(cand - base) / base * 100:+.1f}%")
+            lines.append(
+                f"  {name:<12} {label:<18} "
+                f"{_fmt(base):>12} {_fmt(cand):>12} {delta:>10}")
+        base_tp = (baseline.get("tenants") or {}).get(name, {}).get(
+            "throughput_per_sec")
+        cand_tp = (candidate.get("tenants") or {}).get(name, {}).get(
+            "throughput_per_sec")
+        if base_tp is not None or cand_tp is not None:
+            delta = ("" if not base_tp or cand_tp is None
+                     else f"{(cand_tp - base_tp) / base_tp * 100:+.1f}%")
+            lines.append(
+                f"  {name:<12} {'throughput/s':<18} "
+                f"{_fmt(base_tp):>12} {_fmt(cand_tp):>12} {delta:>10}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.4f}" if value < 100 else f"{value:.1f}"
+
+
+def format_summary(summary: Dict) -> str:
+    """The terminal rendering ``repro scenario run`` prints."""
+    lines = [f"scenario {summary['scenario']}: "
+             f"{'PASS' if summary.get('passed') else 'FAIL'} "
+             f"in {summary.get('duration')}s"
+             + (" (quick)" if summary.get("quick") else "")]
+    for name, tenant in sorted((summary.get("tenants") or {}).items()):
+        wait = tenant.get("queue_wait", {})
+        turn = tenant.get("turnaround", {})
+        weight = tenant.get("weight")
+        lines.append(
+            f"  tenant {name:<12} "
+            f"{tenant.get('completed')}/{tenant.get('submitted')} done"
+            + (f", weight {weight:g}" if weight else "")
+            + f", {tenant.get('throughput_per_sec')}/s"
+            f", wait p50/p99 {_fmt(wait.get('p50'))}/"
+            f"{_fmt(wait.get('p99'))}s"
+            f", turnaround p99 {_fmt(turn.get('p99'))}s")
+    audit = summary.get("audit", {})
+    lines.append(f"  audit: lost={audit.get('lost')} "
+                 f"double_counted={audit.get('double_counted')}")
+    admission = summary.get("admission") or {}
+    if admission.get("watermark") is not None:
+        lines.append(
+            f"  admission: {admission.get('rejections')} rejection(s),"
+            f" peak depth {admission.get('max_queue_depth')} vs "
+            f"watermark {admission.get('watermark')}")
+    replication = summary.get("replication") or {}
+    if replication.get("enabled"):
+        lines.append(
+            f"  replication: {replication.get('granted')} replica(s) "
+            f"granted, {replication.get('replica_wins')} win(s)")
+    for check in summary.get("checks", []):
+        status = "ok " if check.get("passed") else "FAIL"
+        lines.append(f"  [{status}] {check.get('name')}: "
+                     f"{check.get('detail')}")
+    return "\n".join(lines)

@@ -66,6 +66,11 @@ SUBMIT_CHUNK = 200
 READ_CHUNK = 64 * 1024
 
 
+class OverloadedError(RuntimeError):
+    """The server kept rejecting ``JOB_SUBMIT`` under admission
+    control for longer than the client's retry budget."""
+
+
 class SiteCacheMirror:
     """Client-side LRU over file ids, reporting what it evicts."""
 
@@ -740,24 +745,51 @@ class SchedulerClient:
                    ) -> messages.ServerMessage:
         return await self._conn.call(message)
 
-    async def submit(self, job: Iterable) -> JobHandle:
+    async def submit(self, job: Iterable,
+                     weight: Optional[float] = None,
+                     max_retries: int = 20,
+                     extend_job_id: Optional[int] = None) -> JobHandle:
         """Submit every task of ``job``; returns its :class:`JobHandle`.
 
         ``job`` is any iterable of objects with ``files`` and ``flops``
         (a :class:`~repro.grid.job.Job`, a task list), or of
         ``{"files": ..., "flops": ...}`` dicts.  Large jobs are chunked
         over several ``JOB_SUBMIT`` messages extending one job id.
+
+        ``weight`` opts the job into weighted-fair scheduling (sent on
+        the opening chunk only).  When the server rejects a chunk with
+        ``reason="overloaded"`` (admission control), the chunk is
+        retried after the server-suggested ``retry_after`` delay, up to
+        ``max_retries`` times before :class:`OverloadedError` is
+        raised.  ``extend_job_id`` appends the tasks to an existing
+        job instead of opening a new one (how a submitter streams
+        waves of work into one job).
         """
         specs = [task if isinstance(task, dict)
                  else {"files": sorted(task.files), "flops": task.flops}
                  for task in job]
-        job_id: Optional[int] = None
+        job_id: Optional[int] = extend_job_id
         task_ids: List[int] = []
         for start in range(0, len(specs), SUBMIT_CHUNK):
             chunk = specs[start:start + SUBMIT_CHUNK]
-            reply = await self.call(
-                messages.JobSubmit(tasks=chunk, job_id=job_id))
-            if not isinstance(reply, messages.JobAccepted):
+            retries = 0
+            while True:
+                reply = await self.call(messages.JobSubmit(
+                    tasks=chunk, job_id=job_id,
+                    weight=weight if job_id is None else None))
+                if isinstance(reply, messages.JobAccepted):
+                    break
+                if (isinstance(reply, messages.Ack)
+                        and not reply.accepted
+                        and reply.reason == protocol.REASON_OVERLOADED):
+                    if retries >= max_retries:
+                        raise OverloadedError(
+                            f"JOB_SUBMIT rejected {retries + 1} times; "
+                            "server stays over its admission watermark")
+                    retries += 1
+                    delay = reply.retry_after or 0.25
+                    await asyncio.sleep(min(delay, 5.0))
+                    continue
                 raise RuntimeError(f"expected JOB_ACCEPTED, got {reply}")
             job_id = reply.job_id
             task_ids.extend(reply.task_ids)

@@ -597,7 +597,8 @@ _ACK_PLAIN = b"\x01"
 
 
 def _pack_ack(m: messages.Ack) -> bytes:
-    if m.reason is None and m.draining is None:
+    if (m.reason is None and m.draining is None
+            and m.retry_after is None):
         return _ACK_PLAIN if m.accepted else b"\x00"
     flags = 1 if m.accepted else 0
     out = bytearray()
@@ -607,11 +608,15 @@ def _pack_ack(m: messages.Ack) -> bytes:
         flags |= 4
         if m.draining:
             flags |= 8
+    if m.retry_after is not None:
+        flags |= 16
     out.append(flags)
     if m.reason is not None:
         data = m.reason.encode("utf-8")
         out += _U16.pack(len(data))
         out += data
+    if m.retry_after is not None:
+        out += _F64.pack(m.retry_after)
     return bytes(out)
 
 
@@ -628,9 +633,13 @@ def _unpack_ack(body: bytes) -> messages.Ack:
         (size,) = _U16.unpack_from(body, pos)
         reason, pos = _unpack_str(body, pos + 2, size)
     draining = bool(flags & 8) if flags & 4 else None
+    retry_after = None
+    if flags & 16:
+        (retry_after,) = _F64.unpack_from(body, pos)
+        pos += 8
     _expect_end(body, pos, wire.ACK)
     return messages.Ack(accepted=bool(flags & 1), reason=reason,
-                        draining=draining)
+                        draining=draining, retry_after=retry_after)
 
 
 def _pack_heartbeat_ack(m: messages.HeartbeatAck) -> bytes:

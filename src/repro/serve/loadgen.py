@@ -107,12 +107,21 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
         stats = await control.stats()
         if drain:
             await control.drain()
+    accepted = sum(s["tasks_done"] for s in summaries)
+    submitted = len(handle.task_ids)
+    audit = {
+        "tasks_submitted": submitted,
+        "completed": job_status["completed"],
+        "lost": max(0, submitted - job_status["completed"]),
+        "double_counted": max(0, accepted - job_status["completed"]),
+    }
+    audit["clean"] = audit["lost"] == 0 and audit["double_counted"] == 0
     return {
         "job_id": handle.job_id,
-        "tasks_submitted": len(handle.task_ids),
+        "tasks_submitted": submitted,
         "batch": batch,
         "codec": codec,
-        "tasks_done": sum(s["tasks_done"] for s in summaries),
+        "tasks_done": accepted,
         "files_fetched": sum(s["files_fetched"] for s in summaries),
         "job_status": job_status,
         "workers": summaries,
@@ -123,6 +132,7 @@ async def run_load(host: str, port: int, job: Job, workers: int = 8,
                 agg.duplicates_suppressed
                 for agg in aggregators.values()),
         },
+        "audit": audit,
         "stats": stats,
         "event_log": event_log,
     }

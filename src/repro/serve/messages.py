@@ -292,16 +292,30 @@ class FileDelta(ClientMessage):
 
 @dataclass(frozen=True)
 class JobSubmit(ClientMessage):
-    """Append a batch of tasks (to job ``job_id`` when given)."""
+    """Append a batch of tasks (to job ``job_id`` when given).
+
+    ``weight`` is the job's fair-share weight for weighted-fair
+    pick-order across tenants (see
+    :meth:`~repro.serve.service.SchedulerService.submit_job`); absent
+    means the job takes no part in weighting — a server where no job
+    carries a weight schedules exactly as before the field existed.
+    """
     TYPE = wire.JOB_SUBMIT
     tasks: List[dict]
     job_id: Optional[int] = None
+    weight: Optional[float] = None
 
     def validate(self) -> None:
         if not isinstance(self.tasks, list):
             raise ProtocolError(f"{self.TYPE}.tasks must be a list")
         if self.job_id is not None:
             _need_int(self.TYPE, "job_id", self.job_id, minimum=0)
+        if self.weight is not None:
+            _need_number(self.TYPE, "weight", self.weight)
+            if self.weight <= 0:
+                raise ProtocolError(
+                    f"{self.TYPE}.weight must be > 0, "
+                    f"got {self.weight!r}")
 
 
 @dataclass(frozen=True)
@@ -442,18 +456,24 @@ class Ack(ServerMessage):
     """Success/rejection ack (TASK_DONE / FILE_DELTA / DRAIN).
 
     ``accepted`` is False when a ``TASK_DONE`` presented an invalid
-    lease; ``reason`` then says why (``stale-lease`` or
-    ``already-complete``).
+    lease (``reason`` then says why: ``stale-lease`` or
+    ``already-complete``) or when admission control rejected a
+    ``JOB_SUBMIT`` (``reason`` is ``overloaded`` and ``retry_after``
+    tells the submitter how many seconds to back off before retrying
+    the same chunk).
     """
     TYPE = wire.ACK
     accepted: bool = True
     reason: Optional[str] = None
     draining: Optional[bool] = None
+    retry_after: Optional[float] = None
 
     def validate(self) -> None:
         _need_bool(self.TYPE, "accepted", self.accepted)
         if self.reason is not None:
             _need_str(self.TYPE, "reason", self.reason)
+        if self.retry_after is not None:
+            _need_number(self.TYPE, "retry_after", self.retry_after)
 
 
 @dataclass(frozen=True)

@@ -150,6 +150,12 @@ REASON_DRAINING = "draining"    #: the server is shutting down
 NO_TASK_REASONS = frozenset({REASON_JOB_DONE, REASON_IDLE,
                              REASON_DRAINING})
 
+#: ``ACK.reason`` when admission control rejects a ``JOB_SUBMIT``
+#: because the pending queue is over its watermark; the ack carries
+#: ``retry_after`` seconds the submitter should back off before
+#: retrying the same chunk.
+REASON_OVERLOADED = "overloaded"
+
 # -- codec negotiation --------------------------------------------------------
 
 #: Negotiation name of the v2 JSON-lines wire format (the fallback

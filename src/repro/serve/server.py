@@ -55,7 +55,7 @@ from typing import Optional, Sequence, Set
 
 from . import messages, protocol
 from .codec import Codec, JsonLinesCodec, make_codec
-from .service import SchedulerService, ServiceError
+from .service import AdmissionRejected, SchedulerService, ServiceError
 
 log = logging.getLogger("repro.serve.server")
 stats_log = logging.getLogger("repro.serve.stats")
@@ -380,8 +380,14 @@ class SchedulerServer:
             return messages.Ack()
 
         if isinstance(message, messages.JobSubmit):
-            accepted = service.submit_job(message.tasks,
-                                          job_id=message.job_id)
+            try:
+                accepted = service.submit_job(message.tasks,
+                                              job_id=message.job_id,
+                                              weight=message.weight)
+            except AdmissionRejected as exc:
+                return messages.Ack(accepted=False,
+                                    reason=protocol.REASON_OVERLOADED,
+                                    retry_after=exc.retry_after)
             return messages.JobAccepted(**accepted)
 
         if isinstance(message, messages.JobStatusRequest):

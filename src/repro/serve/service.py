@@ -61,6 +61,22 @@ class ServiceError(RuntimeError):
     """A request the service rejects (reported as a protocol ERROR)."""
 
 
+class AdmissionRejected(ServiceError):
+    """A ``JOB_SUBMIT`` bounced off the admission watermark.
+
+    Not a protocol error: the server answers with
+    ``ACK {accepted: false, reason: "overloaded"}`` carrying
+    :attr:`retry_after`, and the submitter retries the same chunk
+    after backing off — backpressure, not failure.
+    """
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            "pending queue is over the admission watermark; "
+            f"retry in {retry_after:g}s")
+        self.retry_after = retry_after
+
+
 @dataclass(frozen=True)
 class Assignment:
     """A granted task: what ``TASK`` puts on the wire."""
@@ -86,27 +102,37 @@ class _Lease:
     """One outstanding assignment's liveness contract."""
 
     __slots__ = ("lease_id", "task_id", "worker", "site_id",
-                 "expires_at")
+                 "expires_at", "granted_at")
 
     def __init__(self, lease_id: int, task_id: int, worker: str,
-                 site_id: int, expires_at: float):
+                 site_id: int, expires_at: float,
+                 granted_at: float = 0.0):
         self.lease_id = lease_id
         self.task_id = task_id
         self.worker = worker
         self.site_id = site_id
         self.expires_at = expires_at
+        #: When the lease was granted — the straggler heuristic ranks
+        #: replication candidates by longest-running primary lease.
+        self.granted_at = granted_at
 
 
 class _JobState:
     """Per-job bookkeeping: which tasks are pending/assigned/done."""
 
-    __slots__ = ("job_id", "task_ids", "pending", "completed")
+    __slots__ = ("job_id", "task_ids", "pending", "completed",
+                 "weight", "assigned")
 
     def __init__(self, job_id: int):
         self.job_id = job_id
         self.task_ids: Set[int] = set()
         self.pending: Set[int] = set()
         self.completed: Set[int] = set()
+        #: Fair-share weight; None = the job never asked for one.
+        self.weight: Optional[float] = None
+        #: Assignments granted to this job (the stride scheduler's
+        #: pass count numerator: next pick minimizes assigned/weight).
+        self.assigned = 0
 
     @property
     def outstanding(self) -> int:
@@ -167,13 +193,26 @@ class SchedulerService:
                  tracer: Optional[DecisionTracer] = None,
                  fast_path: bool = True,
                  id_start: int = 0, id_stride: int = 1,
-                 wal_events: bool = False):
+                 wal_events: bool = False,
+                 admission_watermark: Optional[int] = None,
+                 admission_retry_after: float = 0.25,
+                 replicate_tail: bool = False,
+                 max_replicas: int = 1):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
         if id_stride < 1 or not (0 <= id_start < id_stride):
             raise ValueError(
                 f"need 0 <= id_start < id_stride, got "
                 f"{id_start}/{id_stride}")
+        if admission_watermark is not None and admission_watermark < 1:
+            raise ValueError(f"admission_watermark must be >= 1, "
+                             f"got {admission_watermark}")
+        if admission_retry_after <= 0:
+            raise ValueError(f"admission_retry_after must be > 0, "
+                             f"got {admission_retry_after}")
+        if max_replicas < 1:
+            raise ValueError(
+                f"max_replicas must be >= 1, got {max_replicas}")
         self.name = name
         self.lease_ttl = float(lease_ttl)
         self._clock = clock
@@ -203,6 +242,24 @@ class SchedulerService:
         self._assigned: Dict[int, _Lease] = {}     # task_id -> lease
         self._leases: Dict[int, _Lease] = {}       # lease_id -> lease
         self._by_worker: Dict[str, Set[int]] = {}  # worker -> task_ids
+        #: Admission control: a JOB_SUBMIT that would push the pending
+        #: queue past the watermark is bounced with ``overloaded`` and
+        #: the advertised retry-after, instead of queued.  None = no
+        #: limit (the pre-watermark behavior).
+        self._admission_watermark = admission_watermark
+        self._admission_retry_after = float(admission_retry_after)
+        #: Straggler-aware tail replication: when a pull would park
+        #: (nothing pending, work outstanding) the service may instead
+        #: grant a *replica* lease on the longest-running outstanding
+        #: task.  First completion wins; the loser's TASK_DONE is
+        #: rejected by the ordinary lease machinery.
+        self._replicate_tail = replicate_tail
+        self._max_replicas = max_replicas
+        self._replicas: Dict[int, List[_Lease]] = {}  # task -> replicas
+        #: Weighted-fair mode is sticky: it turns on at the first
+        #: weighted JOB_SUBMIT and stays on, so a server that never
+        #: sees a weight keeps the bit-identical unscoped choose path.
+        self._weighted = False
         self._jobs: Dict[int, _JobState] = {}
         self._task_job: Dict[int, int] = {}        # task_id -> job_id
         self._parked: Deque[_ParkedRequest] = deque()
@@ -278,7 +335,8 @@ class SchedulerService:
 
     # -- job intake ------------------------------------------------------
     def submit_job(self, tasks_payload: List[dict],
-                   job_id: Optional[int] = None) -> Dict:
+                   job_id: Optional[int] = None,
+                   weight: Optional[float] = None) -> Dict:
         """Append a batch of tasks; returns the job id and task ids.
 
         ``tasks_payload`` items need ``files`` (non-empty int list) and
@@ -286,6 +344,14 @@ class SchedulerService:
         independent submitters can never collide.  ``job_id`` of None
         opens a new job; otherwise the batch extends an existing job
         (how large submissions are chunked across messages).
+
+        ``weight`` sets the job's fair-share weight: when any job has
+        one, unscoped pulls pick the job with the lowest
+        ``assigned / weight`` ratio (min-pass stride scheduling) and
+        score only its tasks; weightless jobs count as weight 1.  With
+        a watermark configured, a batch that would push the pending
+        queue past it raises :class:`AdmissionRejected` before any
+        task id is allocated.
         """
         if self._draining:
             raise ServiceError("server is draining; job rejected")
@@ -293,6 +359,15 @@ class SchedulerService:
             raise ServiceError("JOB_SUBMIT needs a non-empty task list")
         if job_id is not None and job_id not in self._jobs:
             raise ServiceError(f"unknown job id {job_id!r}")
+        if weight is not None and (
+                isinstance(weight, bool)
+                or not isinstance(weight, (int, float)) or weight <= 0):
+            raise ServiceError("'weight' must be a number > 0")
+        if (self._admission_watermark is not None
+                and self.queue_depth + len(tasks_payload)
+                > self._admission_watermark):
+            self.stats.admission_rejections += 1
+            raise AdmissionRejected(self._admission_retry_after)
         tasks: List[Task] = []
         for spec in tasks_payload:
             if not isinstance(spec, dict):
@@ -315,6 +390,9 @@ class SchedulerService:
             self._jobs[job_id] = _JobState(job_id)
             self.stats.jobs_submitted += 1
         job = self._jobs[job_id]
+        if weight is not None:
+            job.weight = float(weight)
+            self._weighted = True
         for task in tasks:
             self._table.add(task)
             self.engine.add_task(task)
@@ -402,6 +480,9 @@ class SchedulerService:
                 entry.deliver(protocol.REASON_DRAINING)
             elif job.pending:
                 self._deliver_assignments(entry, job)
+            elif self._replicate_tail and self._grant_replica(entry,
+                                                              job):
+                pass  # job tail: replicate a straggling task instead
             else:
                 return False  # all of the job's tasks are outstanding
             return True
@@ -411,6 +492,9 @@ class SchedulerService:
             self._deliver_assignments(entry, None)
         elif self._jobs and self.is_idle:
             entry.deliver(protocol.REASON_IDLE)
+        elif (self._replicate_tail and self._jobs
+                and self._grant_replica(entry, None)):
+            pass  # global tail: replicate instead of parking
         else:
             return False  # no job yet, or work outstanding: park
         return True
@@ -437,24 +521,54 @@ class SchedulerService:
         else:
             entry.deliver(assignments[0])
 
+    def _pick_weighted_job(self) -> Optional[_JobState]:
+        """Stride pick: the pending job with the lowest pass value.
+
+        Only consulted once a weighted JOB_SUBMIT flipped the server
+        into weighted-fair mode; weightless jobs ride along at weight
+        1.  Ties break on the lower job id, so the pick order is
+        deterministic.
+        """
+        best: Optional[_JobState] = None
+        best_pass = 0.0
+        for job_id in sorted(self._jobs):
+            job = self._jobs[job_id]
+            if not job.pending:
+                continue
+            weight = job.weight if job.weight is not None else 1.0
+            pass_value = job.assigned / weight
+            if best is None or pass_value < best_pass:
+                best, best_pass = job, pass_value
+        return best
+
     def _assign(self, worker: str, site_id: int,
                 job: Optional[_JobState]) -> Assignment:
         start = self._clock()
+        if job is None and self._weighted:
+            # Weighted-fair pick-order: choose the tenant first, then
+            # let the engine score only that tenant's tasks.  Servers
+            # that never saw a weight skip this branch entirely, so
+            # the unscoped path stays bit-identical to the reference.
+            job = self._pick_weighted_job()
         eligible = job.pending if job is not None else None
         task = self.engine.choose(site_id, eligible=eligible)
         latency = self._clock() - start
         overlap = self.engine.overlap(site_id, task.task_id)
         self.engine.remove_task(task)
         owner_id = self._task_job[task.task_id]
-        self._jobs[owner_id].pending.discard(task.task_id)
+        owner = self._jobs[owner_id]
+        owner.pending.discard(task.task_id)
+        owner.assigned += 1
         lease = _Lease(self._next_lease_id, task.task_id, worker,
-                       site_id, self._clock() + self.lease_ttl)
+                       site_id, self._clock() + self.lease_ttl,
+                       granted_at=start)
         self._next_lease_id += 1
         self._assigned[task.task_id] = lease
         self._leases[lease.lease_id] = lease
         self._by_worker.setdefault(worker, set()).add(task.task_id)
         self.stats.record_assignment(site_id, latency, overlap > 0,
                                      metric=self.engine.metric_name)
+        self.stats.record_tenant_assignment(owner_id)
         self.stats.leases_granted += 1
         self._emit("assign", task_id=task.task_id, site=site_id,
                    worker=worker, job_id=owner_id,
@@ -462,6 +576,67 @@ class SchedulerService:
                    latency_us=round(latency * 1e6, 3))
         return Assignment(task=task, lease_id=lease.lease_id,
                           job_id=owner_id, lease_ttl=self.lease_ttl)
+
+    def _grant_replica(self, entry: _ParkedRequest,
+                       job: Optional[_JobState]) -> bool:
+        """Lease the longest-running outstanding task to ``entry``.
+
+        The straggler trick of the task-centric baselines, done
+        worker-centrically: an idle pull at the tail (nothing pending,
+        work outstanding) gets a *replica* lease on the outstanding
+        task whose primary lease has been running longest — skipping
+        tasks the same worker already holds and tasks already at
+        ``max_replicas``.  Whichever lease completes first wins;
+        :meth:`task_done` releases every other lease on the task, so
+        the loser's report is rejected as ``already-complete`` and
+        nothing is double-counted.  Returns False when no task
+        qualifies (the pull parks as before).
+        """
+        if job is not None:
+            candidates = (task_id for task_id in job.task_ids
+                          if task_id in self._assigned)
+        else:
+            candidates = iter(self._assigned)
+        best: Optional[_Lease] = None
+        for task_id in candidates:
+            primary = self._assigned[task_id]
+            if primary.worker == entry.worker:
+                continue
+            replicas = self._replicas.get(task_id, ())
+            if len(replicas) >= self._max_replicas:
+                continue
+            if any(r.worker == entry.worker for r in replicas):
+                continue
+            if (best is None
+                    or (primary.granted_at, primary.task_id)
+                    < (best.granted_at, best.task_id)):
+                best = primary
+        if best is None:
+            return False
+        now = self._clock()
+        lease = _Lease(self._next_lease_id, best.task_id, entry.worker,
+                       entry.site_id, now + self.lease_ttl,
+                       granted_at=now)
+        self._next_lease_id += 1
+        self._leases[lease.lease_id] = lease
+        self._replicas.setdefault(best.task_id, []).append(lease)
+        self._by_worker.setdefault(entry.worker, set()).add(
+            best.task_id)
+        self.stats.task_replications += 1
+        self.stats.leases_granted += 1
+        owner_id = self._task_job[best.task_id]
+        self._emit("assign", task_id=best.task_id, site=entry.site_id,
+                   worker=entry.worker, job_id=owner_id,
+                   lease_id=lease.lease_id, replica=True)
+        task = self._table[best.task_id]
+        granted = Assignment(task=task, lease_id=lease.lease_id,
+                             job_id=owner_id, lease_ttl=self.lease_ttl)
+        if entry.batched:
+            self.stats.record_batch(1)
+            entry.deliver([granted])
+        else:
+            entry.deliver(granted)
+        return True
 
     def _service_parked(self) -> None:
         """Re-answer every parked pull whose outcome is now decided."""
@@ -482,17 +657,23 @@ class SchedulerService:
         A stale lease (expired, superseded by a reassignment, or for a
         task already completed) is rejected without touching the
         completion counters — the zombie-worker double-complete guard.
+        A still-valid *replica* lease completes the task exactly like
+        the primary would; the first accepted completion releases
+        every lease on the task, so whichever copy reports second is
+        rejected as ``already-complete``.
         """
         if not protocol.is_int(task_id) or task_id not in self._task_job:
             raise ServiceError(f"unknown task id {task_id!r}")
-        lease = self._assigned.get(task_id)
-        if lease is None or lease.lease_id != lease_id:
+        lease = self._leases.get(lease_id)
+        if lease is None or lease.task_id != task_id:
             if task_id in self._completed:
                 self.stats.duplicate_completions += 1
                 return CompletionResult(False, "already-complete")
             self.stats.stale_completions += 1
             return CompletionResult(False, "stale-lease")
-        self._release_lease(lease)
+        if self._assigned.get(task_id) is not lease:
+            self.stats.replica_wins += 1
+        self._release_task_leases(task_id)
         self._completed.add(task_id)
         job = self._jobs[self._task_job[task_id]]
         job.completed.add(task_id)
@@ -506,9 +687,40 @@ class SchedulerService:
         return CompletionResult(True)
 
     def _release_lease(self, lease: _Lease) -> None:
-        self._assigned.pop(lease.task_id, None)
+        if self._assigned.get(lease.task_id) is lease:
+            del self._assigned[lease.task_id]
+        else:
+            replicas = self._replicas.get(lease.task_id)
+            if replicas is not None and lease in replicas:
+                replicas.remove(lease)
+                if not replicas:
+                    del self._replicas[lease.task_id]
         self._leases.pop(lease.lease_id, None)
         self._by_worker.get(lease.worker, set()).discard(lease.task_id)
+
+    def _release_task_leases(self, task_id: int) -> None:
+        """Drop the primary and every replica lease of one task."""
+        primary = self._assigned.get(task_id)
+        if primary is not None:
+            self._release_lease(primary)
+        for replica in list(self._replicas.get(task_id, ())):
+            self._release_lease(replica)
+
+    def _promote_replica(self, task_id: int) -> Optional[_Lease]:
+        """Make the oldest live replica the task's primary lease.
+
+        Called when a primary lapses or its worker disconnects: a
+        live replica means the task is still being computed, so it
+        must not be requeued (that would start a third copy).
+        """
+        replicas = self._replicas.get(task_id)
+        if not replicas:
+            return None
+        lease = replicas.pop(0)
+        if not replicas:
+            del self._replicas[task_id]
+        self._assigned[task_id] = lease
+        return lease
 
     # -- leases ----------------------------------------------------------
     def heartbeat(self, worker: str,
@@ -523,9 +735,17 @@ class SchedulerService:
         """
         now = self._clock()
         if lease_ids is None:
-            held = self._by_worker.get(worker, set())
-            lease_ids = sorted(self._assigned[task_id].lease_id
-                               for task_id in held)
+            lease_ids = []
+            for task_id in self._by_worker.get(worker, set()):
+                primary = self._assigned.get(task_id)
+                if primary is not None and primary.worker == worker:
+                    lease_ids.append(primary.lease_id)
+                    continue
+                lease_ids.extend(
+                    replica.lease_id
+                    for replica in self._replicas.get(task_id, ())
+                    if replica.worker == worker)
+            lease_ids.sort()
         renewed: List[int] = []
         gone: List[int] = []
         for lease_id in lease_ids:
@@ -547,20 +767,35 @@ class SchedulerService:
         now = self._clock() if now is None else now
         lapsed = [lease for lease in self._assigned.values()
                   if lease.expires_at <= now]
+        requeued = 0
         for lease in lapsed:
             self._release_lease(lease)
-            self._requeue(lease.task_id)
             self.stats.lease_expiries += 1
             self._emit("lease-expire", task_id=lease.task_id,
                        lease_id=lease.lease_id, worker=lease.worker)
+            if self._promote_replica(lease.task_id) is not None:
+                continue  # a replica is still computing the task
+            self._requeue(lease.task_id)
+            requeued += 1
             self._emit("requeue", task_id=lease.task_id,
                        reason="lease-expired")
-        if lapsed:
-            self.stats.requeues += len(lapsed)
+        # Replica leases lapse quietly: the primary still covers the
+        # task, so an expired replica is dropped without a requeue.
+        lapsed_replicas = [
+            replica for replicas in self._replicas.values()
+            for replica in replicas if replica.expires_at <= now]
+        for replica in lapsed_replicas:
+            self._release_lease(replica)
+            self.stats.lease_expiries += 1
+            self._emit("lease-expire", task_id=replica.task_id,
+                       lease_id=replica.lease_id,
+                       worker=replica.worker)
+        if lapsed or lapsed_replicas:
+            self.stats.requeues += requeued
             self.stats.record_queue_depth(self.queue_depth)
             self._service_parked()
             self._maybe_drained()
-        return len(lapsed)
+        return len(lapsed) + len(lapsed_replicas)
 
     def _requeue(self, task_id: int) -> None:
         self.engine.add_task(self._table[task_id])
@@ -612,10 +847,23 @@ class SchedulerService:
         lost = self._by_worker.pop(worker, set())
         requeued = 0
         for task_id in sorted(lost):
-            lease = self._assigned.pop(task_id, None)
-            if lease is not None:
-                self._leases.pop(lease.lease_id, None)
+            primary = self._assigned.get(task_id)
+            if primary is None or primary.worker != worker:
+                # The worker only held a replica: drop it, the
+                # primary still covers the task.
+                for replica in list(self._replicas.get(task_id, ())):
+                    if replica.worker == worker:
+                        replica_leases = self._replicas[task_id]
+                        replica_leases.remove(replica)
+                        if not replica_leases:
+                            del self._replicas[task_id]
+                        self._leases.pop(replica.lease_id, None)
+                continue
+            del self._assigned[task_id]
+            self._leases.pop(primary.lease_id, None)
             if task_id not in self._completed:
+                if self._promote_replica(task_id) is not None:
+                    continue  # a replica is still computing the task
                 self._requeue(task_id)
                 requeued += 1
                 self._emit("requeue", task_id=task_id,
@@ -833,6 +1081,10 @@ class SchedulerService:
         return True
 
     def _replay_assign(self, record: Dict) -> bool:
+        if record.get("replica"):
+            # Replica leases are a live-tail optimisation only; the
+            # primary assign record already covers the task.
+            return False
         task_id = record["task_id"]
         if task_id not in self._task_job:
             raise ServiceError(

@@ -64,6 +64,15 @@ _COUNTERS = {
     "delta_duplicate_removes": ("repro_delta_duplicate_removes_total",
                                 "FILE_DELTA removes that were already "
                                 "gone (redundant wire traffic)"),
+    "admission_rejections": ("repro_admission_rejections_total",
+                             "JOB_SUBMITs rejected by the pending-"
+                             "queue admission watermark"),
+    "task_replications": ("repro_task_replications_total",
+                          "Replica leases granted on straggling "
+                          "tail tasks"),
+    "replica_wins": ("repro_replica_wins_total",
+                     "Completions that landed via a replica lease "
+                     "(first-completion-wins)"),
 }
 
 #: ``bind_live`` keyword -> (gauge name, help).  Callback gauges over
@@ -173,6 +182,13 @@ class ServeStats:
             "REQUEST_TASK batch pulls by granted batch size",
             labelnames=("size",))
         self._batch_sizes: Dict[int, int] = {}
+        #: Per-tenant (per-job) assignment counter: which job each
+        #: grant went to, so weighted-fair shares are observable.
+        self._tenant_assignments = reg.counter(
+            "repro_tenant_assignments_total",
+            "Tasks assigned, by owning job (tenant)",
+            labelnames=("job",))
+        self._tenants: Dict[int, int] = {}
 
     # -- recording -------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
@@ -203,6 +219,11 @@ class ServeStats:
             site.hit_counter.inc()
         site.rate_gauge.set(site.hit_counter.value
                             / site.assignment_counter.value)
+
+    def record_tenant_assignment(self, job_id: int) -> None:
+        """One grant charged to ``job_id``'s fair-share account."""
+        self._tenant_assignments.labels(job=str(job_id)).inc()
+        self._tenants[job_id] = self._tenants.get(job_id, 0) + 1
 
     def record_batch(self, granted: int) -> None:
         """One answered batched pull that granted ``granted`` tasks."""
@@ -301,6 +322,15 @@ class ServeStats:
                 "sizes": {str(size): count for size, count
                           in sorted(self._batch_sizes.items())},
             },
+            "admission": {
+                "rejections": self.admission_rejections,
+            },
+            "replication": {
+                "granted": self.task_replications,
+                "replica_wins": self.replica_wins,
+            },
+            "tenants": {str(job_id): count for job_id, count
+                        in sorted(self._tenants.items())},
             "sites": sites,
         }
         if draining is not None:
@@ -338,6 +368,21 @@ def format_stats(snapshot: Dict) -> str:
         f"p99 {latency['p99_us']:.0f} us, "
         f"max {latency['max_us']:.0f} us over {latency['count']}",
     ]
+    admission = snapshot.get("admission", {})
+    if admission.get("rejections"):
+        lines.append(f"admission         : "
+                     f"{admission['rejections']} submit(s) rejected "
+                     f"over watermark")
+    replication = snapshot.get("replication", {})
+    if replication.get("granted"):
+        lines.append(f"replication       : "
+                     f"{replication['granted']} replica(s) granted, "
+                     f"{replication['replica_wins']} won the race")
+    tenants = snapshot.get("tenants", {})
+    if len(tenants) > 1:
+        shares = ", ".join(f"job {job}: {count}"
+                           for job, count in tenants.items())
+        lines.append(f"tenant shares     : {shares}")
     for site_id, site in snapshot["sites"].items():
         lines.append(
             f"site {site_id:>3} overlap : "

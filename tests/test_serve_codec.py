@@ -82,7 +82,10 @@ CLASS_STRATEGIES = {
         messages.JobSubmit,
         tasks=st.lists(st.fixed_dictionaries(
             {"files": _id_lists, "flops": _numbers}), max_size=3),
-        job_id=st.none() | _ids),
+        job_id=st.none() | _ids,
+        weight=st.none() | st.floats(min_value=0.125, max_value=1e6,
+                                     allow_nan=False,
+                                     allow_infinity=False)),
     messages.JobStatusRequest: st.builds(
         messages.JobStatusRequest, job_id=_ids),
     messages.StatsRequest: st.just(messages.StatsRequest()),
@@ -106,7 +109,8 @@ CLASS_STRATEGIES = {
         reason=st.sampled_from(sorted(protocol.NO_TASK_REASONS))),
     messages.Ack: st.builds(
         messages.Ack, accepted=st.booleans(),
-        reason=st.none() | _texts, draining=st.none() | st.booleans()),
+        reason=st.none() | _texts, draining=st.none() | st.booleans(),
+        retry_after=st.none() | _numbers),
     messages.HeartbeatAck: st.builds(
         messages.HeartbeatAck, renewed=_id_lists, expired=_id_lists),
     messages.JobAccepted: st.builds(
