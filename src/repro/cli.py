@@ -249,6 +249,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               "WAL owns the event log; it lives in the state "
               "directory)", file=sys.stderr)
         return 2
+    # Stealing needs peers: a lone shard has nobody to steal from,
+    # and enabling the watermark would still change idle-pull
+    # behaviour (parking).  Keep single-shard runs bit-identical to
+    # stealing-off by dropping the flag.
+    steal_watermark = args.steal_watermark \
+        if args.shard_count > 1 else None
 
     async def main() -> None:
         tracer = DecisionTracer()
@@ -266,7 +272,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 admission_watermark=args.admission_watermark,
                 admission_retry_after=args.admission_retry_after,
                 replicate_tail=args.replicate_stragglers,
-                max_replicas=args.max_replicas)
+                max_replicas=args.max_replicas,
+                steal_watermark=steal_watermark)
             service = durability.service
             report = durability.report
             print(f"repro-serve shard {args.shard_index}/"
@@ -287,7 +294,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 admission_watermark=args.admission_watermark,
                 admission_retry_after=args.admission_retry_after,
                 replicate_tail=args.replicate_stragglers,
-                max_replicas=args.max_replicas)
+                max_replicas=args.max_replicas,
+                steal_watermark=steal_watermark)
         server = SchedulerServer(service, host=args.host,
                                  port=args.port,
                                  stats_interval=args.stats_interval,
@@ -337,9 +345,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if durability is not None:
             snapshotter = asyncio.get_running_loop().create_task(
                 durability.snapshot_loop())
+        stealer = None
+        if service.steal_enabled and args.cluster_file:
+            from .cluster.steal import StealManager
+            stealer = StealManager(service, args.shard_index,
+                                   cluster_file=args.cluster_file,
+                                   codec=args.codec)
+            await stealer.start()
+            print(f"work stealing armed: watermark "
+                  f"{service.steal_watermark}, topology from "
+                  f"{args.cluster_file}", file=sys.stderr)
         try:
             await server.serve_until_drained()
         finally:
+            if stealer is not None:
+                await stealer.stop()
             if snapshotter is not None:
                 snapshotter.cancel()
                 with contextlib.suppress(asyncio.CancelledError):
@@ -376,7 +396,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             lease_ttl=args.lease_ttl,
             snapshot_interval=args.snapshot_interval,
             kernel=args.kernel, metrics_port=args.metrics_port,
-            codec=args.codec)
+            codec=args.codec,
+            steal_watermark=args.steal_watermark)
         await supervisor.start()
         print(f"repro-cluster router on "
               f"{supervisor.host}:{supervisor.router_port} over "
@@ -713,6 +734,20 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(job/task ids ≡ index mod count)")
     serve_parser.add_argument("--shard-count", type=int, default=1,
                               help="total shards in the cluster")
+    serve_parser.add_argument("--steal-watermark", type=int,
+                              default=None,
+                              help="work stealing: when the pending "
+                                   "queue drops below this many tasks "
+                                   "and workers are parked, steal "
+                                   "pending tasks from the most-loaded "
+                                   "peer shard (needs --cluster-file "
+                                   "and --shard-count > 1; default: "
+                                   "stealing off)")
+    serve_parser.add_argument("--cluster-file", default=None,
+                              help="cluster topology JSON published "
+                                   "by the supervisor; polled for "
+                                   "peer shard addresses (with "
+                                   "--steal-watermark)")
     serve_parser.add_argument("--port-file", default=None,
                               help="write the bound ports as JSON "
                                    "{port, metrics_port} to this path "
@@ -759,6 +794,14 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="serve aggregated /stats.json, "
                                      "/cluster.json and /healthz on "
                                      "this port (0 = ephemeral)")
+    cluster_parser.add_argument("--steal-watermark", type=int,
+                                default=None,
+                                help="enable shard-to-shard work "
+                                     "stealing: a shard whose pending "
+                                     "queue drops below this many "
+                                     "tasks steals from the "
+                                     "most-loaded peer (default: "
+                                     "stealing off)")
     cluster_parser.add_argument("--codec", default="json",
                                 choices=["auto", "json", "binary"],
                                 help="wire codec for the router's own "

@@ -95,10 +95,14 @@ class ClusterClient(SchedulerClient):
 class ClusterWorkerClient:
     """A pull-loop worker that survives the death of its shard.
 
-    ``job_id`` is mandatory: the job names the owning shard
-    (``job_id % shard_count``), and scoping guarantees the worker
-    stops on ``NO_TASK(job-done)`` rather than idling against a shard
-    that still serves other tenants.
+    ``job_id`` names the owning shard (``job_id % shard_count``) and
+    scopes the pulls, so the worker stops on ``NO_TASK(job-done)``
+    rather than idling against a shard that still serves other
+    tenants.  Alternatively ``shard`` pins the worker to one shard
+    with *unscoped* pulls — the work-stealing deployment shape, where
+    an idle shard's parked workers are fed stolen tasks and the run
+    ends on drain instead of job completion.  Exactly one of the two
+    must be given.
     """
 
     def __init__(self, router_host: str, router_port: int,
@@ -110,10 +114,16 @@ class ClusterWorkerClient:
                  events: Optional[EventLog] = None, batch: int = 1,
                  resume_window: float = 30.0,
                  retry_interval: float = 0.2,
-                 codec: str = "auto"):
-        if job_id is None:
+                 codec: str = "auto",
+                 shard: Optional[int] = None):
+        if job_id is None and shard is None:
             raise ValueError("cluster workers must scope to a job_id "
-                             "(it names the owning shard)")
+                             "(it names the owning shard) or pin a "
+                             "shard for unscoped pulls")
+        if job_id is not None and shard is not None:
+            raise ValueError("job_id and shard are mutually "
+                             "exclusive: scoped pulls already name "
+                             "the owning shard")
         self.router_host = router_host
         self.router_port = router_port
         self.worker = worker
@@ -134,7 +144,8 @@ class ClusterWorkerClient:
         #: One residency mirror across every reconnect incarnation.
         self.cache = SiteCacheMirror(capacity_files)
         self.reconnects = 0
-        self.shard: Optional[int] = None
+        self.shard: Optional[int] = shard
+        self._pinned_shard: Optional[int] = shard
 
     async def _resolve(self) -> Dict:
         """The owning shard's current ``{shard, host, port}`` entry."""
@@ -151,7 +162,10 @@ class ClusterWorkerClient:
             self.shard = 0
             return {"shard": 0, "host": self.router_host,
                     "port": self.router_port}
-        self.shard = self.job_id % reply.shard_count
+        if self._pinned_shard is not None:
+            self.shard = self._pinned_shard % reply.shard_count
+        else:
+            self.shard = self.job_id % reply.shard_count
         for entry in reply.shards:
             if entry["shard"] == self.shard:
                 return entry

@@ -37,7 +37,8 @@ async def run_cluster_load(host: str, port: int,
                            event_log: Optional[str] = None,
                            batch: int = 1,
                            resume_window: float = 30.0,
-                           codec: str = "auto") -> Dict:
+                           codec: str = "auto",
+                           pin_workers_to_shards: bool = False) -> Dict:
     """Submit ``jobs`` via the router, run the fleet, report.
 
     ``event_log`` captures the client-side view (submit, assign,
@@ -45,6 +46,14 @@ async def run_cluster_load(host: str, port: int,
     generator — :func:`repro.analysis.eventlog.load_timelines` reads
     it unchanged, which is how the recovery tests prove exactly-once
     completion across a shard kill.
+
+    ``pin_workers_to_shards`` is the work-stealing deployment shape:
+    instead of scoping each worker to one job, workers are pinned
+    round-robin to shards and pull *unscoped* — a worker whose shard
+    ran dry parks, and (with ``--steal-watermark``) its shard steals
+    pending tasks from loaded peers to feed it.  The run then waits
+    for every job to finish and drains the cluster to release the
+    parked fleet, so ``drain`` is implied.
     """
     if not jobs:
         raise ValueError("need at least one job")
@@ -65,23 +74,40 @@ async def run_cluster_load(host: str, port: int,
                 events.emit("submit", job_id=handle.job_id,
                             tasks=len(handle.task_ids),
                             task_ids=handle.task_ids)
+        scope = [
+            {"shard": index % control.shard_count}
+            if pin_workers_to_shards else
+            {"job_id": handles[index % len(handles)].job_id}
+            for index in range(workers)
+        ]
         fleet = [
             ClusterWorkerClient(
                 host, port, worker=f"w{index}", site=index % sites,
                 capacity_files=capacity_files,
                 flops_per_sec=flops_per_sec,
                 seconds_per_file=seconds_per_file,
-                job_id=handles[index % len(handles)].job_id,
                 events=events, batch=batch,
-                resume_window=resume_window, codec=codec)
+                resume_window=resume_window, codec=codec,
+                **scope[index])
             for index in range(workers)
         ]
-        summaries = await asyncio.gather(
-            *(worker.run() for worker in fleet))
-        job_statuses = [await handle.status() for handle in handles]
-        stats = await control.stats()
-        if drain:
+        if pin_workers_to_shards:
+            # Unscoped pulls only stop on drain: wait out the jobs,
+            # take the stats, then drain to release the parked fleet.
+            worker_tasks = [asyncio.ensure_future(worker.run())
+                            for worker in fleet]
+            job_statuses = [await handle.wait_done()
+                            for handle in handles]
+            stats = await control.stats()
             await control.drain()
+            summaries = await asyncio.gather(*worker_tasks)
+        else:
+            summaries = await asyncio.gather(
+                *(worker.run() for worker in fleet))
+            job_statuses = [await handle.status() for handle in handles]
+            stats = await control.stats()
+            if drain:
+                await control.drain()
     submitted = sum(len(handle.task_ids) for handle in handles)
     completed = sum(status["completed"] for status in job_statuses)
     accepted = sum(s["tasks_done"] for s in summaries)

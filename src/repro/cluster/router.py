@@ -401,18 +401,33 @@ class ClusterRouter:
             f"unhandled message type {message.TYPE!r}"), False, None)
 
     async def aggregated_stats(self) -> Dict:
-        """Every shard's STATS merged into one cluster snapshot."""
-        async def fetch(shard: int) -> Optional[Dict]:
+        """Every shard's STATS merged into one cluster snapshot.
+
+        A shard that cannot be reached (or answers with an ERROR) is
+        not silently dropped: its failure detail lands in the
+        snapshot's top-level ``"errors"`` map, keyed by shard index,
+        next to the ``"shards"`` breakdown.
+        """
+        async def fetch(shard: int) -> Tuple[Optional[Dict],
+                                             Optional[str]]:
             try:
                 reply = await self._upstreams[shard].call(
                     messages.StatsRequest())
-            except ConnectionError:
-                return None
+            except ConnectionError as exc:
+                return None, f"unreachable: {exc}" if str(exc) \
+                    else "unreachable"
             if isinstance(reply, messages.StatsReply):
-                return reply.stats
-            return None
+                return reply.stats, None
+            if isinstance(reply, messages.Error):
+                return None, f"STATS refused: {reply.error}"
+            return None, f"unexpected {reply.TYPE} reply to STATS"
 
-        snapshots = await asyncio.gather(
+        results = await asyncio.gather(
             *(fetch(shard) for shard in range(self.shard_count)))
+        errors = {shard: error
+                  for shard, (_snap, error) in enumerate(results)
+                  if error is not None}
         return aggregate_stats(
-            list(enumerate(snapshots)), shard_count=self.shard_count)
+            [(shard, snap)
+             for shard, (snap, _error) in enumerate(results)],
+            shard_count=self.shard_count, errors=errors)

@@ -95,11 +95,19 @@ def recover_service(service: SchedulerService,
                 continue
             if service.replay_record(record):
                 replayed += 1
+    # Work stealing: an export the thief never durably acked cannot
+    # have been activated remotely (activation requires our acked
+    # answer), so the crash reclaims it locally — exactly-once either
+    # way.  Must run after the full tail fold, when completions and
+    # acks that *did* land have been applied.
+    steal_requeued = service.requeue_unacked_exports()
     report = {"snapshot_seq": snapshot_seq, "replayed": replayed,
-              "skipped": skipped, "next_seq": next_seq}
+              "skipped": skipped, "next_seq": next_seq,
+              "steal_requeued": steal_requeued}
     log.info("shard recovery: snapshot_seq=%s, replayed=%d wal "
-             "record(s), wal continues at seq %d",
-             snapshot_seq, replayed, next_seq)
+             "record(s), requeued %d unacked export(s), wal continues "
+             "at seq %d", snapshot_seq, replayed, steal_requeued,
+             next_seq)
     return report
 
 
@@ -184,7 +192,8 @@ def open_shard(state_dir: str, metric: str = "combined", n: int = 2,
                admission_watermark: Optional[int] = None,
                admission_retry_after: float = 0.25,
                replicate_tail: bool = False,
-               max_replicas: int = 1) -> ShardDurability:
+               max_replicas: int = 1,
+               steal_watermark: Optional[int] = None) -> ShardDurability:
     """Build + recover one durable shard from its state directory.
 
     The service is constructed silent (no event log), recovered from
@@ -200,7 +209,8 @@ def open_shard(state_dir: str, metric: str = "combined", n: int = 2,
         id_stride=shard_count, wal_events=True,
         admission_watermark=admission_watermark,
         admission_retry_after=admission_retry_after,
-        replicate_tail=replicate_tail, max_replicas=max_replicas)
+        replicate_tail=replicate_tail, max_replicas=max_replicas,
+        steal_watermark=steal_watermark)
     report = recover_service(service, state_dir)
     events = EventLog(path=wal_path(state_dir),
                       seq_start=report["next_seq"], auto_flush=True,

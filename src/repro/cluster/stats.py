@@ -56,9 +56,15 @@ def _merge_latency(summaries: List[Dict]) -> Dict[str, float]:
 
 
 def aggregate_stats(per_shard: List[Tuple[int, Optional[Dict]]],
-                    shard_count: Optional[int] = None) -> Dict:
+                    shard_count: Optional[int] = None,
+                    errors: Optional[Dict[int, str]] = None) -> Dict:
     """Merge ``(shard_index, snapshot-or-None)`` pairs (None = shard
-    unreachable) into one cluster-wide snapshot."""
+    unreachable) into one cluster-wide snapshot.
+
+    ``errors`` carries the per-shard fetch failure detail for shards
+    whose snapshot is None; it is surfaced verbatim under the
+    top-level ``"errors"`` key (always present, ``{}`` when every
+    shard reported) and inside the ``"shards"`` breakdown."""
     reporting = [(index, snap) for index, snap in per_shard
                  if snap is not None]
     snaps = [snap for _index, snap in reporting]
@@ -113,6 +119,20 @@ def aggregate_stats(per_shard: List[Tuple[int, Optional[Dict]]],
     merged["scheduler_decision"] = {
         metric: _merge_latency(summaries)
         for metric, summaries in sorted(by_metric.items())}
+    steal_requests: Dict[str, int] = {}
+    for snap in snaps:
+        for outcome, count in snap.get("steal",
+                                       {}).get("requests", {}).items():
+            steal_requests[outcome] = (steal_requests.get(outcome, 0)
+                                       + count)
+    merged["steal"] = {
+        "tasks_stolen": sum(s.get("steal", {}).get("tasks_stolen", 0)
+                            for s in snaps),
+        "tasks_exported": sum(s.get("steal",
+                                    {}).get("tasks_exported", 0)
+                              for s in snaps),
+        "requests": dict(sorted(steal_requests.items())),
+    }
     merged["draining"] = all(s.get("draining", False) for s in snaps) \
         if snaps else False
     merged["cluster"] = {
@@ -120,8 +140,12 @@ def aggregate_stats(per_shard: List[Tuple[int, Optional[Dict]]],
                         else len(per_shard)),
         "shards_reporting": len(reporting),
     }
+    errors = errors or {}
+    merged["errors"] = {str(index): detail
+                        for index, detail in sorted(errors.items())}
     merged["shards"] = {
         str(index): (snap if snap is not None
-                     else {"error": "shard unreachable"})
+                     else {"error": errors.get(index,
+                                               "shard unreachable")})
         for index, snap in per_shard}
     return merged

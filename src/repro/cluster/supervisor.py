@@ -60,7 +60,8 @@ class ClusterSupervisor:
                  restart_backoff: float = 0.25,
                  spawn_timeout: float = 30.0,
                  stats_refresh: float = 1.0,
-                 codec: str = "json"):
+                 codec: str = "json",
+                 steal_watermark: Optional[int] = None):
         if shards < 1:
             raise ValueError(f"need at least one shard, got {shards}")
         self.shards = shards
@@ -80,6 +81,9 @@ class ClusterSupervisor:
         self.stats_refresh = stats_refresh
         #: ``--codec`` stance for the router's own shard streams.
         self.codec = codec
+        #: Enables shard-to-shard work stealing when set (and there
+        #: is more than one shard to steal from).
+        self.steal_watermark = steal_watermark
         self.router: Optional[ClusterRouter] = None
         self.obs_server: Optional[ObsHttpServer] = None
         self._procs: Dict[int, asyncio.subprocess.Process] = {}
@@ -177,7 +181,7 @@ class ClusterSupervisor:
 
     # -- shard processes ---------------------------------------------
     def _shard_command(self, index: int) -> List[str]:
-        return [
+        command = [
             sys.executable, "-m", "repro", "serve",
             "--host", self.host, "--port", "0",
             "--metrics-port", "0",
@@ -190,6 +194,11 @@ class ClusterSupervisor:
             "--shard-count", str(self.shards),
             "--port-file", self._port_file(index),
         ]
+        if self.steal_watermark is not None and self.shards > 1:
+            command += ["--steal-watermark",
+                        str(self.steal_watermark),
+                        "--cluster-file", self.cluster_file]
+        return command
 
     def _shard_env(self) -> Dict[str, str]:
         env = dict(os.environ)
@@ -292,6 +301,7 @@ class ClusterSupervisor:
                         if self.metrics_port is not None else None),
             "shard_count": self.shards,
             "partition": "job-mod",
+            "steal_watermark": self.steal_watermark,
             "shards": [
                 {"shard": index,
                  "pid": (self._procs[index].pid

@@ -54,6 +54,19 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     "requeue": {"task_id", "reason"},
     "delta": {"site", "added", "removed", "referenced"},
     "decision": {"site", "metric", "chosen", "candidates"},
+    # Shard-to-shard work stealing (repro.cluster).  Victim side:
+    # export (durable before STEAL_GRANT), commit on STEAL_ACK, abort
+    # on thief loss.  Thief side: tentative import, commit/abort after
+    # the victim's answer, local completion of a stolen task, and the
+    # forwarded-to-owner marker that prunes the completion outbox.
+    "steal-export": {"export_id", "thief", "specs"},
+    "steal-export-ack": {"export_id"},
+    "steal-export-abort": {"export_id"},
+    "steal-import": {"origin", "export_id", "specs"},
+    "steal-import-commit": {"origin", "export_id"},
+    "steal-import-abort": {"origin", "export_id"},
+    "steal-task-done": {"task_id", "worker"},
+    "steal-forwarded": {"task_ids"},
 }
 
 

@@ -81,6 +81,15 @@ def render_top(snapshot: Dict) -> str:
         lines.append(f"replicas  : {replication['granted']} granted, "
                      f"{replication.get('replica_wins', 0)} won "
                      f"the race")
+    steal = snapshot.get("steal", {})
+    if steal.get("tasks_stolen") or steal.get("tasks_exported"):
+        outcomes = ", ".join(
+            f"{count} {outcome}" for outcome, count
+            in sorted(steal.get("requests", {}).items()))
+        lines.append(f"stealing  : {steal.get('tasks_stolen', 0)} "
+                     f"stolen, {steal.get('tasks_exported', 0)} "
+                     f"exported"
+                     + (f" ({outcomes})" if outcomes else ""))
     tenants = snapshot.get("tenants", {})
     if len(tenants) > 1:
         total = sum(tenants.values()) or 1
@@ -162,6 +171,14 @@ def render_cluster_top(per_endpoint: List[Tuple[str, Optional[Dict]]],
         f"{'run':>6} {'p99(us)':>9}",
     ]
     lines.extend(_shard_row(label, snap) for label, snap in rows)
+    fetch_errors = merged.get("errors", {})
+    if fetch_errors:
+        lines.append("")
+        lines.append("shard fetch errors:")
+        lines.extend(f"  shard {index}: {detail}"
+                     for index, detail in sorted(
+                         fetch_errors.items(),
+                         key=lambda kv: int(kv[0])))
     lines.append("")
     lines.append(render_top(merged))
     return "\n".join(lines)

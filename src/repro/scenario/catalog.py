@@ -124,10 +124,33 @@ def _multi_tenant() -> Scenario:
     )
 
 
+def _skewed_tenants() -> Scenario:
+    return Scenario(
+        name="skewed-tenants",
+        description="One heavy tenant swamps its shard while three "
+                    "light tenants leave theirs idle; work stealing "
+                    "must feed the parked fleets a real share of the "
+                    "heavy tenant's tasks.",
+        tenants=(
+            TenantSpec(name="heavy", tasks=240, flops=2.5e5),
+            TenantSpec(name="light-1", tasks=20, flops=2.5e5),
+            TenantSpec(name="light-2", tasks=20, flops=2.5e5),
+            TenantSpec(name="light-3", tasks=20, flops=2.5e5),
+        ),
+        workers=(WorkerGroup(name="fleet", count=8, sites=4,
+                             flops_per_sec=5e7),),
+        shards=4,
+        steal_watermark=4,
+        checks=("audit-clean", "all-jobs-complete", "steal-share"),
+        extra={"steal_share_floor": 0.15},
+    )
+
+
 SCENARIOS: Dict[str, Scenario] = {
     scenario.name: scenario
     for scenario in (_flash_crowd(), _diurnal(), _churn(),
-                     _stragglers(), _slow_reader(), _multi_tenant())
+                     _stragglers(), _slow_reader(), _multi_tenant(),
+                     _skewed_tenants())
 }
 
 

@@ -80,6 +80,13 @@ class Scenario:
     admission_retry_after: float = 0.05
     replicate_stragglers: bool = False
     max_replicas: int = 1
+    #: Cluster shape: > 1 boots that many in-process shards (tenants
+    #: land on shard ``tenant_index % shards``, unscoped worker
+    #: groups pin to shard ``worker_index % shards``).
+    shards: int = 1
+    #: Arm shard-to-shard work stealing at this pending-queue
+    #: watermark (needs ``shards > 1``).
+    steal_watermark: Optional[int] = None
     lease_ttl: float = 2.0
     metric: str = "combined"
     n: int = 2

@@ -171,11 +171,11 @@ async def _slow_reader(run: _Run, host: str, port: int,
             await writer.wait_closed()
 
 
-async def _sample_depth(run: _Run, service: SchedulerService,
+async def _sample_depth(run: _Run, services: List[SchedulerService],
                         started_at: float) -> None:
     loop = asyncio.get_running_loop()
     while True:
-        depth = service.queue_depth
+        depth = sum(service.queue_depth for service in services)
         if depth > run.max_queue_depth:
             run.max_queue_depth = depth
         if len(run.depth_curve) < 5000:
@@ -279,6 +279,39 @@ def _check_no_double_count(run: _Run, summary: Dict):
             f"double_counted={doubles} (replica wins: {wins})")
 
 
+def _check_steal_share(run: _Run, summary: Dict):
+    """Work stealing moved a real share of the heavy tenant's tasks.
+
+    The heavy tenant (largest task count) owns one shard; its
+    assignments recorded on *other* shards can only come from steal
+    imports.  Their share of the tenant's total must clear
+    ``extra["steal_share_floor"]``.
+    """
+    scenario = run.scenario
+    floor = scenario.extra.get("steal_share_floor")
+    if floor is None:
+        return False, "scenario sets no extra['steal_share_floor']"
+    heavy_index, heavy = max(enumerate(scenario.tenants),
+                             key=lambda pair: pair[1].tasks)
+    owner = heavy_index % max(1, scenario.shards)
+    job_id = run.jobs.get(heavy.name)
+    counts = {index: snap.get("tenants", {}).get(str(job_id), 0)
+              for index, snap in summary["stats"].get("shards",
+                                                      {}).items()
+              if "error" not in snap}
+    total = sum(counts.values())
+    if not total:
+        return False, (f"no assignments recorded for heavy tenant "
+                       f"{heavy.name!r}")
+    foreign = total - counts.get(str(owner), 0)
+    share = foreign / total
+    stolen = summary["stats"].get("steal", {}).get("tasks_stolen", 0)
+    return (share >= float(floor),
+            f"{foreign}/{total} heavy-tenant assignments ({share:.0%}) "
+            f"ran off owner shard {owner}; {stolen} task(s) stolen "
+            f"cluster-wide (floor {float(floor):.0%})")
+
+
 CHECKS = {
     "audit-clean": _check_audit_clean,
     "all-jobs-complete": _check_all_jobs_complete,
@@ -288,6 +321,7 @@ CHECKS = {
     "weighted-fair": _check_weighted_fair,
     "replication-engaged": _check_replication_engaged,
     "no-double-count": _check_no_double_count,
+    "steal-share": _check_steal_share,
 }
 
 
@@ -349,7 +383,7 @@ async def _run_body(run: _Run, out_dir: str, quick: bool) -> Dict:
     loop = asyncio.get_running_loop()
     started_at = loop.time()
     sampler = asyncio.create_task(
-        _sample_depth(run, service, started_at))
+        _sample_depth(run, [service], started_at))
     host, port = server.host, server.port
     spawned: List[asyncio.Task] = []
     statuses: Dict[str, messages.JobStatusReply] = {}
@@ -402,6 +436,131 @@ async def _run_body(run: _Run, out_dir: str, quick: bool) -> Dict:
             with contextlib.suppress(asyncio.CancelledError):
                 await serve_task
         await server.stop()
+        events.close()
+    duration = loop.time() - started_at
+    return _build_summary(run, statuses, stats, events_path, duration,
+                          quick)
+
+
+async def _run_cluster_body(run: _Run, out_dir: str,
+                            quick: bool) -> Dict:
+    """The multi-shard twin of :func:`_run_body`.
+
+    Boots ``scenario.shards`` in-process servers sharing ONE event
+    log (the cluster-wide exactly-once audit folds it unchanged),
+    arms a :class:`~repro.cluster.steal.StealManager` per shard when
+    the scenario sets ``steal_watermark``, lands each tenant on shard
+    ``tenant_index % shards`` and pins unscoped worker groups to
+    shard ``worker_index % shards`` — the deployment shape where a
+    drained shard's parked fleet is fed by stealing.
+    """
+    from ..cluster.stats import aggregate_stats
+    from ..cluster.steal import StealManager
+
+    scenario = run.scenario
+    events_path = os.path.join(out_dir, "events.jsonl")
+    if os.path.exists(events_path):
+        os.remove(events_path)
+    events = EventLog(path=events_path)
+    services: List[SchedulerService] = []
+    servers: List[SchedulerServer] = []
+    for index in range(scenario.shards):
+        service = SchedulerService(
+            metric=scenario.metric, n=scenario.n, seed=scenario.seed,
+            name=f"scenario-{scenario.name}-shard{index}",
+            lease_ttl=scenario.lease_ttl, events=events,
+            id_start=index, id_stride=scenario.shards,
+            admission_watermark=scenario.admission_watermark,
+            admission_retry_after=scenario.admission_retry_after,
+            replicate_tail=scenario.replicate_stragglers,
+            max_replicas=scenario.max_replicas,
+            steal_watermark=scenario.steal_watermark)
+        server = SchedulerServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        services.append(service)
+        servers.append(server)
+    managers: List[StealManager] = []
+    if scenario.steal_watermark is not None:
+        for index, server in enumerate(servers):
+            peers = {peer: (other.host, other.port)
+                     for peer, other in enumerate(servers)
+                     if peer != index}
+            manager = StealManager(services[index], index,
+                                   peers=peers, interval=0.005)
+            await manager.start()
+            managers.append(manager)
+    serve_tasks = [asyncio.ensure_future(server.serve_until_drained())
+                   for server in servers]
+    loop = asyncio.get_running_loop()
+    started_at = loop.time()
+    sampler = asyncio.create_task(
+        _sample_depth(run, services, started_at))
+    tenant_shard = {spec.name: index % scenario.shards
+                    for index, spec in enumerate(scenario.tenants)}
+    spawned: List[asyncio.Task] = []
+    statuses: Dict[str, messages.JobStatusReply] = {}
+    stats: Dict = {}
+    try:
+        submitters = [
+            asyncio.create_task(_submit_tenant(
+                run, servers[tenant_shard[spec.name]].host,
+                servers[tenant_shard[spec.name]].port, spec, index))
+            for index, spec in enumerate(scenario.tenants)]
+        workers: List[asyncio.Task] = []
+        fleet_index = 0
+        for group in scenario.workers:
+            for index in range(group.count):
+                if group.tenant is not None:
+                    shard = tenant_shard[group.tenant]
+                else:
+                    shard = fleet_index % scenario.shards
+                workers.append(asyncio.create_task(_run_worker(
+                    run, servers[shard].host, servers[shard].port,
+                    group, index)))
+                fleet_index += 1
+        spawned = submitters + workers
+        await asyncio.gather(*submitters)
+        async with contextlib.AsyncExitStack() as stack:
+            controls = [
+                await stack.enter_async_context(SchedulerClient(
+                    server.host, server.port,
+                    name=f"orchestrator-{index}"))
+                for index, server in enumerate(servers)]
+            while True:
+                statuses = {
+                    name: (await controls[tenant_shard[name]].call(
+                        messages.JobStatusRequest(job_id=job_id)))
+                    for name, job_id in run.jobs.items()}
+                if all(reply.done for reply in statuses.values()):
+                    break
+                await asyncio.sleep(0.02)
+            stats = aggregate_stats(
+                [(index, service.stats_snapshot())
+                 for index, service in enumerate(services)],
+                shard_count=scenario.shards)
+            run.finished.set()
+            for control in controls:
+                await control.drain()
+        run.worker_summaries = await asyncio.gather(*workers)
+        await asyncio.gather(*serve_tasks)
+    finally:
+        for manager in managers:
+            await manager.stop()
+        for task in spawned:
+            if not task.done():
+                task.cancel()
+        if spawned:
+            await asyncio.gather(*spawned, return_exceptions=True)
+        sampler.cancel()
+        with contextlib.suppress(asyncio.CancelledError):
+            await sampler
+        for serve_task in serve_tasks:
+            if not serve_task.done():
+                serve_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await serve_task
+        for server in servers:
+            await server.stop()
         events.close()
     duration = loop.time() - started_at
     return _build_summary(run, statuses, stats, events_path, duration,
@@ -506,9 +665,10 @@ async def run_scenario(scenario: Scenario, out_dir: str,
     run_dir = os.path.join(out_dir, scenario.name)
     os.makedirs(run_dir, exist_ok=True)
     run = _Run(scenario)
+    body = _run_cluster_body if scenario.shards > 1 else _run_body
     try:
         summary = await asyncio.wait_for(
-            _run_body(run, run_dir, quick), timeout=scenario.timeout)
+            body(run, run_dir, quick), timeout=scenario.timeout)
     except asyncio.TimeoutError:
         summary = {
             "scenario": scenario.name, "quick": quick,

@@ -87,10 +87,12 @@ BINARY_TYPE_IDS: Dict[str, int] = {
     wire.HELLO: 1, wire.REQUEST_TASK: 2, wire.TASK_DONE: 3,
     wire.HEARTBEAT: 4, wire.FILE_DELTA: 5, wire.JOB_SUBMIT: 6,
     wire.JOB_STATUS: 7, wire.STATS: 8, wire.DRAIN: 9,
+    wire.STEAL_REQUEST: 10, wire.STEAL_ACK: 11, wire.STEAL_DONE: 12,
     # server -> client
     wire.WELCOME: 17, wire.TASK: 18, wire.TASK_BATCH: 19,
     wire.NO_TASK: 20, wire.ACK: 21, wire.HEARTBEAT_ACK: 22,
     wire.JOB_ACCEPTED: 23, wire.REDIRECT: 24, wire.ERROR: 25,
+    wire.STEAL_GRANT: 26,
 }
 _ID_TO_TYPE = {type_id: kind for kind, type_id in BINARY_TYPE_IDS.items()}
 

@@ -33,9 +33,11 @@ __all__ = [
     # client -> server
     "Hello", "RequestTask", "TaskDone", "Heartbeat", "FileDelta",
     "JobSubmit", "JobStatusRequest", "StatsRequest", "Drain",
+    "StealRequest", "StealAck", "StealDone",
     # server -> client
     "Welcome", "TaskAssign", "TaskBatch", "NoTask", "Ack", "HeartbeatAck",
     "JobAccepted", "JobStatusReply", "StatsReply", "Redirect", "Error",
+    "StealGrant",
     # codec entry points
     "decode_client", "decode_server",
     "client_from_dict", "server_from_dict",
@@ -337,6 +339,85 @@ class Drain(ClientMessage):
     TYPE = wire.DRAIN
 
 
+#: Required keys of one ``STEAL_REQUEST.site_refsums`` entry: one
+#: thief-side site's resident files and their reference counts, so the
+#: victim can score candidate exports with the fast scorers.
+_REFSUM_ENTRY_KEYS = ("site", "files", "refs")
+
+
+@dataclass(frozen=True)
+class StealRequest(ClientMessage):
+    """A drained peer shard asks for pending, unleased tasks.
+
+    ``site_refsums`` carries one ``{site, files, refs}`` entry per
+    thief-side site (``files[i]`` has been referenced ``refs[i]``
+    times there); the victim exports the tasks whose inputs overlap
+    the thief's caches the most — lowest locality loss.
+    """
+    TYPE = wire.STEAL_REQUEST
+    max_tasks: int
+    site_refsums: List[dict] = dataclasses.field(default_factory=list)
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "max_tasks", self.max_tasks, minimum=1)
+        if not isinstance(self.site_refsums, list):
+            raise ProtocolError(
+                f"{self.TYPE}.site_refsums must be a list")
+        for entry in self.site_refsums:
+            if not isinstance(entry, dict):
+                raise ProtocolError(
+                    f"{self.TYPE}.site_refsums entries must be objects")
+            for key in _REFSUM_ENTRY_KEYS:
+                if key not in entry:
+                    raise ProtocolError(
+                        f"{self.TYPE} site_refsums entry missing "
+                        f"{key!r}")
+            _need_int(self.TYPE, "site_refsums[].site", entry["site"],
+                      minimum=0)
+            _need_int_list(self.TYPE, "site_refsums[].files",
+                           entry["files"])
+            _need_int_list(self.TYPE, "site_refsums[].refs",
+                           entry["refs"])
+            if len(entry["files"]) != len(entry["refs"]):
+                raise ProtocolError(
+                    f"{self.TYPE} site_refsums entry files/refs "
+                    f"length mismatch")
+
+
+@dataclass(frozen=True)
+class StealAck(ClientMessage):
+    """The thief durably recorded the grant; commit the export.
+
+    The victim answers with ``ACK``: ``accepted`` True means the
+    export is committed and the thief must activate the batch,
+    False means the victim aborted it (e.g. crash recovery already
+    requeued the tasks) and the thief must drop it.  Idempotent —
+    re-acking an already-committed export answers True again.
+    """
+    TYPE = wire.STEAL_ACK
+    export_id: int
+
+    def validate(self) -> None:
+        _need_int(self.TYPE, "export_id", self.export_id, minimum=0)
+
+
+@dataclass(frozen=True)
+class StealDone(ClientMessage):
+    """Completions of stolen tasks, forwarded to the owning shard.
+
+    At-least-once from the thief, idempotent at the victim: a task id
+    already completed is counted as a duplicate and ignored.
+    """
+    TYPE = wire.STEAL_DONE
+    task_ids: List[int]
+
+    def validate(self) -> None:
+        _need_int_list(self.TYPE, "task_ids", self.task_ids)
+        if not self.task_ids:
+            raise ProtocolError(
+                f"{self.TYPE}.task_ids must be non-empty")
+
+
 # -- server -> client --------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -577,3 +658,47 @@ class Error(ServerMessage):
 
     def validate(self) -> None:
         _need_str(self.TYPE, "error", self.error)
+
+
+#: Required keys of one ``STEAL_GRANT.tasks`` entry — a bare task
+#: spec, not an assignment: no lease, the thief grants its own.
+_STEAL_ENTRY_KEYS = ("task_id", "job_id")
+
+
+@dataclass(frozen=True)
+class StealGrant(ServerMessage):
+    """Reply to ``STEAL_REQUEST``: the exported batch.
+
+    The tasks are already removed from the victim's pending queue and
+    the export is WAL-durable before this message is sent.  They keep
+    their original (victim-space) task/job ids — shard id spaces are
+    strided and therefore globally disjoint.  An empty ``tasks`` list
+    (``export_id`` absent) is a refusal: nothing above the victim's
+    own watermark, or stealing raced a drain.
+    """
+    TYPE = wire.STEAL_GRANT
+    tasks: List[dict] = dataclasses.field(default_factory=list)
+    export_id: Optional[int] = None
+
+    def validate(self) -> None:
+        if not isinstance(self.tasks, list):
+            raise ProtocolError(f"{self.TYPE}.tasks must be a list")
+        if self.tasks and self.export_id is None:
+            raise ProtocolError(
+                f"{self.TYPE} with tasks must carry export_id")
+        if self.export_id is not None:
+            _need_int(self.TYPE, "export_id", self.export_id, minimum=0)
+        for entry in self.tasks:
+            if not isinstance(entry, dict):
+                raise ProtocolError(
+                    f"{self.TYPE}.tasks entries must be objects")
+            for key in _STEAL_ENTRY_KEYS:
+                if key not in entry:
+                    raise ProtocolError(
+                        f"{self.TYPE} entry missing {key!r}")
+                _need_int(self.TYPE, f"tasks[].{key}", entry[key],
+                          minimum=0)
+            _need_int_list(self.TYPE, "tasks[].files",
+                           entry.get("files"))
+            _need_number(self.TYPE, "tasks[].flops",
+                         entry.get("flops"))

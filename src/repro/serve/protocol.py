@@ -58,6 +58,18 @@ Client -> server
 ``JOB_STATUS``    ``{job_id}`` — per-job completion counters.
 ``STATS``         request the observability snapshot.
 ``DRAIN``         stop handing out tasks; shut down once idle.
+``STEAL_REQUEST`` ``{max_tasks, site_refsums}`` — a drained peer shard
+                  (the thief) asks this shard (the victim) to export a
+                  batch of pending, unleased tasks; ``site_refsums``
+                  describes the thief's site caches so the victim can
+                  pick the tasks with the lowest locality loss.
+``STEAL_ACK``     ``{export_id}`` — the thief durably recorded the
+                  grant and asks the victim to commit the export.
+                  Answered with ``ACK``: ``accepted`` tells the thief
+                  whether to activate (true) or drop (false) the batch.
+``STEAL_DONE``    ``{task_ids}`` — completions of previously stolen
+                  tasks, forwarded back to the owning shard so per-job
+                  counters stay exact.  Idempotent.
 
 Server -> client
 ----------------
@@ -93,6 +105,11 @@ Server -> client
                    ``ERROR`` — old clients are never silently
                    misrouted.
 ``ERROR``          ``{error}`` — the request was rejected.
+``STEAL_GRANT``    ``{export_id?, tasks}`` — reply to ``STEAL_REQUEST``:
+                   the exported batch (``{task_id, job_id, files,
+                   flops}`` per entry), already removed from the
+                   victim's pending queue and durably WAL-logged.  An
+                   empty ``tasks`` (no ``export_id``) is a refusal.
 """
 
 from __future__ import annotations
@@ -126,6 +143,10 @@ JOB_SUBMIT = "JOB_SUBMIT"
 JOB_STATUS = "JOB_STATUS"
 STATS = "STATS"
 DRAIN = "DRAIN"
+# Shard-to-shard work stealing (the thief is the TCP client).
+STEAL_REQUEST = "STEAL_REQUEST"
+STEAL_ACK = "STEAL_ACK"
+STEAL_DONE = "STEAL_DONE"
 
 # server -> client
 WELCOME = "WELCOME"
@@ -137,10 +158,11 @@ HEARTBEAT_ACK = "HEARTBEAT_ACK"
 JOB_ACCEPTED = "JOB_ACCEPTED"
 REDIRECT = "REDIRECT"
 ERROR = "ERROR"
+STEAL_GRANT = "STEAL_GRANT"
 
 CLIENT_TYPES = frozenset({HELLO, REQUEST_TASK, TASK_DONE, HEARTBEAT,
                           FILE_DELTA, JOB_SUBMIT, JOB_STATUS, STATS,
-                          DRAIN})
+                          DRAIN, STEAL_REQUEST, STEAL_ACK, STEAL_DONE})
 
 #: ``NO_TASK.reason`` is a closed enum — clients may switch on it.
 REASON_JOB_DONE = "job-done"    #: the job you scoped to is complete

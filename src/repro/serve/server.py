@@ -401,5 +401,30 @@ class SchedulerServer:
             service.drain()
             return messages.Ack(draining=True)
 
+        if isinstance(message, messages.StealRequest):
+            # The thief is this connection; the victim is us.  The
+            # export is WAL'd (and flushed) inside the service before
+            # the grant is encoded.
+            try:
+                grant = service.export_steal_batch(
+                    conn.worker_key, message.max_tasks,
+                    message.site_refsums)
+            except Exception:
+                service.stats.record_steal_request("error")
+                raise
+            if grant is None:
+                return messages.StealGrant(tasks=[])
+            return messages.StealGrant(tasks=grant["tasks"],
+                                       export_id=grant["export_id"])
+
+        if isinstance(message, messages.StealAck):
+            accepted = service.steal_export_acked(message.export_id)
+            return messages.Ack(accepted=accepted)
+
+        if isinstance(message, messages.StealDone):
+            service.steal_done(message.task_ids,
+                               worker=conn.worker_key)
+            return messages.Ack(accepted=True)
+
         raise protocol.ProtocolError(
             f"unhandled message type {message.TYPE!r}")

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import (Callable, Deque, Dict, List, Optional, Set, Tuple,
                     Union)
 
+from ..core.metrics import FAST_SCORERS
 from ..core.policy_engine import PolicyEngine, SiteFileState
 from ..grid.job import Task
 from ..obs.events import EventLog
@@ -197,7 +198,8 @@ class SchedulerService:
                  admission_watermark: Optional[int] = None,
                  admission_retry_after: float = 0.25,
                  replicate_tail: bool = False,
-                 max_replicas: int = 1):
+                 max_replicas: int = 1,
+                 steal_watermark: Optional[int] = None):
         if lease_ttl <= 0:
             raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
         if id_stride < 1 or not (0 <= id_start < id_stride):
@@ -213,6 +215,9 @@ class SchedulerService:
         if max_replicas < 1:
             raise ValueError(
                 f"max_replicas must be >= 1, got {max_replicas}")
+        if steal_watermark is not None and steal_watermark < 1:
+            raise ValueError(f"steal_watermark must be >= 1, "
+                             f"got {steal_watermark}")
         self.name = name
         self.lease_ttl = float(lease_ttl)
         self._clock = clock
@@ -256,6 +261,26 @@ class SchedulerService:
         self._replicate_tail = replicate_tail
         self._max_replicas = max_replicas
         self._replicas: Dict[int, List[_Lease]] = {}  # task -> replicas
+        #: Shard-to-shard work stealing.  A non-None watermark enables
+        #: both halves: as the *victim*, export pending unleased tasks
+        #: down to the watermark when a thief asks; as the *thief*,
+        #: park idle unscoped pulls (instead of answering ``idle``) so
+        #: imported work has someone to run it.  None = stealing off,
+        #: every path below is bit-identical to the pre-steal service.
+        self._steal_watermark = steal_watermark
+        #: Victim side: export_id -> {thief, acked, specs, remaining}.
+        #: An export lives from the grant until its last task's
+        #: forwarded completion (or its abort).
+        self._steal_exports: Dict[int, Dict] = {}
+        self._exported_tasks: Dict[int, int] = {}  # task -> export_id
+        self._next_export_id = 1
+        #: Thief side: (origin shard, export_id) -> task specs, held
+        #: *tentatively* between the WAL import record and the
+        #: victim's STEAL_ACK answer; activation requires the answer.
+        self._steal_imports: Dict[Tuple[int, int], List[Dict]] = {}
+        self._foreign_jobs: Dict[int, int] = {}    # job_id -> origin
+        #: Completions of stolen tasks awaiting forwarding, per origin.
+        self._steal_outbox: Dict[int, List[int]] = {}
         #: Weighted-fair mode is sticky: it turns on at the first
         #: weighted JOB_SUBMIT and stays on, so a server that never
         #: sees a weight keeps the bit-identical unscoped choose path.
@@ -491,6 +516,11 @@ class SchedulerService:
         elif self.engine.has_pending:
             self._deliver_assignments(entry, None)
         elif self._jobs and self.is_idle:
+            if self._steal_watermark is not None:
+                # Stealing may import work at any time: park the idle
+                # pull instead of sending the worker away.  Drain
+                # still releases parked workers (handled above).
+                return False
             entry.deliver(protocol.REASON_IDLE)
         elif (self._replicate_tail and self._jobs
                 and self._grant_replica(entry, None)):
@@ -677,11 +707,21 @@ class SchedulerService:
         self._completed.add(task_id)
         job = self._jobs[self._task_job[task_id]]
         job.completed.add(task_id)
-        self.stats.completions += 1
-        self._emit("complete", task_id=task_id, worker=worker,
-                   job_id=job.job_id, lease_id=lease_id)
-        if job.done:
-            self.stats.jobs_completed += 1
+        origin = self._foreign_jobs.get(job.job_id)
+        if origin is None:
+            self.stats.completions += 1
+            self._emit("complete", task_id=task_id, worker=worker,
+                       job_id=job.job_id, lease_id=lease_id)
+            if job.done:
+                self.stats.jobs_completed += 1
+        else:
+            # Stolen task: the owning shard keeps the canonical
+            # ``complete`` record and the per-job counters.  Record
+            # the thief-side marker and queue the id for forwarding.
+            self._emit("steal-task-done", task_id=task_id,
+                       worker=worker, job_id=job.job_id,
+                       lease_id=lease_id)
+            self._steal_outbox.setdefault(origin, []).append(task_id)
         self._service_parked()
         self._maybe_drained()
         return CompletionResult(True)
@@ -872,6 +912,7 @@ class SchedulerService:
             self.stats.requeues += requeued
             self.stats.record_queue_depth(self.queue_depth)
             self._service_parked()
+        self._abort_exports_for(worker)
         self._maybe_drained()
         return requeued
 
@@ -882,10 +923,348 @@ class SchedulerService:
         self._maybe_drained()
 
     def _maybe_drained(self) -> None:
-        if self._draining and self.outstanding == 0:
+        # A drain is complete only when nothing is out under a local
+        # lease, no exported task is still computing on a thief, and
+        # every stolen completion has been forwarded home.
+        if (self._draining and self.outstanding == 0
+                and not self._exported_tasks and not self._steal_outbox):
             callback, self.on_drained = self.on_drained, None
             if callback is not None:
                 callback()
+
+    # -- work stealing (repro.cluster shard-to-shard) --------------------
+    @property
+    def steal_enabled(self) -> bool:
+        return self._steal_watermark is not None
+
+    @property
+    def steal_watermark(self) -> Optional[int]:
+        return self._steal_watermark
+
+    @property
+    def steal_outbox_depth(self) -> int:
+        """Completions of stolen tasks not yet forwarded home."""
+        return sum(len(ids) for ids in self._steal_outbox.values())
+
+    @property
+    def exported_outstanding(self) -> int:
+        """Exported tasks still computing (or pending) on a thief."""
+        return len(self._exported_tasks)
+
+    def export_steal_batch(self, thief: str, max_tasks: int,
+                           site_refsums: List[Dict]) -> Optional[Dict]:
+        """Victim half of ``STEAL_REQUEST``: pick, detach, and grant.
+
+        Chooses up to ``max_tasks`` pending *unleased* tasks — never
+        dipping below the victim's own watermark — by lowest locality
+        loss: each candidate is scored against the thief's shipped
+        per-site file/refcount summaries with the allocation-free
+        :data:`~repro.core.metrics.FAST_SCORERS`, and the
+        highest-scoring tasks (ties broken by lower task id) move.
+        The selection never touches the engine's RNG, so a victim
+        that is never asked keeps a bit-identical decision stream.
+
+        The export record is written to the WAL (and flushed) *before*
+        this returns, i.e. before ``STEAL_GRANT`` hits the wire — a
+        victim crash after the grant recovers the export and requeues
+        it locally unless the thief's ack landed first.  Returns
+        ``{"export_id", "tasks"}`` or None (nothing to grant).
+        """
+        if not self.steal_enabled or self._draining:
+            self.stats.record_steal_request("rejected")
+            return None
+        budget = min(max_tasks,
+                     self.queue_depth - self._steal_watermark)
+        if budget <= 0:
+            self.stats.record_steal_request("empty")
+            return None
+        chosen = self._select_steal_tasks(budget, site_refsums)
+        if not chosen:
+            self.stats.record_steal_request("empty")
+            return None
+        export_id = self._next_export_id
+        self._next_export_id += 1
+        specs: List[Dict] = []
+        for task_id in chosen:
+            task = self._table[task_id]
+            self.engine.remove_task(task)
+            job_id = self._task_job[task_id]
+            self._jobs[job_id].pending.discard(task_id)
+            self._exported_tasks[task_id] = export_id
+            specs.append({"task_id": task_id, "job_id": job_id,
+                          "files": sorted(task.files),
+                          "flops": task.flops})
+        self._steal_exports[export_id] = {
+            "thief": thief, "acked": False, "specs": specs,
+            "remaining": set(chosen)}
+        self.stats.tasks_exported += len(specs)
+        self.stats.record_steal_request("granted")
+        self._emit("steal-export", export_id=export_id, thief=thief,
+                   specs=specs)
+        return {"export_id": export_id, "tasks": specs}
+
+    def _select_steal_tasks(self, budget: int,
+                            site_refsums: List[Dict]) -> List[int]:
+        """Rank pending tasks by their score *at the thief's sites*.
+
+        ``site_refsums`` entries are ``{"site", "files", "refs"}``
+        (parallel id/refcount lists).  A task's score is the best it
+        would earn at any thief site under this service's metric; the
+        per-site totals stand in for the thief's aggregate normalizers
+        (only the relative order matters here).  No allocation beyond
+        the candidate list, no RNG.
+        """
+        sites: List[Tuple[Dict[int, float], float]] = []
+        for entry in site_refsums:
+            refs = {fid: float(count)
+                    for fid, count in zip(entry.get("files", ()),
+                                          entry.get("refs", ()))}
+            sites.append((refs, sum(refs.values())))
+        scorer = FAST_SCORERS[self.engine.metric_name]
+        scored: List[Tuple[float, int]] = []
+        for task_id, task in self.engine.pending.items():
+            num_files = len(task.files)
+            best = scorer(num_files, 0, 0.0, 0.0, 1.0)
+            for refs, total_refsum in sites:
+                overlap = 0
+                refsum = 0.0
+                for fid in task.files:
+                    count = refs.get(fid)
+                    if count is not None:
+                        overlap += 1
+                        refsum += count
+                score = scorer(num_files, overlap, refsum,
+                               total_refsum, 1.0)
+                if score > best:
+                    best = score
+            scored.append((best, task_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [task_id for _score, task_id in scored[:budget]]
+
+    def steal_export_acked(self, export_id: int) -> bool:
+        """Victim half of ``STEAL_ACK``: commit or refuse an export.
+
+        True = the export is live (the thief may activate the tasks);
+        the commit marker is WAL'd before the answer so a recovered
+        victim never requeues an export a thief was told to keep.
+        False = unknown or aborted export: the thief must drop its
+        tentative import.  Idempotent — a re-ack after a thief crash
+        gets the same answer.
+        """
+        record = self._steal_exports.get(export_id)
+        if record is None:
+            return False
+        if not record["acked"]:
+            record["acked"] = True
+            self._emit("steal-export-ack", export_id=export_id)
+        return True
+
+    def steal_done(self, task_ids: List[int], worker: str) -> Dict:
+        """Victim half of ``STEAL_DONE``: land forwarded completions.
+
+        Each task completes exactly as a local ``task_done`` would —
+        canonical ``complete`` WAL record, per-job counters, stats —
+        and its export bookkeeping is retired.  Already-completed
+        tasks (a re-forward after a thief crash) count as duplicates
+        and change nothing: the receiver is idempotent, so the
+        thief's at-least-once forwarding is exactly-once end to end.
+        """
+        completed = duplicates = 0
+        for task_id in task_ids:
+            job_id = self._task_job.get(task_id)
+            if job_id is None:
+                raise ServiceError(f"unknown task id {task_id!r}")
+            if task_id in self._completed:
+                self.stats.duplicate_completions += 1
+                duplicates += 1
+                continue
+            self._clear_export_entry(task_id)
+            if task_id in self._assigned:
+                self._release_task_leases(task_id)
+            elif self.engine.is_pending(task_id):
+                self.engine.remove_task(self._table[task_id])
+            job = self._jobs[job_id]
+            job.pending.discard(task_id)
+            self._completed.add(task_id)
+            job.completed.add(task_id)
+            self.stats.completions += 1
+            self._emit("complete", task_id=task_id, worker=worker,
+                       job_id=job_id)
+            if job.done:
+                self.stats.jobs_completed += 1
+            completed += 1
+        if completed:
+            self._service_parked()
+            self._maybe_drained()
+        return {"completed": completed, "duplicates": duplicates}
+
+    def _clear_export_entry(self, task_id: int) -> None:
+        export_id = self._exported_tasks.pop(task_id, None)
+        if export_id is None:
+            return
+        record = self._steal_exports.get(export_id)
+        if record is not None:
+            record["remaining"].discard(task_id)
+            if not record["remaining"]:
+                del self._steal_exports[export_id]
+
+    def _abort_exports_for(self, worker: str) -> None:
+        """Abort live un-acked exports granted to a vanished thief.
+
+        Only un-acked exports abort: an acked export is the thief's to
+        run even across its own reconnects, and the forwarded
+        completion (or the operator) is the only way it resolves.
+        """
+        doomed = sorted(
+            export_id
+            for export_id, record in self._steal_exports.items()
+            if record["thief"] == worker and not record["acked"])
+        for export_id in doomed:
+            self._abort_export(export_id)
+
+    def _abort_export(self, export_id: int) -> int:
+        record = self._steal_exports.pop(export_id)
+        self._emit("steal-export-abort", export_id=export_id)
+        requeued = 0
+        for task_id in sorted(record["remaining"]):
+            self._exported_tasks.pop(task_id, None)
+            if (task_id in self._completed or task_id in self._assigned
+                    or self.engine.is_pending(task_id)):
+                continue
+            self._requeue(task_id)
+            requeued += 1
+        if requeued:
+            self.stats.requeues += requeued
+            self.stats.record_queue_depth(self.queue_depth)
+            self._service_parked()
+        return requeued
+
+    def requeue_unacked_exports(self) -> int:
+        """Crash recovery: reclaim exports whose ack never landed.
+
+        Called by the shard recovery path after the WAL tail is
+        folded.  An export with no durable ack may or may not have
+        reached the thief — but the thief cannot have *activated* it
+        (activation requires the victim's acked answer), so requeueing
+        locally is safe and loses nothing.  A thief holding the
+        matching tentative import will re-ack, find the export gone,
+        and drop it.  Emits nothing: the fold is reproduced by the
+        same call on the next recovery.
+        """
+        requeued = 0
+        for export_id in sorted(self._steal_exports):
+            record = self._steal_exports[export_id]
+            if record["acked"]:
+                continue
+            del self._steal_exports[export_id]
+            for task_id in sorted(record["remaining"]):
+                self._exported_tasks.pop(task_id, None)
+                if (task_id in self._completed
+                        or task_id in self._assigned
+                        or self.engine.is_pending(task_id)):
+                    continue
+                self._requeue(task_id)
+                requeued += 1
+        return requeued
+
+    def steal_import_tentative(self, origin: int, export_id: int,
+                               specs: List[Dict]) -> None:
+        """Thief: durably hold a grant *without* activating it.
+
+        The WAL import record makes the grant survive a thief crash;
+        the tasks stay invisible to the scheduler until
+        :meth:`steal_commit_import` — which requires the victim's
+        acked answer — so a crash here can never double-run them.
+        """
+        key = (origin, export_id)
+        if key in self._steal_imports:
+            return
+        self._steal_imports[key] = [dict(spec) for spec in specs]
+        self._emit("steal-import", origin=origin, export_id=export_id,
+                   specs=self._steal_imports[key])
+
+    def pending_steal_imports(self) -> List[Tuple[int, int]]:
+        """Tentative imports awaiting the victim's answer (recovery)."""
+        return sorted(self._steal_imports)
+
+    def steal_commit_import(self, origin: int, export_id: int) -> int:
+        """Thief: activate a tentative import the victim acked."""
+        specs = self._steal_imports.pop((origin, export_id), None)
+        if specs is None:
+            return 0
+        self._emit("steal-import-commit", origin=origin,
+                   export_id=export_id)
+        count = self._activate_import(origin, specs)
+        self.stats.tasks_stolen += count
+        self.stats.record_queue_depth(self.queue_depth)
+        self._service_parked()
+        return count
+
+    def steal_abort_import(self, origin: int, export_id: int) -> None:
+        """Thief: drop a tentative import the victim refused."""
+        if self._steal_imports.pop((origin, export_id),
+                                   None) is not None:
+            self._emit("steal-import-abort", origin=origin,
+                       export_id=export_id)
+
+    def _activate_import(self, origin: int, specs: List[Dict]) -> int:
+        """Add stolen tasks under their original (foreign) ids.
+
+        Shard id striding keeps foreign ids disjoint from anything
+        this service allocates, so the id counters are deliberately
+        *not* advanced.  The foreign job shell tracks only the stolen
+        tasks; its completions forward home instead of counting here.
+        """
+        count = 0
+        for spec in specs:
+            task_id = spec["task_id"]
+            if task_id in self._task_job:
+                continue  # idempotent re-activation
+            job_id = spec["job_id"]
+            job = self._jobs.get(job_id)
+            if job is None:
+                job = _JobState(job_id)
+                self._jobs[job_id] = job
+                self._foreign_jobs[job_id] = origin
+            task = Task(task_id=task_id,
+                        files=frozenset(spec["files"]),
+                        flops=float(spec.get("flops", 0.0)))
+            self._table.add(task)
+            self.engine.add_task(task)
+            job.task_ids.add(task_id)
+            job.pending.add(task_id)
+            self._task_job[task_id] = job_id
+            count += 1
+        return count
+
+    def take_steal_completions(self) -> Dict[int, List[int]]:
+        """Snapshot (without clearing) the forwarding outbox.
+
+        The sender is at-least-once: entries leave the outbox only via
+        :meth:`steal_forwarded` after the origin's ack, and the origin
+        dedups re-forwards.
+        """
+        return {origin: list(task_ids)
+                for origin, task_ids in self._steal_outbox.items()
+                if task_ids}
+
+    def steal_forwarded(self, origin: int, task_ids: List[int]) -> None:
+        """Thief: the origin acked these forwarded completions."""
+        queue = self._steal_outbox.get(origin)
+        if not queue:
+            return
+        delivered = set(task_ids)
+        forwarded = [tid for tid in queue if tid in delivered]
+        if not forwarded:
+            return
+        kept = [tid for tid in queue if tid not in delivered]
+        if kept:
+            self._steal_outbox[origin] = kept
+        else:
+            del self._steal_outbox[origin]
+        self._emit("steal-forwarded", task_ids=forwarded,
+                   origin=origin)
+        self._maybe_drained()
 
     # -- observability ---------------------------------------------------
     def stats_snapshot(self) -> Dict:
@@ -923,7 +1302,7 @@ class SchedulerService:
         tasks = sorted(self._table, key=lambda task: task.task_id)
         assigned = [self._assigned[task_id]
                     for task_id in sorted(self._assigned)]
-        return {
+        state = {
             "version": self.STATE_VERSION,
             "metric": engine.metric_name,
             "n": engine.n,
@@ -948,6 +1327,42 @@ class SchedulerService:
                       for site_id in sorted(engine.site_ids)],
             "draining": self._draining,
         }
+        steal = self._export_steal_state()
+        if steal:
+            # Only present once stealing has actually moved something,
+            # so a stealing-off (or never-triggered) service exports
+            # byte-identical state to the pre-steal service.
+            state["steal"] = steal
+        return state
+
+    def _export_steal_state(self) -> Dict:
+        steal: Dict = {}
+        if self._steal_exports:
+            steal["exports"] = [
+                [export_id, record["thief"], record["acked"],
+                 [dict(spec) for spec in record["specs"]],
+                 sorted(record["remaining"])]
+                for export_id, record
+                in sorted(self._steal_exports.items())]
+        if self._next_export_id != 1:
+            # Exported even with no live exports: export ids must
+            # never be reused across restarts (a thief may still hold
+            # a tentative import keyed by one).
+            steal["next_export_id"] = self._next_export_id
+        if self._steal_imports:
+            steal["imports"] = [
+                [origin, export_id, [dict(spec) for spec in specs]]
+                for (origin, export_id), specs
+                in sorted(self._steal_imports.items())]
+        if self._foreign_jobs:
+            steal["foreign_jobs"] = [
+                [job_id, origin] for job_id, origin
+                in sorted(self._foreign_jobs.items())]
+        if self._steal_outbox:
+            steal["outbox"] = [
+                [origin, list(task_ids)] for origin, task_ids
+                in sorted(self._steal_outbox.items())]
+        return steal
 
     def import_state(self, state: Dict) -> None:
         """Rebuild from :meth:`export_state` output (fresh service only).
@@ -986,6 +1401,11 @@ class SchedulerService:
                                  flops=float(flops)))
         assigned_ids = {entry[0] for entry in state["assigned"]}
         completed = set(state["completed"])
+        steal = state.get("steal", {})
+        exported_ids: Set[int] = set()
+        for _eid, _thief, _acked, _specs, remaining in steal.get(
+                "exports", []):
+            exported_ids.update(remaining)
         pending: List[int] = []
         for job_id, task_ids, job_completed in state["jobs"]:
             job = _JobState(job_id)
@@ -995,7 +1415,8 @@ class SchedulerService:
             for task_id in task_ids:
                 self._task_job[task_id] = job_id
                 if (task_id not in completed
-                        and task_id not in assigned_ids):
+                        and task_id not in assigned_ids
+                        and task_id not in exported_ids):
                     job.pending.add(task_id)
                     pending.append(task_id)
         for task_id in sorted(pending):
@@ -1018,6 +1439,22 @@ class SchedulerService:
         engine.decisions = state.get("decisions", 0)
         engine.tasks_scored = state.get("tasks_scored", 0)
         self._draining = bool(state.get("draining", False))
+        for export_id, thief, acked, specs, remaining in steal.get(
+                "exports", []):
+            self._steal_exports[export_id] = {
+                "thief": thief, "acked": bool(acked),
+                "specs": [dict(spec) for spec in specs],
+                "remaining": set(remaining)}
+            for task_id in remaining:
+                self._exported_tasks[task_id] = export_id
+        self._next_export_id = steal.get("next_export_id", 1)
+        for origin, export_id, specs in steal.get("imports", []):
+            self._steal_imports[(origin, export_id)] = [
+                dict(spec) for spec in specs]
+        for job_id, origin in steal.get("foreign_jobs", []):
+            self._foreign_jobs[job_id] = origin
+        for origin, task_ids in steal.get("outbox", []):
+            self._steal_outbox[origin] = list(task_ids)
 
     def replay_record(self, record: Dict) -> bool:
         """Re-apply one WAL record emitted by a ``wal_events`` service.
@@ -1049,6 +1486,38 @@ class SchedulerService:
             return self._replay_requeue(record)
         if kind == "delta":
             return self._replay_delta(record)
+        if kind == "steal-export":
+            return self._replay_steal_export(record)
+        if kind == "steal-export-ack":
+            export = self._steal_exports.get(record["export_id"])
+            if export is None or export["acked"]:
+                return False
+            export["acked"] = True
+            return True
+        if kind == "steal-export-abort":
+            return self._replay_steal_export_abort(record)
+        if kind == "steal-import":
+            key = (record["origin"], record["export_id"])
+            if key in self._steal_imports:
+                return False
+            self._steal_imports[key] = [dict(spec)
+                                        for spec in record["specs"]]
+            return True
+        if kind == "steal-import-commit":
+            specs = self._steal_imports.pop(
+                (record["origin"], record["export_id"]), None)
+            if specs is None:
+                return False
+            self._activate_import(record["origin"], specs)
+            return True
+        if kind == "steal-import-abort":
+            return self._steal_imports.pop(
+                (record["origin"], record["export_id"]),
+                None) is not None
+        if kind == "steal-task-done":
+            return self._replay_steal_task_done(record)
+        if kind == "steal-forwarded":
+            return self._replay_steal_forwarded(record)
         return False  # decision spans and unknown kinds: no state
 
     def _replay_submit(self, record: Dict) -> bool:
@@ -1119,7 +1588,79 @@ class SchedulerService:
         job = self._jobs[self._task_job[task_id]]
         job.pending.discard(task_id)
         job.completed.add(task_id)
+        # A forwarded completion of an exported task also retires the
+        # export bookkeeping, exactly as the live steal_done did.
+        self._clear_export_entry(task_id)
         return True
+
+    def _replay_steal_export(self, record: Dict) -> bool:
+        export_id = record["export_id"]
+        if export_id in self._steal_exports:
+            return False
+        specs = [dict(spec) for spec in record["specs"]]
+        remaining: Set[int] = set()
+        for spec in specs:
+            task_id = spec["task_id"]
+            if task_id in self._completed:
+                continue
+            remaining.add(task_id)
+            self._exported_tasks[task_id] = export_id
+            if self.engine.is_pending(task_id):
+                self.engine.remove_task(self._table[task_id])
+            job_id = self._task_job.get(task_id)
+            if job_id is not None:
+                self._jobs[job_id].pending.discard(task_id)
+        self._steal_exports[export_id] = {
+            "thief": record["thief"], "acked": False, "specs": specs,
+            "remaining": remaining}
+        self._next_export_id = max(self._next_export_id,
+                                   export_id + 1)
+        return True
+
+    def _replay_steal_export_abort(self, record: Dict) -> bool:
+        export = self._steal_exports.pop(record["export_id"], None)
+        if export is None:
+            return False
+        for task_id in sorted(export["remaining"]):
+            self._exported_tasks.pop(task_id, None)
+            if (task_id in self._completed or task_id in self._assigned
+                    or self.engine.is_pending(task_id)):
+                continue
+            self._requeue(task_id)
+        return True
+
+    def _replay_steal_task_done(self, record: Dict) -> bool:
+        task_id = record["task_id"]
+        if task_id in self._completed:
+            return False
+        lease = self._assigned.get(task_id)
+        if lease is not None:
+            self._release_lease(lease)
+        elif self.engine.is_pending(task_id):
+            self.engine.remove_task(self._table[task_id])
+        self._completed.add(task_id)
+        job = self._jobs[self._task_job[task_id]]
+        job.pending.discard(task_id)
+        job.completed.add(task_id)
+        origin = self._foreign_jobs.get(job.job_id)
+        if origin is not None:
+            self._steal_outbox.setdefault(origin, []).append(task_id)
+        return True
+
+    def _replay_steal_forwarded(self, record: Dict) -> bool:
+        delivered = set(record["task_ids"])
+        changed = False
+        for origin in list(self._steal_outbox):
+            queue = self._steal_outbox[origin]
+            kept = [tid for tid in queue if tid not in delivered]
+            if len(kept) == len(queue):
+                continue
+            changed = True
+            if kept:
+                self._steal_outbox[origin] = kept
+            else:
+                del self._steal_outbox[origin]
+        return changed
 
     def _replay_requeue(self, record: Dict) -> bool:
         task_id = record["task_id"]

@@ -73,6 +73,12 @@ _COUNTERS = {
     "replica_wins": ("repro_replica_wins_total",
                      "Completions that landed via a replica lease "
                      "(first-completion-wins)"),
+    "tasks_stolen": ("repro_tasks_stolen_total",
+                     "Tasks imported from a peer shard by work "
+                     "stealing"),
+    "tasks_exported": ("repro_tasks_exported_total",
+                       "Tasks exported to a thief shard by work "
+                       "stealing"),
 }
 
 #: ``bind_live`` keyword -> (gauge name, help).  Callback gauges over
@@ -189,6 +195,13 @@ class ServeStats:
             "Tasks assigned, by owning job (tenant)",
             labelnames=("job",))
         self._tenants: Dict[int, int] = {}
+        #: STEAL_REQUESTs answered by this shard (as the victim), by
+        #: outcome: granted / empty / rejected / error.
+        self._steal_requests = reg.counter(
+            "repro_steal_requests_total",
+            "STEAL_REQUESTs answered, by outcome",
+            labelnames=("outcome",))
+        self._steal_outcomes: Dict[str, int] = {}
 
     # -- recording -------------------------------------------------------
     def record_queue_depth(self, depth: int) -> None:
@@ -224,6 +237,12 @@ class ServeStats:
         """One grant charged to ``job_id``'s fair-share account."""
         self._tenant_assignments.labels(job=str(job_id)).inc()
         self._tenants[job_id] = self._tenants.get(job_id, 0) + 1
+
+    def record_steal_request(self, outcome: str) -> None:
+        """One answered STEAL_REQUEST, by outcome."""
+        self._steal_requests.labels(outcome=outcome).inc()
+        self._steal_outcomes[outcome] = \
+            self._steal_outcomes.get(outcome, 0) + 1
 
     def record_batch(self, granted: int) -> None:
         """One answered batched pull that granted ``granted`` tasks."""
@@ -329,6 +348,12 @@ class ServeStats:
                 "granted": self.task_replications,
                 "replica_wins": self.replica_wins,
             },
+            "steal": {
+                "tasks_stolen": self.tasks_stolen,
+                "tasks_exported": self.tasks_exported,
+                "requests": {outcome: count for outcome, count
+                             in sorted(self._steal_outcomes.items())},
+            },
             "tenants": {str(job_id): count for job_id, count
                         in sorted(self._tenants.items())},
             "sites": sites,
@@ -378,6 +403,14 @@ def format_stats(snapshot: Dict) -> str:
         lines.append(f"replication       : "
                      f"{replication['granted']} replica(s) granted, "
                      f"{replication['replica_wins']} won the race")
+    steal = snapshot.get("steal", {})
+    if steal.get("tasks_stolen") or steal.get("tasks_exported"):
+        requests = ", ".join(f"{count} {outcome}" for outcome, count
+                             in steal.get("requests", {}).items())
+        lines.append(f"work stealing     : "
+                     f"{steal['tasks_stolen']} stolen, "
+                     f"{steal['tasks_exported']} exported"
+                     + (f" ({requests})" if requests else ""))
     tenants = snapshot.get("tenants", {})
     if len(tenants) > 1:
         shares = ", ".join(f"job {job}: {count}"

@@ -1,0 +1,292 @@
+"""Shard-to-shard work stealing: durability, exactly-once, identity.
+
+Four groups:
+
+* **victim crashes** — kill -9 (abandon without ``close()``, exactly
+  what the WAL's ``auto_flush`` leaves behind) between ``STEAL_GRANT``
+  and ``STEAL_ACK`` requeues the export locally and refuses the
+  thief's late ack; the same crash *after* the ack preserves the
+  export, and the forwarded completions land exactly once;
+* **thief crashes** — a tentative import survives recovery and
+  resolves through the same commit/abort answers a live exchange uses;
+* **bit-identity** — a stealing-enabled service that is never asked
+  exports byte-identical state (and RNG stream) to a stealing-off
+  service, and the supervisor refuses to arm stealing on a one-shard
+  cluster;
+* **live e2e** — two real servers over TCP, a
+  :class:`~repro.cluster.steal.StealManager` on the idle shard, and a
+  clean exactly-once audit with every completion forwarded home.
+"""
+
+import asyncio
+
+from repro.cluster.shard import open_shard
+from repro.cluster.steal import StealManager
+from repro.cluster.supervisor import ClusterSupervisor
+from repro.serve.client import SchedulerClient, WorkerClient
+from repro.serve.server import SchedulerServer
+from repro.serve.service import SchedulerService
+
+TIMEOUT = 60
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=TIMEOUT))
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def pull(service, worker="w0", site=0, job_id=None):
+    box = []
+    service.request_task(worker, site, box.append, job_id=job_id)
+    return box[0] if box else "parked"
+
+
+def submit(service, specs, job_id=None):
+    return service.submit_job(
+        [{"files": files, "flops": flops} for files, flops in specs],
+        job_id=job_id)
+
+
+SPECS = [([1, 2, 3], 1.0), ([3, 4], 2.0), ([5], 0.5), ([1, 5, 6], 3.0)]
+
+
+def open_victim(state_dir, **kwargs):
+    kwargs.setdefault("clock", FakeClock())
+    return open_shard(state_dir, metric="combined", n=2, seed=3,
+                      shard_index=0, shard_count=2,
+                      steal_watermark=1, **kwargs)
+
+
+# -- victim crashes ----------------------------------------------------------
+
+def test_victim_crash_before_ack_requeues_export(tmp_path):
+    """kill -9 between STEAL_GRANT and STEAL_ACK: the un-acked export
+    may or may not have reached the thief, but the thief cannot have
+    activated it, so recovery reclaims the tasks locally and the late
+    re-ack is refused — nothing runs twice, nothing is lost."""
+    state_dir = str(tmp_path)
+    first = open_victim(state_dir)
+    submit(first.service, SPECS)
+    grant = first.service.export_steal_batch("steal/1", 2, [])
+    assert grant is not None and len(grant["tasks"]) == 2
+    assert first.service.queue_depth == 2
+    # Crash: no ack, no close() — auto_flush already persisted the
+    # steal-export record, exactly what kill -9 leaves behind.
+
+    second = open_victim(state_dir)
+    assert second.report["steal_requeued"] == 2
+    assert second.service.queue_depth == 4
+    assert second.service.exported_outstanding == 0
+    # The thief's tentative import re-acks, finds the export gone,
+    # and must be told to drop it.
+    assert second.service.steal_export_acked(grant["export_id"]) \
+        is False
+    # Exactly-once audit: every task completes locally, once.
+    for _ in range(4):
+        assignment = pull(second.service, worker="w9", site=0)
+        result = second.service.task_done(
+            "w9", assignment.task.task_id, assignment.lease_id)
+        assert result.accepted
+    assert second.service.job_status(0)["done"]
+    assert second.service.stats.completions == 4
+    assert second.service.stats.duplicate_completions == 0
+    second.close()
+
+
+def test_victim_crash_after_ack_preserves_export(tmp_path):
+    """kill -9 after STEAL_ACK: the thief was told to keep the batch,
+    so recovery must NOT requeue it — the tasks stay exported and the
+    forwarded completions land exactly once (re-forwards are counted
+    as duplicates and change nothing)."""
+    state_dir = str(tmp_path)
+    first = open_victim(state_dir)
+    submit(first.service, SPECS)
+    grant = first.service.export_steal_batch("steal/1", 2, [])
+    stolen_ids = [spec["task_id"] for spec in grant["tasks"]]
+    assert first.service.steal_export_acked(grant["export_id"])
+    # Crash after the durable ack.
+
+    second = open_victim(state_dir)
+    assert second.report["steal_requeued"] == 0
+    assert second.service.exported_outstanding == 2
+    assert second.service.queue_depth == 2
+    # An exported task is never handed to a local worker.
+    local_ids = set()
+    for _ in range(2):
+        assignment = pull(second.service, worker="w9", site=0)
+        local_ids.add(assignment.task.task_id)
+        second.service.task_done("w9", assignment.task.task_id,
+                                 assignment.lease_id)
+    assert local_ids.isdisjoint(stolen_ids)
+    # The thief forwards the stolen completions home — once, then
+    # again after its own crash; the second landing is a no-op.
+    landed = second.service.steal_done(stolen_ids, "steal/1")
+    assert landed == {"completed": 2, "duplicates": 0}
+    replay = second.service.steal_done(stolen_ids, "steal/1")
+    assert replay == {"completed": 0, "duplicates": 2}
+    assert second.service.job_status(0)["done"]
+    assert second.service.stats.completions == 4
+    assert second.service.exported_outstanding == 0
+    second.close()
+
+
+# -- thief crashes -----------------------------------------------------------
+
+def test_thief_crash_with_tentative_import_resolves_on_recovery(
+        tmp_path):
+    """A tentative import survives kill -9 un-activated; recovery
+    re-acks it through the exact live-exchange answers: commit
+    activates the foreign tasks (completions forward home), abort
+    drops the batch without a trace."""
+    state_dir = str(tmp_path)
+    specs = [{"task_id": 0, "job_id": 0, "files": [1, 2],
+              "flops": 1.0},
+             {"task_id": 2, "job_id": 0, "files": [5], "flops": 0.5}]
+    first = open_shard(state_dir, metric="combined", n=2, seed=3,
+                       shard_index=1, shard_count=2,
+                       steal_watermark=1, clock=FakeClock())
+    first.service.steal_import_tentative(0, 7, specs)
+    first.service.steal_import_tentative(0, 8, specs)  # to be aborted
+    assert first.service.queue_depth == 0  # tentative = invisible
+    # Crash before either answer arrived.
+
+    second = open_shard(state_dir, metric="combined", n=2, seed=3,
+                        shard_index=1, shard_count=2,
+                        steal_watermark=1, clock=FakeClock())
+    assert second.service.pending_steal_imports() == [(0, 7), (0, 8)]
+    # The victim aborted export 8 (its recovery requeued the tasks).
+    second.service.steal_abort_import(0, 8)
+    assert second.service.steal_commit_import(0, 7) == 2
+    assert second.service.pending_steal_imports() == []
+    assert second.service.queue_depth == 2
+    # Foreign completions queue for forwarding, never count locally.
+    for _ in range(2):
+        assignment = pull(second.service, worker="tw", site=0)
+        second.service.task_done("tw", assignment.task.task_id,
+                                 assignment.lease_id)
+    assert second.service.stats.completions == 0
+    outbox = second.service.take_steal_completions()
+    assert sorted(outbox) == [0] and sorted(outbox[0]) == [0, 2]
+    second.service.steal_forwarded(0, [0, 2])
+    assert second.service.steal_outbox_depth == 0
+    second.close()
+
+
+# -- bit-identity ------------------------------------------------------------
+
+def test_stealing_enabled_but_never_asked_is_bit_identical():
+    """The pinned regression: arming stealing must not perturb a shard
+    nobody steals from — same decision stream, same RNG, and an
+    export_state() with no ``steal`` key at all."""
+    def workload(steal_watermark):
+        service = SchedulerService(metric="combined", n=2, seed=11,
+                                   clock=FakeClock(),
+                                   steal_watermark=steal_watermark)
+        submit(service, SPECS)
+        first = pull(service, worker="w0", site=0)
+        pull(service, worker="w1", site=1)
+        service.task_done("w0", first.task.task_id, first.lease_id)
+        service.file_delta(0, added=[1, 2], removed=[], referenced=[3])
+        pull(service, worker="w2", site=0)
+        return service
+
+    off = workload(None)
+    on = workload(4)
+    assert on.export_state() == off.export_state()
+    assert "steal" not in on.export_state()
+    assert on.engine.rng.getstate() == off.engine.rng.getstate()
+
+
+def test_supervisor_arms_stealing_only_with_peers(tmp_path):
+    """One shard has nobody to steal from: the flag must not reach the
+    shard command line (which would change idle-pull behavior)."""
+    solo = ClusterSupervisor(shards=1, state_root=str(tmp_path),
+                             steal_watermark=4)
+    assert "--steal-watermark" not in solo._shard_command(0)
+    duo = ClusterSupervisor(shards=2, state_root=str(tmp_path),
+                            steal_watermark=4)
+    command = duo._shard_command(0)
+    assert "--steal-watermark" in command
+    assert "--cluster-file" in command
+
+
+# -- live e2e ----------------------------------------------------------------
+
+def test_e2e_steal_feeds_idle_shard_and_forwards_completions():
+    """Two real servers over TCP: the loaded victim's job is finished
+    by both fleets, every stolen completion is forwarded home, and
+    the audit is clean (victim counts all 8, thief counts none)."""
+    async def body():
+        victim = SchedulerService(metric="combined", n=2, seed=0,
+                                  id_start=0, id_stride=2,
+                                  steal_watermark=2, name="shard-0")
+        thief = SchedulerService(metric="combined", n=2, seed=0,
+                                 id_start=1, id_stride=2,
+                                 steal_watermark=2, name="shard-1")
+        victim_server = SchedulerServer(victim)
+        thief_server = SchedulerServer(thief)
+        await victim_server.start()
+        await thief_server.start()
+        manager = StealManager(
+            thief, 1, peers={0: (victim_server.host,
+                                 victim_server.port)},
+            interval=0.01)
+        await manager.start()
+        try:
+            async with SchedulerClient(victim_server.host,
+                                       victim_server.port) as control:
+                handle = await control.submit(
+                    [{"files": [fid, fid + 100], "flops": 1.0}
+                     for fid in range(8)])
+                # Unscoped thief-side worker: parks, then runs
+                # whatever stealing feeds it.
+                thief_worker = WorkerClient(thief_server.host,
+                                            thief_server.port,
+                                            worker="tw", site=0)
+                thief_task = asyncio.create_task(thief_worker.run())
+                # Slow victim-side worker keeps the queue deep enough
+                # to steal from while draining the local remainder.
+                victim_worker = WorkerClient(victim_server.host,
+                                             victim_server.port,
+                                             worker="vw", site=0,
+                                             flops_per_sec=50.0,
+                                             job_id=handle.job_id)
+                victim_summary = await victim_worker.run()
+                status = await asyncio.wait_for(handle.wait_done(),
+                                                timeout=20)
+                victim_stats = await control.stats()
+            async with SchedulerClient(thief_server.host,
+                                       thief_server.port) as tcontrol:
+                thief_stats = await tcontrol.stats()
+                await tcontrol.drain()
+            thief_summary = await asyncio.wait_for(thief_task,
+                                                   timeout=10)
+            stolen = thief_stats["steal"]["tasks_stolen"]
+            assert status["done"] and status["completed"] == 8
+            assert stolen >= 1
+            assert victim_stats["steal"]["tasks_exported"] == stolen
+            # Forwarded completions count at the owner, never the
+            # thief; the two fleets together ran exactly the job.
+            assert victim_stats["completions"] == 8
+            assert victim_stats["duplicate_completions"] == 0
+            assert thief_stats["completions"] == 0
+            assert thief_summary["tasks_done"] == stolen
+            assert victim_summary["tasks_done"] == 8 - stolen
+            assert thief.steal_outbox_depth == 0
+            assert victim.exported_outstanding == 0
+        finally:
+            await manager.stop()
+            await thief_server.stop()
+            await victim_server.stop()
+
+    run(body())

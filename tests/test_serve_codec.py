@@ -60,6 +60,20 @@ _shard_entries = st.fixed_dictionaries({
 })
 _stats_values = st.one_of(st.none(), st.booleans(), _ids, _numbers,
                           _texts)
+# One thief-side residency summary: files[i] referenced refs[i] times
+# (the validator rejects length mismatches, so draw the size once).
+_refsum_entries = st.integers(min_value=0, max_value=4).flatmap(
+    lambda size: st.fixed_dictionaries({
+        "site": st.integers(min_value=0, max_value=1000),
+        "files": st.lists(_ids, min_size=size, max_size=size),
+        "refs": st.lists(st.integers(min_value=0, max_value=1000),
+                         min_size=size, max_size=size),
+    }))
+# A bare exported task spec (no lease — the thief grants its own).
+_steal_specs = st.fixed_dictionaries({
+    "task_id": _ids, "job_id": _ids,
+    "files": _id_lists, "flops": _numbers,
+})
 
 CLASS_STRATEGIES = {
     messages.Hello: st.builds(
@@ -90,6 +104,14 @@ CLASS_STRATEGIES = {
         messages.JobStatusRequest, job_id=_ids),
     messages.StatsRequest: st.just(messages.StatsRequest()),
     messages.Drain: st.just(messages.Drain()),
+    messages.StealRequest: st.builds(
+        messages.StealRequest,
+        max_tasks=st.integers(min_value=1, max_value=64),
+        site_refsums=st.lists(_refsum_entries, max_size=3)),
+    messages.StealAck: st.builds(messages.StealAck, export_id=_ids),
+    messages.StealDone: st.builds(
+        messages.StealDone,
+        task_ids=st.lists(_ids, min_size=1, max_size=4)),
     messages.Welcome: st.builds(
         messages.Welcome, server=_names, metric=_names,
         n=st.integers(min_value=1, max_value=16),
@@ -129,6 +151,15 @@ CLASS_STRATEGIES = {
         shard_count=st.integers(min_value=1, max_value=64),
         partition=_names, codec=st.none() | _names),
     messages.Error: st.builds(messages.Error, error=_texts),
+    # An empty grant is a refusal (export_id optional); a grant with
+    # tasks must carry the export_id the thief will ack.
+    messages.StealGrant: st.one_of(
+        st.builds(messages.StealGrant, tasks=st.just([]),
+                  export_id=st.none() | _ids),
+        st.builds(messages.StealGrant,
+                  tasks=st.lists(_steal_specs, min_size=1,
+                                 max_size=3),
+                  export_id=_ids)),
 }
 
 _any_message = st.one_of(*CLASS_STRATEGIES.values())

@@ -25,6 +25,10 @@ CLIENT_SAMPLES = [
     messages.JobStatusRequest(job_id=0),
     messages.StatsRequest(),
     messages.Drain(),
+    messages.StealRequest(max_tasks=4, site_refsums=[
+        {"site": 0, "files": [1, 2], "refs": [3, 1]}]),
+    messages.StealAck(export_id=2),
+    messages.StealDone(task_ids=[0, 2]),
 ]
 
 SERVER_SAMPLES = [
@@ -49,6 +53,10 @@ SERVER_SAMPLES = [
     messages.Redirect(shards=[{"shard": 0, "host": "127.0.0.1",
                                "port": 7178}], shard_count=1),
     messages.Error(error="nope"),
+    messages.StealGrant(),
+    messages.StealGrant(tasks=[{"task_id": 0, "job_id": 0,
+                                "files": [1], "flops": 1.0}],
+                        export_id=1),
 ]
 
 
@@ -72,7 +80,7 @@ def test_every_wire_type_is_covered():
         protocol.NO_TASK,
         protocol.ACK, protocol.HEARTBEAT_ACK, protocol.JOB_ACCEPTED,
         protocol.JOB_STATUS, protocol.STATS, protocol.REDIRECT,
-        protocol.ERROR}
+        protocol.ERROR, protocol.STEAL_GRANT}
 
 
 def test_unknown_fields_are_tolerated():
